@@ -1,0 +1,35 @@
+# dynshap build targets. Everything is stdlib-only; no tool downloads.
+
+GO ?= go
+
+.PHONY: all build test vet cover bench examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test ./... -cover
+
+# One testing.B target per paper table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate the paper's tables and figures at laptop scale.
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/games
+	$(GO) run ./examples/convergence
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,124 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation. Each target regenerates its artifact through
+// internal/bench at QuickConfig scale so the full suite completes in
+// minutes; run `go run ./cmd/experiments` (optionally -full) for the
+// paper-scale numbers, which are recorded in EXPERIMENTS.md.
+package dynshap_test
+
+import (
+	"io"
+	"testing"
+
+	"dynshap"
+	"dynshap/internal/bench"
+)
+
+// runArtifact regenerates one paper artifact per benchmark iteration.
+func runArtifact(b *testing.B, id string) {
+	b.Helper()
+	r := bench.NewRunner(bench.QuickConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := r.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Render(io.Discard)
+	}
+}
+
+func BenchmarkFigure2DeltaSVField(b *testing.B)   { runArtifact(b, "F2") }
+func BenchmarkTable4AddOneMSE(b *testing.B)       { runArtifact(b, "T4") }
+func BenchmarkTable5PivotSvsD(b *testing.B)       { runArtifact(b, "T5") }
+func BenchmarkFigure3aMSEvsN(b *testing.B)        { runArtifact(b, "F3a") }
+func BenchmarkFigure3bTimeVsN(b *testing.B)       { runArtifact(b, "F3b") }
+func BenchmarkTable6AddTwoMSE(b *testing.B)       { runArtifact(b, "T6") }
+func BenchmarkTable7PivotSvsDAddTwo(b *testing.B) { runArtifact(b, "T7") }
+func BenchmarkFigure4aMSEvsN(b *testing.B)        { runArtifact(b, "F4a") }
+func BenchmarkFigure4bTimeVsN(b *testing.B)       { runArtifact(b, "F4b") }
+func BenchmarkFigure4cTimeVsAdded(b *testing.B)   { runArtifact(b, "F4c") }
+func BenchmarkTable8DeleteOneMSE(b *testing.B)    { runArtifact(b, "T8") }
+func BenchmarkTable9Memory(b *testing.B)          { runArtifact(b, "T9") }
+func BenchmarkFigure5aMSEvsN(b *testing.B)        { runArtifact(b, "F5a") }
+func BenchmarkFigure5bTimeVsN(b *testing.B)       { runArtifact(b, "F5b") }
+func BenchmarkTable10DeleteTwoMSE(b *testing.B)   { runArtifact(b, "T10") }
+func BenchmarkFigure6aMSEvsN(b *testing.B)        { runArtifact(b, "F6a") }
+func BenchmarkFigure6bTimeVsN(b *testing.B)       { runArtifact(b, "F6b") }
+func BenchmarkFigure6cTimeVsDeleted(b *testing.B) { runArtifact(b, "F6c") }
+func BenchmarkTable11LargeAddOne(b *testing.B)    { runArtifact(b, "T11") }
+func BenchmarkTable12LargeAddTwo(b *testing.B)    { runArtifact(b, "T12") }
+func BenchmarkTable13LargeDeleteOne(b *testing.B) { runArtifact(b, "T13") }
+func BenchmarkTable14LargeDeleteTwo(b *testing.B) { runArtifact(b, "T14") }
+
+// Micro-benchmarks of the estimators on a cheap synthetic game, isolating
+// algorithmic overhead from model-training cost.
+
+func syntheticGame(n int) dynshap.Game {
+	return dynshap.GameFunc{Players: n, U: func(s dynshap.Coalition) float64 {
+		// Saturating size-based utility: cheap and monotone.
+		k := float64(s.Len())
+		return k / (k + 3)
+	}}
+}
+
+func BenchmarkMonteCarloN100Tau100(b *testing.B) {
+	g := syntheticGame(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dynshap.MonteCarloShapley(g, 100, uint64(i))
+	}
+}
+
+func BenchmarkMonteCarloParallelN100Tau100(b *testing.B) {
+	g := syntheticGame(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dynshap.MonteCarloShapleyParallel(g, 100, 0, uint64(i))
+	}
+}
+
+func BenchmarkDeltaAddN100Tau100(b *testing.B) {
+	g := syntheticGame(101)
+	old := make([]float64, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dynshap.DeltaAddShapley(g, old, 100, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPivotInitN100Tau100(b *testing.B) {
+	g := syntheticGame(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dynshap.NewPivotState(g, 100, false, uint64(i))
+	}
+}
+
+func BenchmarkPreprocessDeletionN100Tau100(b *testing.B) {
+	g := syntheticGame(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dynshap.PreprocessDeletion(g, 100, uint64(i))
+	}
+}
+
+func BenchmarkYNNNMergeN100(b *testing.B) {
+	arrays := dynshap.PreprocessDeletion(syntheticGame(100), 100, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arrays.Merge(i % 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactShapleyN16(b *testing.B) {
+	g := syntheticGame(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dynshap.ExactShapley(g)
+	}
+}

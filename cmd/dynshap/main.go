@@ -1,0 +1,356 @@
+// Command dynshap values datasets with Shapley values and updates the
+// valuation as points are added or deleted, persisting state in a JSON
+// snapshot.
+//
+// Subcommands:
+//
+//	gen        generate a synthetic Iris-like or Adult-like CSV dataset
+//	compute    value a training CSV against a test CSV, write a snapshot
+//	add        append points from a CSV to a snapshot's valuation
+//	delete     remove points (by index) from a snapshot's valuation
+//	show       print a snapshot's values
+//	samplesize print the (ϵ, δ) sample-size bounds of Theorems 1, 2 and 4
+//
+// Run `dynshap <subcommand> -h` for flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynshap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "compute":
+		err = cmdCompute(os.Args[2:])
+	case "add":
+		err = cmdAdd(os.Args[2:])
+	case "delete":
+		err = cmdDelete(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "samplesize":
+		err = cmdSampleSize(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dynshap: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynshap: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dynshap <gen|compute|add|delete|show|samplesize> [flags]`)
+}
+
+func trainerFor(model string) (dynshap.Trainer, error) {
+	switch model {
+	case "svm":
+		return dynshap.SVM{}, nil
+	case "knn":
+		return dynshap.KNNClassifier{K: 5}, nil
+	case "logreg":
+		return dynshap.LogReg{}, nil
+	case "nb":
+		return dynshap.NaiveBayes{}, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (svm, knn, logreg, nb)", model)
+	}
+}
+
+func algoFor(name string) (dynshap.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "mc", "montecarlo":
+		return dynshap.AlgoMonteCarlo, nil
+	case "tmc":
+		return dynshap.AlgoTruncatedMC, nil
+	case "base":
+		return dynshap.AlgoBase, nil
+	case "pivot-s":
+		return dynshap.AlgoPivotSame, nil
+	case "pivot-d", "pivot":
+		return dynshap.AlgoPivotDifferent, nil
+	case "delta":
+		return dynshap.AlgoDelta, nil
+	case "ynnn", "yn-nn":
+		return dynshap.AlgoYNNN, nil
+	case "knn":
+		return dynshap.AlgoKNN, nil
+	case "knn+", "knnplus":
+		return dynshap.AlgoKNNPlus, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("dataset", "iris", "iris or adult")
+	n := fs.Int("n", 150, "number of points")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	out := fs.String("o", "", "output CSV path (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -o is required")
+	}
+	var d *dynshap.Dataset
+	switch *kind {
+	case "iris":
+		d = dynshap.IrisLike(*n, *seed)
+	case "adult":
+		d = dynshap.AdultLike(*n, *seed)
+	default:
+		return fmt.Errorf("gen: unknown dataset %q", *kind)
+	}
+	if err := d.SaveCSV(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d points (%d features, %d classes) to %s\n", d.Len(), d.Dim(), d.Classes, *out)
+	return nil
+}
+
+func cmdCompute(args []string) error {
+	fs := flag.NewFlagSet("compute", flag.ExitOnError)
+	trainPath := fs.String("train", "", "training CSV (points to value; required)")
+	testPath := fs.String("test", "", "test CSV (defines the utility; required)")
+	model := fs.String("model", "svm", "utility model: svm, knn, logreg")
+	tau := fs.Int("tau", 0, "permutation samples (default 20·n)")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	out := fs.String("o", "", "snapshot output path (required)")
+	fs.Parse(args)
+	if *trainPath == "" || *testPath == "" || *out == "" {
+		return fmt.Errorf("compute: -train, -test and -o are required")
+	}
+	train, err := dynshap.LoadCSV(*trainPath)
+	if err != nil {
+		return err
+	}
+	test, err := dynshap.LoadCSV(*testPath)
+	if err != nil {
+		return err
+	}
+	trainer, err := trainerFor(*model)
+	if err != nil {
+		return err
+	}
+	opts := []dynshap.Option{dynshap.WithSeed(*seed)}
+	if *tau > 0 {
+		opts = append(opts, dynshap.WithSamples(*tau))
+	}
+	s := dynshap.NewSession(train, test, trainer, opts...)
+	if err := s.Init(); err != nil {
+		return err
+	}
+	if err := s.Snapshot().Save(*out); err != nil {
+		return err
+	}
+	printValues(s.Values())
+	fmt.Printf("snapshot written to %s (%d model trainings)\n", *out, s.ModelTrainings())
+	return nil
+}
+
+// resumeSession loads a snapshot and resumes a session around it.
+func resumeSession(path, model string, seed uint64) (*dynshap.Session, error) {
+	sn, err := dynshap.LoadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	trainer, err := trainerFor(model)
+	if err != nil {
+		return nil, err
+	}
+	return sn.Resume(trainer, dynshap.WithSeed(seed))
+}
+
+func cmdAdd(args []string) error {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "snapshot path (updated in place; required)")
+	pointsPath := fs.String("points", "", "CSV of points to add (required)")
+	model := fs.String("model", "svm", "utility model: svm, knn, logreg")
+	algoName := fs.String("algo", "delta", "update algorithm (delta, pivot-d, knn, knn+, mc, tmc, base)")
+	tau := fs.Int("tau", 0, "update permutation samples (default: snapshot's τ)")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	fs.Parse(args)
+	if *snapPath == "" || *pointsPath == "" {
+		return fmt.Errorf("add: -snapshot and -points are required")
+	}
+	algo, err := algoFor(*algoName)
+	if err != nil {
+		return err
+	}
+	sn, err := dynshap.LoadSnapshot(*snapPath)
+	if err != nil {
+		return err
+	}
+	trainer, err := trainerFor(*model)
+	if err != nil {
+		return err
+	}
+	opts := []dynshap.Option{dynshap.WithSeed(*seed)}
+	if *tau > 0 {
+		opts = append(opts, dynshap.WithUpdateSamples(*tau))
+	}
+	if algo == dynshap.AlgoPivotSame {
+		// Pivot-s replays the initialisation permutations; keep them.
+		opts = append(opts, dynshap.WithKeepPermutations())
+	}
+	s, err := sn.Resume(trainer, opts...)
+	if err != nil {
+		return err
+	}
+	pts, err := dynshap.LoadCSV(*pointsPath)
+	if err != nil {
+		return err
+	}
+	if algo == dynshap.AlgoPivotSame || algo == dynshap.AlgoPivotDifferent {
+		// Pivot algorithms need LSV state, absent from snapshots.
+		if err := s.Refresh(); err != nil {
+			return err
+		}
+	}
+	values, err := s.Add(pts.Points, algo)
+	if err != nil {
+		return err
+	}
+	if err := s.Snapshot().Save(*snapPath); err != nil {
+		return err
+	}
+	printValues(values)
+	fmt.Printf("added %d point(s) via %v; snapshot updated\n", pts.Len(), algo)
+	return nil
+}
+
+func cmdDelete(args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "snapshot path (updated in place; required)")
+	indicesArg := fs.String("indices", "", "comma-separated point indices to delete (required)")
+	model := fs.String("model", "svm", "utility model: svm, knn, logreg")
+	algoName := fs.String("algo", "delta", "update algorithm (delta, ynnn, knn, knn+, mc, tmc)")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	fs.Parse(args)
+	if *snapPath == "" || *indicesArg == "" {
+		return fmt.Errorf("delete: -snapshot and -indices are required")
+	}
+	algo, err := algoFor(*algoName)
+	if err != nil {
+		return err
+	}
+	var indices []int
+	for _, part := range strings.Split(*indicesArg, ",") {
+		i, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("delete: bad index %q", part)
+		}
+		indices = append(indices, i)
+	}
+	sort.Ints(indices)
+	s, err := resumeSession(*snapPath, *model, *seed)
+	if err != nil {
+		return err
+	}
+	if algo == dynshap.AlgoYNNN {
+		// YN-NN needs the utility arrays, absent from snapshots; rebuild
+		// them (one preprocessing pass) before merging.
+		sn, _ := dynshap.LoadSnapshot(*snapPath)
+		trainer, _ := trainerFor(*model)
+		opts := []dynshap.Option{dynshap.WithSeed(*seed), dynshap.WithTrackDeletions()}
+		if len(indices) > 1 {
+			opts = append(opts, dynshap.WithMultiDelete(len(indices), indices))
+		}
+		s, err = sn.Resume(trainer, opts...)
+		if err != nil {
+			return err
+		}
+		if err := s.Refresh(); err != nil {
+			return err
+		}
+	}
+	values, err := s.Delete(indices, algo)
+	if err != nil {
+		return err
+	}
+	if err := s.Snapshot().Save(*snapPath); err != nil {
+		return err
+	}
+	printValues(values)
+	fmt.Printf("deleted %d point(s) via %v; snapshot updated\n", len(indices), algo)
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "snapshot path (required)")
+	top := fs.Int("top", 0, "show only the k most valuable points")
+	fs.Parse(args)
+	if *snapPath == "" {
+		return fmt.Errorf("show: -snapshot is required")
+	}
+	sn, err := dynshap.LoadSnapshot(*snapPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d points, %d test points, τ=%d\n", len(sn.Train), len(sn.Test), sn.Samples)
+	if len(sn.Values) == 0 {
+		fmt.Println("(no values computed)")
+		return nil
+	}
+	type entry struct {
+		idx int
+		sv  float64
+	}
+	entries := make([]entry, len(sn.Values))
+	for i, v := range sn.Values {
+		entries[i] = entry{i, v}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].sv > entries[b].sv })
+	if *top > 0 && *top < len(entries) {
+		entries = entries[:*top]
+	}
+	for _, e := range entries {
+		fmt.Printf("  point %4d  label %d  SV %+.6f\n", e.idx, sn.Train[e.idx].Y, e.sv)
+	}
+	return nil
+}
+
+func cmdSampleSize(args []string) error {
+	fs := flag.NewFlagSet("samplesize", flag.ExitOnError)
+	eps := fs.Float64("eps", 0.01, "error bound ϵ")
+	delta := fs.Float64("delta", 0.05, "failure probability δ")
+	rRange := fs.Float64("r", 1, "marginal-contribution range bound r (Theorem 1)")
+	dRange := fs.Float64("d", 0.1, "differential marginal-contribution bound d (Theorems 2, 4)")
+	n := fs.Int("n", 100, "original dataset size")
+	fs.Parse(args)
+	fmt.Printf("(ϵ=%g, δ=%g, n=%d, r=%g, d=%g)\n", *eps, *delta, *n, *rRange, *dRange)
+	fmt.Printf("Theorem 1 (pivot RSV):        τ ≥ %d\n", dynshap.PivotSampleSize(*rRange, *eps, *delta))
+	fmt.Printf("Theorem 2 (delta addition):   τ ≥ %d\n", dynshap.DeltaAddSampleSize(*n, *dRange, *eps, *delta))
+	fmt.Printf("Theorem 4 (delta deletion):   τ ≥ %d\n", dynshap.DeltaDeleteSampleSize(*n, *dRange, *eps, *delta))
+	return nil
+}
+
+func printValues(values []float64) {
+	for i, v := range values {
+		fmt.Printf("  SV[%d] = %+.6f\n", i, v)
+		if i >= 19 && len(values) > 22 {
+			fmt.Printf("  … (%d more)\n", len(values)-i-1)
+			break
+		}
+	}
+}

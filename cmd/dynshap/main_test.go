@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dynshap"
+)
+
+func TestTrainerFor(t *testing.T) {
+	for _, m := range []string{"svm", "knn", "logreg", "nb"} {
+		if _, err := trainerFor(m); err != nil {
+			t.Errorf("trainerFor(%q): %v", m, err)
+		}
+	}
+	if _, err := trainerFor("resnet"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestAlgoFor(t *testing.T) {
+	cases := map[string]dynshap.Algorithm{
+		"mc":      dynshap.AlgoMonteCarlo,
+		"TMC":     dynshap.AlgoTruncatedMC,
+		"base":    dynshap.AlgoBase,
+		"pivot-s": dynshap.AlgoPivotSame,
+		"pivot-d": dynshap.AlgoPivotDifferent,
+		"pivot":   dynshap.AlgoPivotDifferent,
+		"delta":   dynshap.AlgoDelta,
+		"ynnn":    dynshap.AlgoYNNN,
+		"YN-NN":   dynshap.AlgoYNNN,
+		"knn":     dynshap.AlgoKNN,
+		"knn+":    dynshap.AlgoKNNPlus,
+	}
+	for name, want := range cases {
+		got, err := algoFor(name)
+		if err != nil || got != want {
+			t.Errorf("algoFor(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := algoFor("magic"); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+// TestEndToEndWorkflow drives the full CLI pipeline: generate data, compute
+// a valuation, add points, delete points, show — all through the same
+// functions main dispatches to.
+func TestEndToEndWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := filepath.Join(dir, "train.csv")
+	testCSV := filepath.Join(dir, "test.csv")
+	addCSV := filepath.Join(dir, "new.csv")
+	snap := filepath.Join(dir, "ledger.json")
+
+	if err := cmdGen([]string{"-dataset", "iris", "-n", "20", "-seed", "1", "-o", trainCSV}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-dataset", "iris", "-n", "15", "-seed", "2", "-o", testCSV}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-dataset", "iris", "-n", "2", "-seed", "3", "-o", addCSV}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdCompute([]string{"-train", trainCSV, "-test", testCSV, "-model", "knn", "-tau", "200", "-o", snap}); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := dynshap.LoadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Train) != 20 || len(sn.Values) != 20 {
+		t.Fatalf("snapshot has %d points / %d values", len(sn.Train), len(sn.Values))
+	}
+
+	if err := cmdAdd([]string{"-snapshot", snap, "-points", addCSV, "-model", "knn", "-algo", "delta", "-tau", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	sn, err = dynshap.LoadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Train) != 22 {
+		t.Fatalf("after add: %d points", len(sn.Train))
+	}
+
+	if err := cmdDelete([]string{"-snapshot", snap, "-indices", "0, 3", "-model", "knn", "-algo", "knn"}); err != nil {
+		t.Fatal(err)
+	}
+	sn, err = dynshap.LoadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Train) != 20 {
+		t.Fatalf("after delete: %d points", len(sn.Train))
+	}
+
+	if err := cmdShow([]string{"-snapshot", snap, "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSampleSize([]string{"-n", "50", "-eps", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenAdult(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "adult.csv")
+	if err := cmdGen([]string{"-dataset", "adult", "-n", "30", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dynshap.LoadCSV(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 30 || d.Dim() != 3 {
+		t.Fatalf("adult CSV shape %d×%d", d.Len(), d.Dim())
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	if err := cmdGen([]string{"-dataset", "iris"}); err == nil {
+		t.Error("missing -o should fail")
+	}
+	if err := cmdGen([]string{"-dataset", "mnist", "-o", filepath.Join(t.TempDir(), "x.csv")}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	if err := cmdCompute([]string{}); err == nil {
+		t.Error("missing flags should fail")
+	}
+	if err := cmdCompute([]string{"-train", "/nope.csv", "-test", "/nope.csv", "-o", "/tmp/x.json"}); err == nil {
+		t.Error("missing files should fail")
+	}
+}
+
+func TestDeleteValidation(t *testing.T) {
+	if err := cmdDelete([]string{}); err == nil {
+		t.Error("missing flags should fail")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "s.json")
+	trainCSV := filepath.Join(dir, "train.csv")
+	testCSV := filepath.Join(dir, "test.csv")
+	if err := cmdGen([]string{"-dataset", "iris", "-n", "10", "-o", trainCSV}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGen([]string{"-dataset", "iris", "-n", "10", "-seed", "2", "-o", testCSV}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompute([]string{"-train", trainCSV, "-test", testCSV, "-model", "knn", "-tau", "50", "-o", snap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDelete([]string{"-snapshot", snap, "-indices", "zero", "-model", "knn"}); err == nil {
+		t.Error("bad index should fail")
+	}
+}
+
+func TestAddPivotSameViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := filepath.Join(dir, "train.csv")
+	testCSV := filepath.Join(dir, "test.csv")
+	addCSV := filepath.Join(dir, "new.csv")
+	snap := filepath.Join(dir, "ledger.json")
+	for _, args := range [][]string{
+		{"-dataset", "iris", "-n", "15", "-seed", "1", "-o", trainCSV},
+		{"-dataset", "iris", "-n", "12", "-seed", "2", "-o", testCSV},
+		{"-dataset", "iris", "-n", "1", "-seed", "3", "-o", addCSV},
+	} {
+		if err := cmdGen(args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cmdCompute([]string{"-train", trainCSV, "-test", testCSV, "-model", "knn", "-tau", "100", "-o", snap}); err != nil {
+		t.Fatal(err)
+	}
+	// Pivot-s needs stored permutations: the add path must request them
+	// before the Refresh that rebuilds the pivot state.
+	if err := cmdAdd([]string{"-snapshot", snap, "-points", addCSV, "-model", "knn", "-algo", "pivot-s", "-tau", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := dynshap.LoadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Train) != 16 {
+		t.Fatalf("after pivot-s add: %d points", len(sn.Train))
+	}
+}

@@ -1,0 +1,138 @@
+// Command experiments regenerates the paper's evaluation: every table
+// (IV–XIV) and figure (2–6) of "Dynamic Shapley Value Computation"
+// (ICDE 2023), printed in the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments                 # run everything at laptop scale
+//	experiments -run T4,T8      # run selected artifacts
+//	experiments -quick          # smallest settings (smoke test)
+//	experiments -full           # the paper's exact scales (very slow)
+//	experiments -list           # list artifact IDs
+//
+// Scale flags (-n, -trials, -tau, -bench-tau, -large-n, -seed) override the
+// chosen preset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dynshap/internal/bench"
+)
+
+func main() {
+	var (
+		runIDs    = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		quick     = flag.Bool("quick", false, "smallest settings (smoke test)")
+		full      = flag.Bool("full", false, "the paper's exact scales (very slow)")
+		seed      = flag.Uint64("seed", 0, "override RNG seed")
+		trials    = flag.Int("trials", 0, "override trial count")
+		n         = flag.Int("n", 0, "override table dataset size")
+		tauF      = flag.Int("tau", 0, "override contender τ factor (τ = factor·n)")
+		benchTauF = flag.Int("bench-tau", 0, "override benchmark τ factor")
+		largeN    = flag.Int("large-n", 0, "override large-table dataset size")
+		sizes     = flag.String("sizes", "", "override figure sweep sizes (comma-separated)")
+		model     = flag.String("model", "", "override utility model (nb, svm, knn)")
+		testSize  = flag.Int("test-size", 0, "override held-out test-set size")
+		csvDir    = flag.String("csv-dir", "", "also write each table as <dir>/<ID>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *full {
+		cfg = bench.FullConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *tauF > 0 {
+		cfg.TauFactor = *tauF
+	}
+	if *benchTauF > 0 {
+		cfg.BenchTauFactor = *benchTauF
+	}
+	if *largeN > 0 {
+		cfg.LargeN = *largeN
+	}
+	if *model != "" {
+		cfg.Model = *model
+	}
+	if *testSize > 0 {
+		cfg.TestSize = *testSize
+	}
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, part := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "experiments: bad -sizes entry %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Sizes = append(cfg.Sizes, v)
+		}
+	}
+
+	ids := bench.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	r := bench.NewRunner(cfg)
+	failed := false
+	for _, id := range ids {
+		t, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			failed = true
+			continue
+		}
+		t.Render(os.Stdout)
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+			if err == nil {
+				err = t.WriteCSV(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing CSV for %s: %v\n", id, err)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+package dynshap_test
+
+import (
+	"fmt"
+
+	"dynshap"
+)
+
+// ExampleExactShapley values the classic glove market: player 0 owns a left
+// glove, players 1 and 2 own right gloves, and only matched pairs sell.
+func ExampleExactShapley() {
+	market := dynshap.GameFunc{Players: 3, U: func(s dynshap.Coalition) float64 {
+		left, right := 0, 0
+		if s.Contains(0) {
+			left = 1
+		}
+		if s.Contains(1) {
+			right++
+		}
+		if s.Contains(2) {
+			right++
+		}
+		if left < right {
+			return float64(left)
+		}
+		return float64(right)
+	}}
+	sv := dynshap.ExactShapley(market)
+	fmt.Printf("left glove: %.4f\n", sv[0])
+	fmt.Printf("right gloves: %.4f each\n", sv[1])
+	// Output:
+	// left glove: 0.6667
+	// right gloves: 0.1667 each
+}
+
+// ExampleSession shows the end-to-end data-valuation flow: value a training
+// set, add a point incrementally, delete a point exactly.
+func ExampleSession() {
+	data := dynshap.IrisLike(60, 42)
+	data.Standardize()
+	train := data.Subset(rangeInts(0, 40))
+	test := data.Subset(rangeInts(40, 60))
+
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 3},
+		dynshap.WithSamples(800),
+		dynshap.WithSeed(7),
+		dynshap.WithTrackDeletions())
+	if err := s.Init(); err != nil {
+		panic(err)
+	}
+	fmt.Println("points valued:", len(s.Values()))
+
+	// Exact, instant deletion from the YN-NN arrays built during Init.
+	values, err := s.Delete([]int{3}, dynshap.AlgoYNNN)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after delete:", len(values))
+
+	// Incremental addition with the delta-based algorithm. (Any update
+	// invalidates the deletion arrays; Refresh would rebuild them.)
+	newPoint := dynshap.Point{X: []float64{0.1, 0.2, 0.3, 0.4}, Y: 1}
+	values, err = s.Add([]dynshap.Point{newPoint}, dynshap.AlgoDelta)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("after add:", len(values))
+	// Output:
+	// points valued: 40
+	// after delete: 39
+	// after add: 40
+}
+
+// ExampleAllocate distributes model revenue to data owners proportionally
+// to their positive Shapley values.
+func ExampleAllocate() {
+	values := []float64{0.3, 0.1, -0.05, 0.1}
+	pay := dynshap.Allocate(values, 1000)
+	for i, p := range pay {
+		fmt.Printf("owner %d: $%.2f\n", i, p)
+	}
+	// Output:
+	// owner 0: $600.00
+	// owner 1: $200.00
+	// owner 2: $0.00
+	// owner 3: $200.00
+}
+
+// ExamplePivotSampleSize prints the a-priori permutation counts of the
+// paper's Theorems for a 1%-accurate valuation at 95% confidence.
+func ExamplePivotSampleSize() {
+	fmt.Println("pivot (Thm 1): ", dynshap.PivotSampleSize(1, 0.01, 0.05))
+	fmt.Println("delta (Thm 2): ", dynshap.DeltaAddSampleSize(100, 0.1, 0.01, 0.05))
+	// Output:
+	// pivot (Thm 1):  73778
+	// delta (Thm 2):  724
+}

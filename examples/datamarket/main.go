@@ -1,0 +1,125 @@
+// Datamarket: a broker values the same owners' data across several model
+// tasks and settles compensation from each task's revenue. The additivity
+// axiom guarantees per-task values sum to the value on the combined
+// business, so the ledger is just a sum over tasks. Snapshots persist each
+// task's valuation across broker restarts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dynshap"
+)
+
+// task is one model product the broker sells.
+type task struct {
+	name    string
+	trainer dynshap.Trainer
+	revenue float64
+}
+
+func main() {
+	// Owners contribute one data point each to a shared pool; the broker
+	// trains different models for different buyers on the same pool.
+	pool := dynshap.AdultLike(140, 99)
+	pool.Standardize()
+	train := pool.Subset(seq(0, 100))
+	test := pool.Subset(seq(100, 140))
+
+	tasks := []task{
+		{"income-svm", dynshap.SVM{Epochs: 8}, 12000},
+		{"income-logreg", dynshap.LogReg{Epochs: 15}, 8000},
+		{"income-knn", dynshap.KNNClassifier{K: 5}, 5000},
+	}
+
+	dir, err := os.MkdirTemp("", "datamarket")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	totalPay := make([]float64, train.Len())
+	sessions := make([]*dynshap.Session, len(tasks))
+	for ti, tk := range tasks {
+		s := dynshap.NewSession(train, test, tk.trainer,
+			dynshap.WithSamples(800), dynshap.WithSeed(uint64(100+ti)))
+		fmt.Printf("valuing task %q…\n", tk.name)
+		if err := s.Init(); err != nil {
+			log.Fatal(err)
+		}
+		sessions[ti] = s
+		// Persist per-task state: the broker can restart and resume.
+		snapPath := filepath.Join(dir, tk.name+".json")
+		if err := s.Snapshot().Save(snapPath); err != nil {
+			log.Fatal(err)
+		}
+		addRevenue(totalPay, s.Values(), tk.revenue)
+	}
+	payout("initial settlement", totalPay)
+
+	// An owner exercises deletion across ALL tasks. Each session updates
+	// with the delta-based algorithm (snapshot-resumable, no arrays needed).
+	fmt.Println("\nowner 42 withdraws from the market…")
+	for ti, tk := range tasks {
+		snapPath := filepath.Join(dir, tk.name+".json")
+		sn, err := dynshap.LoadSnapshot(snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := sn.Resume(tk.trainer, dynshap.WithSeed(uint64(200+ti)),
+			dynshap.WithUpdateSamples(600))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := s.Delete([]int{42}, dynshap.AlgoDelta); err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Snapshot().Save(snapPath); err != nil {
+			log.Fatal(err)
+		}
+		sessions[ti] = s
+	}
+
+	totalPay = make([]float64, sessions[0].N())
+	for ti, tk := range tasks {
+		addRevenue(totalPay, sessions[ti].Values(), tk.revenue)
+	}
+	payout("settlement after withdrawal", totalPay)
+}
+
+// addRevenue distributes one task's revenue proportionally to positive
+// Shapley value and accumulates it into the cross-task ledger (additivity:
+// per-task allocations sum to the combined-business allocation).
+func addRevenue(pay, values []float64, revenue float64) {
+	for i, p := range dynshap.Allocate(values, revenue) {
+		pay[i] += p
+	}
+}
+
+func payout(stage string, pay []float64) {
+	var sum float64
+	best := 0
+	zero := 0
+	for i, p := range pay {
+		sum += p
+		if p > pay[best] {
+			best = i
+		}
+		if p == 0 {
+			zero++
+		}
+	}
+	fmt.Printf("%s: %d owners share $%.2f; best-paid owner %d earns $%.2f; %d owners earn nothing\n",
+		stage, len(pay), sum, best, pay[best], zero)
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

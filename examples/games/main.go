@@ -1,0 +1,98 @@
+// Games: the paper's algorithms work for any cooperative game with a
+// characteristic utility function, not only for data valuation. This
+// example values voters in a weighted voting game (Shapley–Shubik power
+// indices), then updates the indices incrementally when a new voter joins
+// and when a voter leaves — the "dynamic players" setting of §I.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynshap"
+)
+
+// votingGame returns the weighted majority game over the given weights:
+// U(S) = 1 iff S's total weight reaches the quota. The Shapley value of a
+// voter is its Shapley–Shubik power index.
+func votingGame(weights []float64, quota float64) dynshap.Game {
+	return dynshap.GameFunc{
+		Players: len(weights),
+		U: func(s dynshap.Coalition) float64 {
+			var w float64
+			s.ForEach(func(i int) { w += weights[i] })
+			if w >= quota {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+func main() {
+	// A council: one large party and several small ones. Quota = majority.
+	weights := []float64{40, 25, 15, 10, 5, 5}
+	const quota = 51.0
+	g := votingGame(weights, quota)
+
+	// Small player sets admit exact enumeration; for weighted voting the
+	// subset-sum DP gives the same answer in pseudo-polynomial time and
+	// scales to councils far beyond 2^n enumeration.
+	power := dynshap.ExactShapley(g)
+	intWeights := []int{40, 25, 15, 10, 5, 5}
+	dp, err := dynshap.ShapleyShubik(intWeights, 51)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dynshap.MSE(power, dp) > 1e-20 {
+		log.Fatal("enumeration and DP disagree")
+	}
+	show("initial council (exact, enumeration == subset-sum DP)", weights, power)
+
+	// A new 20-seat party enters. Rather than recomputing, derive the new
+	// power distribution from the old one with the delta-based algorithm.
+	// (Exact recomputation is shown for comparison — with ML utilities it
+	// would be the expensive path.)
+	grown := append(append([]float64{}, weights...), 20)
+	gPlus := votingGame(grown, quota)
+	updated, err := dynshap.DeltaAddShapley(gPlus, power, 20000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := dynshap.ExactShapley(gPlus)
+	show("after 20-seat party joins (Delta estimate)", grown, updated)
+	fmt.Printf("  estimate vs exact MSE: %.2e\n\n", dynshap.MSE(updated, exact))
+
+	// Preprocess deletion arrays while computing power for the grown
+	// council; any single departure is then answered exactly and instantly.
+	arrays := dynshap.PreprocessDeletion(gPlus, 30000, 11)
+	afterExit, err := arrays.Merge(1) // the 25-seat party dissolves
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactExit := dynshap.ExactShapley(dynshap.RestrictGame(gPlus, 1))
+	show("after the 25-seat party dissolves (YN-NN merge)", grown, afterExit)
+	// afterExit keeps original indexing with 0 at the removed player;
+	// compare survivors against exact values of the restricted game.
+	var mse float64
+	ri := 0
+	for i, v := range afterExit {
+		if i == 1 {
+			continue
+		}
+		d := v - exactExit[ri]
+		mse += d * d / float64(len(exactExit))
+		ri++
+	}
+	fmt.Printf("  merge vs exact MSE: %.2e\n", mse)
+}
+
+func show(stage string, weights, power []float64) {
+	fmt.Printf("%s:\n", stage)
+	for i, p := range power {
+		if i < len(weights) {
+			fmt.Printf("  party %d (weight %2.0f): power %.4f\n", i, weights[i], p)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,84 @@
+// Quickstart: value a small dataset, then keep the valuation current as
+// points arrive and leave — without recomputing from scratch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynshap"
+)
+
+func main() {
+	// A synthetic Iris-style dataset: 3 classes, 4 features. Drop in your
+	// own data with dynshap.LoadCSV or dynshap.NewDataset.
+	data := dynshap.IrisLike(130, 42)
+	data.Standardize()
+	train := data.Subset(indices(0, 100))
+	test := data.Subset(indices(100, 130))
+
+	// A session owns the valuation state. WithTrackDeletions maintains the
+	// YN-NN arrays so a future deletion is exact and instant;
+	// WithKeepPermutations enables the Pivot-s addition algorithm.
+	s := dynshap.NewSession(train, test, dynshap.SVM{Epochs: 8},
+		dynshap.WithSamples(1000),
+		dynshap.WithUpdateSamples(400),
+		dynshap.WithSeed(7),
+		dynshap.WithTrackDeletions(),
+		dynshap.WithKeepPermutations(),
+	)
+	fmt.Println("computing initial Shapley values (one Monte Carlo pass)…")
+	if err := s.Init(); err != nil {
+		log.Fatal(err)
+	}
+	report("initial", s)
+
+	// A new data owner joins: update incrementally with the delta-based
+	// algorithm (Algorithm 5) — it converges with far fewer samples than
+	// re-running Monte Carlo because it estimates the *change* per point.
+	newPoint := dynshap.Point{X: []float64{0.3, -0.1, 0.5, 0.4}, Y: 1}
+	if _, err := s.Add([]dynshap.Point{newPoint}, dynshap.AlgoDelta); err != nil {
+		log.Fatal(err)
+	}
+	report("after adding one point (Delta)", s)
+
+	// An owner withdraws consent: the YN-NN arrays recover the new values
+	// exactly, without training a single additional model.
+	before := s.ModelTrainings()
+	if err := s.Refresh(); err != nil { // rebuild arrays for the grown set
+		log.Fatal(err)
+	}
+	refreshCost := s.ModelTrainings() - before
+	before = s.ModelTrainings()
+	if _, err := s.Delete([]int{13}, dynshap.AlgoYNNN); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deletion cost: %d model trainings (refresh pass before it: %d)\n",
+		s.ModelTrainings()-before, refreshCost)
+	report("after deleting point 13 (YN-NN, exact)", s)
+}
+
+func report(stage string, s *dynshap.Session) {
+	values := s.Values()
+	best, worst := 0, 0
+	var total float64
+	for i, v := range values {
+		total += v
+		if v > values[best] {
+			best = i
+		}
+		if v < values[worst] {
+			worst = i
+		}
+	}
+	fmt.Printf("%s: %d points, ΣSV=%.4f (=U(N)−U(∅)), most valuable #%d (%.5f), least #%d (%.5f)\n",
+		stage, len(values), total, best, values[best], worst, values[worst])
+}
+
+func indices(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

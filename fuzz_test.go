@@ -1,0 +1,35 @@
+package dynshap_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dynshap"
+)
+
+// FuzzReadSnapshot asserts the snapshot parser never panics and that
+// accepted snapshots resume into consistent sessions. Seeds run as regular
+// tests; use `go test -fuzz FuzzReadSnapshot .` for guided exploration.
+func FuzzReadSnapshot(f *testing.F) {
+	f.Add([]byte(`{"format":1,"train":[],"test":[],"classes":0,"samples":10}`))
+	f.Add([]byte(`{"format":1,"train":[{"X":[1,2],"Y":0}],"test":[{"X":[0,0],"Y":0}],"classes":1,"values":[0.5],"samples":5}`))
+	f.Add([]byte(`{"format":2}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"format":1,"train":[],"values":[1]}`))
+	f.Add([]byte(`{"format":1,"train":[{"X":null,"Y":-3}],"test":[],"samples":-1}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		sn, err := dynshap.ReadSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if len(sn.Values) != 0 && len(sn.Values) != len(sn.Train) {
+			t.Fatalf("parser accepted inconsistent snapshot: %d values, %d points",
+				len(sn.Values), len(sn.Train))
+		}
+		// Accepted snapshots must serialise back without error.
+		var buf bytes.Buffer
+		if _, err := sn.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted snapshot failed to serialise: %v", err)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module dynshap
+
+go 1.22

@@ -1,0 +1,183 @@
+package dynshap_test
+
+// Integration tests: the full ML pipeline (dataset → model → utility →
+// session) checked against exact enumeration, which is feasible for small
+// training sets. These are the tests that would catch a mis-wired layer
+// even when every unit test passes.
+
+import (
+	"math"
+	"testing"
+
+	"dynshap"
+)
+
+// smallMLGame builds a 10-point training set with a k-NN utility — small
+// enough that ExactShapley enumerates all 2¹⁰ coalitions.
+func smallMLGame(t *testing.T) (dynshap.Game, *dynshap.Dataset, *dynshap.Dataset) {
+	t.Helper()
+	data := dynshap.IrisLike(40, 31)
+	data.Standardize()
+	train := data.Subset(rangeInts(0, 10))
+	test := data.Subset(rangeInts(10, 40))
+	return dynshap.ModelGame(train, test, dynshap.KNNClassifier{K: 3}), train, test
+}
+
+func TestSessionInitMatchesExactEnumeration(t *testing.T) {
+	g, train, test := smallMLGame(t)
+	exact := dynshap.ExactShapley(g)
+
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 3},
+		dynshap.WithSamples(8000), dynshap.WithSeed(3))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if m := dynshap.MSE(s.Values(), exact); m > 5e-5 {
+		t.Fatalf("session vs exact MSE = %v\n got %v\nwant %v", m, s.Values(), exact)
+	}
+}
+
+func TestSessionAddMatchesExactEnumeration(t *testing.T) {
+	_, train, test := smallMLGame(t)
+	extra := dynshap.IrisLike(50, 32)
+	extra.Standardize()
+	p := extra.Points[0]
+
+	// Exact values of the 11-point extended game.
+	trainPlus := train.Append(p)
+	exactPlus := dynshap.ExactShapley(dynshap.ModelGame(trainPlus, test, dynshap.KNNClassifier{K: 3}))
+
+	for _, algo := range []dynshap.Algorithm{dynshap.AlgoPivotSame, dynshap.AlgoPivotDifferent, dynshap.AlgoDelta} {
+		s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 3},
+			dynshap.WithSamples(8000), dynshap.WithSeed(5), dynshap.WithKeepPermutations())
+		if err := s.Init(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Add([]dynshap.Point{p}, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if m := dynshap.MSE(got, exactPlus); m > 1e-4 {
+			t.Errorf("%v vs exact MSE = %v", algo, m)
+		}
+	}
+}
+
+func TestSessionDeleteMatchesExactEnumeration(t *testing.T) {
+	_, train, test := smallMLGame(t)
+	const victim = 4
+	trainMinus := train.Remove(victim)
+	exactMinus := dynshap.ExactShapley(dynshap.ModelGame(trainMinus, test, dynshap.KNNClassifier{K: 3}))
+
+	for _, algo := range []dynshap.Algorithm{dynshap.AlgoYNNN, dynshap.AlgoDelta} {
+		s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 3},
+			dynshap.WithSamples(8000), dynshap.WithSeed(7), dynshap.WithTrackDeletions())
+		if err := s.Init(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Delete([]int{victim}, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if m := dynshap.MSE(got, exactMinus); m > 1e-4 {
+			t.Errorf("%v vs exact MSE = %v\n got %v\nwant %v", algo, m, got, exactMinus)
+		}
+	}
+}
+
+func TestBalanceAxiomThroughFullStack(t *testing.T) {
+	g, train, test := smallMLGame(t)
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 3},
+		dynshap.WithSamples(2000), dynshap.WithSeed(9))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range s.Values() {
+		sum += v
+	}
+	full := g.Value(dynshap.FullCoalition(10))
+	empty := g.Value(dynshap.NewCoalition(10))
+	if math.Abs(sum-(full-empty)) > 1e-9 {
+		t.Fatalf("balance violated through the stack: ΣSV = %v, U(N)−U(∅) = %v", sum, full-empty)
+	}
+}
+
+func TestHeuristicsProduceFiniteOrderedValues(t *testing.T) {
+	_, train, test := smallMLGame(t)
+	extra := dynshap.IrisLike(50, 33)
+	extra.Standardize()
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 3},
+		dynshap.WithSamples(1000), dynshap.WithSeed(11),
+		dynshap.WithKNNPlusConfig(dynshap.KNNPlusConfig{CurveSamples: 4, CurveTau: 100, Degree: 2}))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []dynshap.Algorithm{dynshap.AlgoKNN, dynshap.AlgoKNNPlus} {
+		got, err := s.Add([]dynshap.Point{extra.Points[0]}, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		for i, v := range got {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%v produced non-finite value at %d", algo, i)
+			}
+		}
+	}
+}
+
+func TestSequentialMixedWorkload(t *testing.T) {
+	// A realistic broker day: init, two adds (different algorithms), one
+	// delete, snapshot, resume, one more add — values stay finite, sizes
+	// stay consistent, every index stays addressable.
+	_, train, test := smallMLGame(t)
+	extra := dynshap.IrisLike(50, 34)
+	extra.Standardize()
+
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 3},
+		dynshap.WithSamples(1500), dynshap.WithSeed(13))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add([]dynshap.Point{extra.Points[0]}, dynshap.AlgoDelta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add([]dynshap.Point{extra.Points[1]}, dynshap.AlgoKNN); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete([]int{0}, dynshap.AlgoDelta); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 11 {
+		t.Fatalf("N = %d, want 11", s.N())
+	}
+
+	sn := s.Snapshot()
+	resumed, err := sn.Resume(dynshap.KNNClassifier{K: 3}, dynshap.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Add([]dynshap.Point{extra.Points[2]}, dynshap.AlgoDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("after resume+add: %d values", len(got))
+	}
+	pay := dynshap.Allocate(got, 1000)
+	var total float64
+	for _, p := range pay {
+		total += p
+	}
+	if total <= 0 || total > 1000+1e-9 {
+		t.Fatalf("allocation total = %v", total)
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§VII). Each experiment is identified by
+// the paper artifact it reproduces (T4 = Table IV, F3a = Figure 3(a), …),
+// builds its workload from the synthetic Iris-like/Adult-like datasets,
+// runs the baseline and proposed algorithms, and reports the same rows or
+// series the paper does — MSE against a high-τ Monte Carlo benchmark for
+// effectiveness, wall time and utility-evaluation counts for efficiency.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config scales the experiments. The paper's full settings (τ = 20n
+// contenders, τ = 1000n benchmark, n up to 10 000) take hours on laptop
+// hardware just as they took days on the authors' testbed; DefaultConfig
+// preserves every ratio at sizes that finish in tens of minutes, and Full
+// restores the paper's numbers.
+//
+// The benchmark τ bounds the OBSERVABLE separation: measured MSE is the
+// contender's variance plus the benchmark's own (≈ V/(BenchTauFactor·n)),
+// so the best possible contender can only look (BenchTauFactor/TauFactor+1)×
+// better than MC. The paper's 1000n benchmark permits the ~16× gaps its
+// Table IV reports; keep BenchTauFactor ≥ 20·TauFactor to see them.
+type Config struct {
+	// Seed drives all sampling.
+	Seed uint64
+	// TauFactor sets the contenders' sample size τ = TauFactor·n (paper: 20).
+	TauFactor int
+	// BenchTauFactor sets the benchmark's τ = BenchTauFactor·n (paper: 1000).
+	BenchTauFactor int
+	// Trials is the number of independent repetitions averaged per cell.
+	Trials int
+	// Sizes are the original-dataset sizes swept by the figures (paper:
+	// 10, 50, 100).
+	Sizes []int
+	// N is the original-dataset size for the tables (paper: 100).
+	N int
+	// TestSize is the held-out set defining the utility.
+	TestSize int
+	// LargeN is the dataset size of the large-scale tables XI–XIV
+	// (paper: 10 000).
+	LargeN int
+	// LargeTau is the fixed τ of the large-scale tables (paper: 100).
+	LargeTau int
+	// LargeBenchTau is MC+'s τ in the large-scale tables (paper: 1000).
+	LargeBenchTau int
+	// Workers bounds parallel sampling (≤0 selects GOMAXPROCS).
+	Workers int
+	// SVMEpochs tunes the utility model's training cost.
+	SVMEpochs int
+	// Model selects the utility model: "svm" (the paper's choice), "nb"
+	// (deterministic Gaussian naive Bayes) or "knn".
+	Model string
+}
+
+// DefaultConfig returns laptop-scale settings preserving the paper's ratios.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1,
+		TauFactor:      20,
+		BenchTauFactor: 400,
+		Trials:         3,
+		Sizes:          []int{10, 50, 100},
+		N:              100,
+		TestSize:       100,
+		LargeN:         1000,
+		LargeTau:       20,
+		LargeBenchTau:  200,
+		Workers:        0,
+		SVMEpochs:      8,
+		// The deterministic naive Bayes utility mirrors the stability of the
+		// paper's libsvm SVC; our from-scratch SVM is SGD-trained and its
+		// per-coalition training noise inflates the (differential) marginal
+		// contribution ranges the dynamic algorithms exploit. Select "svm"
+		// to reproduce under the noisier utility.
+		Model: "nb",
+	}
+}
+
+// QuickConfig returns the smallest settings that still exercise every code
+// path — used by the root benchmark suite and smoke tests.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.TauFactor = 5
+	c.BenchTauFactor = 40
+	c.Trials = 1
+	c.Sizes = []int{10, 30}
+	c.N = 30
+	c.TestSize = 20
+	c.LargeN = 200
+	c.LargeTau = 10
+	c.LargeBenchTau = 50
+	c.SVMEpochs = 5
+	return c
+}
+
+// FullConfig returns the paper's exact experimental scales. Expect very
+// long runtimes.
+func FullConfig() Config {
+	c := DefaultConfig()
+	c.BenchTauFactor = 1000
+	c.Trials = 5
+	c.LargeN = 10000
+	c.LargeTau = 100
+	c.LargeBenchTau = 1000
+	return c
+}
+
+// Table is one rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier (T4, F3a, …).
+	ID string
+	// Title describes the artifact, matching the paper's caption.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, row-major.
+	Rows [][]string
+	// Notes holds provenance remarks (substitutions, scaling).
+	Notes []string
+	// Elapsed is how long the experiment took to regenerate.
+	Elapsed time.Duration
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintf(w, "  (regenerated in %v)\n\n", t.Elapsed.Round(time.Millisecond))
+}
+
+// WriteCSV writes the table's columns and rows as CSV (no notes), for
+// plotting the figure series with external tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("bench: writing CSV header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("bench: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Runner executes experiments under one configuration.
+type Runner struct {
+	cfg Config
+	// memo caches averaged measurements across experiments: the MSE and
+	// time variants of each figure share identical sweeps, so the second
+	// artifact renders from the first one's run.
+	memo map[string][]measurement
+	// benchMemo caches benchmark Shapley runs, the dominant cost of the
+	// τ_LSV sweep tables (several configurations, one benchmark).
+	benchMemo map[string][]float64
+}
+
+// NewRunner returns a Runner with the given configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{
+		cfg:       cfg,
+		memo:      make(map[string][]measurement),
+		benchMemo: make(map[string][]float64),
+	}
+}
+
+// experiments maps IDs to implementations.
+var experiments = map[string]struct {
+	title string
+	run   func(r *Runner) (*Table, error)
+}{
+	"T4":  {"Table IV: MSEs for adding a data point", (*Runner).tableAddOne},
+	"T5":  {"Table V: Pivot-s vs Pivot-d MSEs (adding one point)", (*Runner).tablePivotSvsD},
+	"F3a": {"Figure 3(a): MSE vs dataset size (adding a data point)", (*Runner).figureAddOneMSE},
+	"F3b": {"Figure 3(b): time vs dataset size (adding a data point)", (*Runner).figureAddOneTime},
+	"T6":  {"Table VI: MSEs for adding two data points", (*Runner).tableAddTwo},
+	"T7":  {"Table VII: Pivot-s vs Pivot-d MSEs (adding two points)", (*Runner).tablePivotSvsDTwo},
+	"F4a": {"Figure 4(a): MSE vs dataset size (adding two points)", (*Runner).figureAddTwoMSE},
+	"F4b": {"Figure 4(b): time vs dataset size (adding two points)", (*Runner).figureAddTwoTime},
+	"F4c": {"Figure 4(c): time vs number of added points", (*Runner).figureAddManyTime},
+	"T8":  {"Table VIII: MSEs for deleting a data point", (*Runner).tableDeleteOne},
+	"T9":  {"Table IX: YN-NN memory consumption", (*Runner).tableMemory},
+	"F5a": {"Figure 5(a): MSE vs dataset size (deleting a data point)", (*Runner).figureDeleteOneMSE},
+	"F5b": {"Figure 5(b): time vs dataset size (deleting a data point)", (*Runner).figureDeleteOneTime},
+	"T10": {"Table X: MSEs for deleting two data points", (*Runner).tableDeleteTwo},
+	"F6a": {"Figure 6(a): MSE vs dataset size (deleting two points)", (*Runner).figureDeleteTwoMSE},
+	"F6b": {"Figure 6(b): time vs dataset size (deleting two points)", (*Runner).figureDeleteTwoTime},
+	"F6c": {"Figure 6(c): time vs number of deleted points", (*Runner).figureDeleteManyTime},
+	"T11": {"Table XI: time for adding one data point, large dataset", (*Runner).tableLargeAddOne},
+	"T12": {"Table XII: time for adding two data points, large dataset", (*Runner).tableLargeAddTwo},
+	"T13": {"Table XIII: time for deleting one data point, large dataset", (*Runner).tableLargeDeleteOne},
+	"T14": {"Table XIV: time for deleting two data points, large dataset", (*Runner).tableLargeDeleteTwo},
+	"F2":  {"Figure 2: Shapley value changes after adding a point", (*Runner).figureDeltaField},
+	// Ablations beyond the paper (DESIGN.md §7).
+	"A1": {"Ablation: utility-cache reuse behind Pivot-s", (*Runner).ablationCacheReuse},
+	"A2": {"Ablation: TMC truncation tolerance sweep", (*Runner).ablationTMCTolerance},
+	"A3": {"Ablation: KNN+ curve degree and subsample size", (*Runner).ablationKNNPlusCurves},
+	"A4": {"Ablation: data selection by SV vs leave-one-out", (*Runner).ablationSelection},
+}
+
+// IDs lists every experiment in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return artifactOrder(ids[i]) < artifactOrder(ids[j]) })
+	return ids
+}
+
+// artifactOrder sorts experiments in the paper's presentation order.
+func artifactOrder(id string) int {
+	order := []string{"F2", "T4", "T5", "F3a", "F3b", "T6", "T7", "F4a", "F4b", "F4c",
+		"T8", "T9", "F5a", "F5b", "T10", "F6a", "F6b", "F6c", "T11", "T12", "T13", "T14",
+		"A1", "A2", "A3", "A4"}
+	for i, v := range order {
+		if v == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// Run executes the experiment with the given ID.
+func (r *Runner) Run(id string) (*Table, error) {
+	exp, ok := experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	start := time.Now()
+	t, err := exp.run(r)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", id, err)
+	}
+	t.ID = id
+	t.Title = exp.title
+	t.Elapsed = time.Since(start)
+	return t, nil
+}
+
+// RunAll executes every experiment in the paper's order.
+func (r *Runner) RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := r.Run(id)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// pValueNote renders Welch p-values of each algorithm's MSE against MC's
+// (the paper's §VII-A significance claim); empty below 2 trials.
+func pValueNote(ms []measurement) string {
+	ps := pValuesVsMC(ms)
+	if len(ps) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(ps))
+	for name := range ps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s %.3g", name, ps[name]))
+	}
+	return "Welch p-values of MSE vs MC (≥10 trials recommended): " + strings.Join(parts, ", ")
+}
+
+// sci formats a float in the paper's scientific-notation style (e.g. 2.48e-6).
+func sci(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2e", v)
+}
+
+// secs formats a duration in seconds in the paper's style.
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.4g", d.Seconds())
+}

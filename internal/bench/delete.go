@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"dynshap/internal/core"
+	"dynshap/internal/rng"
+)
+
+// deleteTrial runs one repetition of a deletion experiment: shared init
+// (filling the YN-NN / YNN-NNN arrays), benchmark on N⁻, then every
+// contender. tauInit builds the precomputed state (benchmark quality, the
+// broker's existing valuation); tau drives the online updates.
+func (r *Runner) deleteTrial(n, numDel int, algos []string, tauInit, tau int, trial uint64) ([]measurement, error) {
+	seed := r.cfg.Seed + 2000*trial
+	sc := r.irisScenario(n, seed)
+	// Deleted points are drawn from a small candidate pool, which also
+	// bounds the multi-delete store's memory (see MultiDeletionStore docs).
+	poolSize := numDel + 4
+	if poolSize > n {
+		poolSize = n
+	}
+	cands := rng.New(seed+7).Sample(n, poolSize)
+	deleted := append([]int(nil), cands[:numDel]...)
+
+	// Only build the utility arrays an algorithm in this run will consume.
+	var opt core.InitOptions
+	for _, a := range algos {
+		if a == "YN-NN" && numDel == 1 {
+			opt.TrackDeletions = true
+		}
+		if a == "YNN-NNN" && numDel > 1 {
+			opt.MultiDelete = numDel
+			opt.Candidates = cands
+		}
+	}
+	prods, err := r.initialize(sc, opt, tauInit, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	bench := r.benchmarkDelete(sc, deleted, r.cfg.BenchTauFactor*(n-numDel), seed+2)
+
+	out := make([]measurement, 0, len(algos))
+	for i, name := range algos {
+		sv, m, err := r.runDelete(name, sc, prods, deleted, tau, seed+3+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if !m.na {
+			m.mse = mseOverSurvivors(sv, bench, deleted)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// mseOverSurvivors compares value vectors in original indexing, skipping
+// deleted entries (which are zero by convention on both sides).
+func mseOverSurvivors(estimate, benchmark []float64, deleted []int) float64 {
+	gone := map[int]bool{}
+	for _, p := range deleted {
+		gone[p] = true
+	}
+	var s float64
+	count := 0
+	for i := range estimate {
+		if gone[i] {
+			continue
+		}
+		d := estimate[i] - benchmark[i]
+		s += d * d
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return s / float64(count)
+}
+
+// deleteExperiment averages deleteTrial over the configured repetitions.
+func (r *Runner) deleteExperiment(n, numDel int, algos []string) ([]measurement, error) {
+	key := fmt.Sprintf("del/%d/%d/%s", n, numDel, strings.Join(algos, ","))
+	if ms, ok := r.memo[key]; ok {
+		return ms, nil
+	}
+	tau := r.cfg.TauFactor * n
+	tauInit := r.cfg.BenchTauFactor * n
+	per := make([][]measurement, 0, r.cfg.Trials)
+	for t := 0; t < r.cfg.Trials; t++ {
+		ms, err := r.deleteTrial(n, numDel, algos, tauInit, tau, uint64(t))
+		if err != nil {
+			return nil, err
+		}
+		per = append(per, ms)
+	}
+	out := averageMeasurements(per)
+	r.memo[key] = out
+	return out, nil
+}
+
+// tableDeleteOne reproduces Table VIII: MSEs of every contender deleting
+// one point at τ = 20n.
+func (r *Runner) tableDeleteOne() (*Table, error) { return r.deleteMSETable(1, deleteAlgorithms) }
+
+// tableDeleteTwo reproduces Table X, with YNN-NNN in place of YN-NN.
+func (r *Runner) tableDeleteTwo() (*Table, error) {
+	algos := []string{"MC", "TMC", "YNN-NNN", "Delta", "KNN", "KNN+"}
+	return r.deleteMSETable(2, algos)
+}
+
+func (r *Runner) deleteMSETable(numDel int, algos []string) (*Table, error) {
+	ms, err := r.deleteExperiment(r.cfg.N, numDel, algos)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Columns: append([]string{}, algos...)}
+	row := make([]string, len(ms))
+	for i, m := range ms {
+		if m.na {
+			row[i] = "N/A"
+		} else {
+			row[i] = sci(m.mse)
+		}
+	}
+	t.Rows = [][]string{row}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("n=%d, τ=%d·n, benchmark τ=%d·n, %d trial(s)", r.cfg.N, r.cfg.TauFactor, r.cfg.BenchTauFactor, r.cfg.Trials),
+		"YN-NN recovers values from precomputed arrays; its residual MSE is the benchmark's own sampling noise")
+	if note := pValueNote(ms); note != "" {
+		t.Notes = append(t.Notes, note)
+	}
+	return t, nil
+}
+
+// tableMemory reproduces Table IX: memory consumption of the YN-NN arrays
+// across dataset sizes.
+func (r *Runner) tableMemory() (*Table, error) {
+	t := &Table{Columns: []string{"n"}, Rows: [][]string{{"cost (MB)"}}}
+	for _, n := range r.cfg.Sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d", n))
+		ds := core.NewDeletionStore(n)
+		mb := float64(ds.MemoryBytes()) / (1 << 20)
+		t.Rows[0] = append(t.Rows[0], fmt.Sprintf("%.6f", mb))
+	}
+	t.Notes = append(t.Notes, "two dense n×n×(n+1) float64 arrays; paper reports 15.25 MB at n=100")
+	return t, nil
+}
+
+// figureDeleteOneMSE reproduces Figure 5(a).
+func (r *Runner) figureDeleteOneMSE() (*Table, error) {
+	return r.deleteSweep(1, deleteAlgorithms, func(m measurement) string { return sci(m.mse) }, "MSE")
+}
+
+// figureDeleteOneTime reproduces Figure 5(b).
+func (r *Runner) figureDeleteOneTime() (*Table, error) {
+	return r.deleteSweep(1, deleteAlgorithms, func(m measurement) string { return fmt.Sprintf("%.4g", m.seconds) }, "seconds")
+}
+
+// figureDeleteTwoMSE reproduces Figure 6(a).
+func (r *Runner) figureDeleteTwoMSE() (*Table, error) {
+	algos := []string{"MC", "TMC", "YNN-NNN", "Delta", "KNN", "KNN+"}
+	return r.deleteSweep(2, algos, func(m measurement) string { return sci(m.mse) }, "MSE")
+}
+
+// figureDeleteTwoTime reproduces Figure 6(b).
+func (r *Runner) figureDeleteTwoTime() (*Table, error) {
+	algos := []string{"MC", "TMC", "YNN-NNN", "Delta", "KNN", "KNN+"}
+	return r.deleteSweep(2, algos, func(m measurement) string { return fmt.Sprintf("%.4g", m.seconds) }, "seconds")
+}
+
+func (r *Runner) deleteSweep(numDel int, algos []string, cell func(measurement) string, unit string) (*Table, error) {
+	t := &Table{Columns: []string{"algorithm"}}
+	for _, n := range r.cfg.Sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("n=%d", n))
+	}
+	cells := make(map[string][]string)
+	for _, n := range r.cfg.Sizes {
+		if numDel >= n {
+			return nil, fmt.Errorf("cannot delete %d of %d points", numDel, n)
+		}
+		ms, err := r.deleteExperiment(n, numDel, algos)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			c := cell(m)
+			if m.na {
+				c = "N/A"
+			}
+			cells[m.name] = append(cells[m.name], c)
+		}
+	}
+	for _, name := range algos {
+		t.Rows = append(t.Rows, append([]string{name}, cells[name]...))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("values are %s; deleting %d point(s); τ=%d·n", unit, numDel, r.cfg.TauFactor))
+	return t, nil
+}
+
+// figureDeleteManyTime reproduces Figure 6(c): update time as the number of
+// deleted points grows.
+func (r *Runner) figureDeleteManyTime() (*Table, error) {
+	counts := []int{2, 4, 6, 8, 10}
+	algos := []string{"MC", "Delta", "KNN", "KNN+"}
+	t := &Table{Columns: []string{"algorithm"}}
+	for _, c := range counts {
+		t.Columns = append(t.Columns, fmt.Sprintf("del=%d", c))
+	}
+	cells := make(map[string][]string)
+	for _, c := range counts {
+		if c >= r.cfg.N {
+			return nil, fmt.Errorf("cannot delete %d of %d points", c, r.cfg.N)
+		}
+		ms, err := r.deleteExperiment(r.cfg.N, c, algos)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			cells[m.name] = append(cells[m.name], fmt.Sprintf("%.4g", m.seconds))
+		}
+	}
+	for _, name := range algos {
+		t.Rows = append(t.Rows, append([]string{name}, cells[name]...))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("seconds per update sequence; n=%d", r.cfg.N))
+	return t, nil
+}

@@ -1,0 +1,269 @@
+// Package bitset provides a compact, variable-width bit set used to
+// represent coalitions of players (data points) throughout the library.
+//
+// A coalition over n players is a subset of {0, …, n−1}. Bit i of a Set is 1
+// iff player i belongs to the coalition. Sets are value types backed by a
+// []uint64 word slice; all mutating methods operate in place and return the
+// receiver's words unchanged in length, so a Set sized for n players never
+// reallocates.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set over players 0..n-1.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty Set with capacity for n players.
+func New(n int) Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a Set of capacity n containing exactly the given players.
+func FromIndices(n int, indices ...int) Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+// Full returns the Set of capacity n containing all n players.
+func Full(n int) Set {
+	s := New(n)
+	for w := range s.words {
+		s.words[w] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// trim clears bits at positions >= n in the last word.
+func (s *Set) trim() {
+	if len(s.words) == 0 {
+		return
+	}
+	if r := s.n % wordBits; r != 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << uint(r)) - 1
+	}
+}
+
+// Cap returns the player capacity n of the set.
+func (s Set) Cap() int { return s.n }
+
+// Len returns the number of players in the coalition (popcount).
+func (s Set) Len() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the coalition has no members.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts player i into the coalition.
+func (s Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes player i from the coalition.
+func (s Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether player i belongs to the coalition.
+func (s Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Clear removes all players from the coalition.
+func (s Set) Clear() {
+	for w := range s.words {
+		s.words[w] = 0
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites the receiver's contents with those of src.
+// The two sets must have the same capacity.
+func (s Set) CopyFrom(src Set) {
+	if s.n != src.n {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(s.words, src.words)
+}
+
+// Equal reports whether the two coalitions have identical members.
+// Sets of different capacity are never equal.
+func (s Set) Equal(t Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for w := range s.words {
+		if s.words[w] != t.words[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every member of t to the receiver.
+func (s Set) UnionWith(t Set) {
+	if s.n != t.n {
+		panic("bitset: UnionWith capacity mismatch")
+	}
+	for w := range s.words {
+		s.words[w] |= t.words[w]
+	}
+}
+
+// IntersectWith removes members of the receiver absent from t.
+func (s Set) IntersectWith(t Set) {
+	if s.n != t.n {
+		panic("bitset: IntersectWith capacity mismatch")
+	}
+	for w := range s.words {
+		s.words[w] &= t.words[w]
+	}
+}
+
+// DifferenceWith removes every member of t from the receiver.
+func (s Set) DifferenceWith(t Set) {
+	if s.n != t.n {
+		panic("bitset: DifferenceWith capacity mismatch")
+	}
+	for w := range s.words {
+		s.words[w] &^= t.words[w]
+	}
+}
+
+// IsSubsetOf reports whether every member of s also belongs to t.
+func (s Set) IsSubsetOf(t Set) bool {
+	if s.n != t.n {
+		panic("bitset: IsSubsetOf capacity mismatch")
+	}
+	for w := range s.words {
+		if s.words[w]&^t.words[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every member of the coalition in increasing order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the members of the coalition in increasing order.
+func (s Set) Indices() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// AppendIndices appends the members of the coalition to dst in increasing
+// order and returns the extended slice. It allows callers to reuse buffers.
+func (s Set) AppendIndices(dst []int) []int {
+	s.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}
+
+// Key returns a compact string key identifying the coalition, suitable for
+// use as a map key (e.g. in utility caches). Two sets of equal capacity have
+// equal keys iff they are Equal.
+func (s Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 8)
+	for _, w := range s.words {
+		for k := 0; k < 8; k++ {
+			b.WriteByte(byte(w >> (8 * k)))
+		}
+	}
+	return b.String()
+}
+
+// Hash returns a 64-bit hash of the coalition contents (FNV-1a over words).
+func (s Set) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range s.words {
+		for k := 0; k < 8; k++ {
+			h ^= (w >> (8 * k)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// Uint64 returns the first word of the set. It panics if the capacity
+// exceeds 64, and exists for fast paths over small games.
+func (s Set) Uint64() uint64 {
+	if s.n > wordBits {
+		panic("bitset: Uint64 on set wider than 64 players")
+	}
+	if len(s.words) == 0 {
+		return 0
+	}
+	return s.words[0]
+}
+
+// String renders the coalition as "{i, j, …}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,316 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200} {
+		s := New(n)
+		if s.Cap() != n {
+			t.Errorf("Cap() = %d, want %d", s.Cap(), n)
+		}
+		if s.Len() != 0 {
+			t.Errorf("Len() = %d, want 0", s.Len())
+		}
+		if !s.Empty() {
+			t.Errorf("New(%d) not empty", n)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Errorf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Errorf("after Add(%d), Contains false", i)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len() = %d, want 8", s.Len())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("after Remove(64), Contains true")
+	}
+	if s.Len() != 7 {
+		t.Fatalf("Len() = %d, want 7", s.Len())
+	}
+	// Add is idempotent.
+	s.Add(0)
+	s.Add(0)
+	if s.Len() != 7 {
+		t.Fatalf("idempotent Add changed Len to %d", s.Len())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Add(10) },
+		func() { s.Add(-1) },
+		func() { s.Remove(10) },
+		func() { s.Contains(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range index")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 100} {
+		s := Full(n)
+		if s.Len() != n {
+			t.Errorf("Full(%d).Len() = %d", n, s.Len())
+		}
+		for i := 0; i < n; i++ {
+			if !s.Contains(i) {
+				t.Errorf("Full(%d) missing %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFromIndicesAndIndices(t *testing.T) {
+	s := FromIndices(70, 3, 9, 64, 69)
+	got := s.Indices()
+	want := []int{3, 9, 64, 69}
+	if len(got) != len(want) {
+		t.Fatalf("Indices() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendIndicesReusesBuffer(t *testing.T) {
+	s := FromIndices(10, 2, 5)
+	buf := make([]int, 0, 4)
+	out := s.AppendIndices(buf)
+	if len(out) != 2 || out[0] != 2 || out[1] != 5 {
+		t.Fatalf("AppendIndices = %v", out)
+	}
+	if cap(out) != 4 {
+		t.Fatalf("AppendIndices reallocated: cap=%d", cap(out))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := FromIndices(80, 1, 70)
+	c := s.Clone()
+	c.Add(2)
+	if s.Contains(2) {
+		t.Error("Clone shares storage with original")
+	}
+	if !c.Contains(70) || !c.Contains(1) {
+		t.Error("Clone lost members")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	s := FromIndices(10, 1, 2)
+	d := New(10)
+	d.CopyFrom(s)
+	if !d.Equal(s) {
+		t.Error("CopyFrom did not copy")
+	}
+	d.Add(5)
+	if s.Contains(5) {
+		t.Error("CopyFrom shares storage")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromIndices(100, 1, 2, 3, 70)
+	b := FromIndices(100, 3, 4, 70, 99)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got := u.Indices(); len(got) != 6 {
+		t.Errorf("union = %v", got)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Indices(); len(got) != 2 || got[0] != 3 || got[1] != 70 {
+		t.Errorf("intersection = %v", got)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("difference = %v", got)
+	}
+
+	if !i.IsSubsetOf(a) || !i.IsSubsetOf(b) {
+		t.Error("intersection not subset of operands")
+	}
+	if a.IsSubsetOf(b) {
+		t.Error("a wrongly subset of b")
+	}
+}
+
+func TestEqualDifferentCap(t *testing.T) {
+	if New(10).Equal(New(11)) {
+		t.Error("sets of different capacity reported equal")
+	}
+}
+
+func TestKeyAndHash(t *testing.T) {
+	a := FromIndices(130, 0, 64, 129)
+	b := FromIndices(130, 0, 64, 129)
+	c := FromIndices(130, 0, 64, 128)
+	if a.Key() != b.Key() {
+		t.Error("equal sets have different keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("different sets share a key")
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("equal sets have different hashes")
+	}
+}
+
+func TestUint64(t *testing.T) {
+	s := FromIndices(64, 0, 63)
+	if got := s.Uint64(); got != 1|1<<63 {
+		t.Errorf("Uint64() = %x", got)
+	}
+	wide := New(65)
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64 on wide set did not panic")
+		}
+	}()
+	wide.Uint64()
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(10, 3, 1).String(); got != "{1, 3}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New(5).String(); got != "{}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := Full(77)
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear left members")
+	}
+}
+
+// Property: Key uniquely identifies membership for random sets.
+func TestQuickKeyMatchesEqual(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len equals the count of distinct added indices.
+func TestQuickLenDistinct(t *testing.T) {
+	f := func(xs []uint8) bool {
+		const n = 256
+		s := New(n)
+		distinct := map[uint8]bool{}
+		for _, x := range xs {
+			s.Add(int(x))
+			distinct[x] = true
+		}
+		return s.Len() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan — |A ∪ B| + |A ∩ B| == |A| + |B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x))
+		}
+		for _, y := range ys {
+			b.Add(int(y))
+		}
+		u, i := a.Clone(), a.Clone()
+		u.UnionWith(b)
+		i.IntersectWith(b)
+		return u.Len()+i.Len() == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	s := New(300)
+	for k := 0; k < 50; k++ {
+		s.Add(r.Intn(300))
+	}
+	prev := -1
+	s.ForEach(func(i int) {
+		if i <= prev {
+			t.Fatalf("ForEach out of order: %d after %d", i, prev)
+		}
+		prev = i
+	})
+}
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(i % 1024)
+		if !s.Contains(i % 1024) {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	s := Full(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+	"dynshap/internal/stat"
+)
+
+func TestAntitheticConverges(t *testing.T) {
+	g := tableGame{n: 9, seed: 141}
+	want := Exact(g)
+	got := MonteCarloAntithetic(g, 10000, rng.New(1))
+	if mse := stat.MSE(got, want); mse > 1e-4 {
+		t.Fatalf("antithetic MC MSE = %v", mse)
+	}
+}
+
+func TestAntitheticBalance(t *testing.T) {
+	g := tableGame{n: 7, seed: 142}
+	sv := MonteCarloAntithetic(g, 50, rng.New(2))
+	sum := 0.0
+	for _, v := range sv {
+		sum += v
+	}
+	want := g.Value(bitset.Full(7)) - g.Value(bitset.New(7))
+	if math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("balance violated: %v vs %v", sum, want)
+	}
+}
+
+func TestAntitheticBeatsMCOnSaturatingGame(t *testing.T) {
+	// The variance-reduction claim, on a learning-curve-shaped utility, at
+	// equal evaluation budgets (τ pairs vs 2τ plain permutations).
+	g := game.Symmetric{Players: 12, F: func(k int) float64 {
+		return 1 - math.Exp(-float64(k)/4)
+	}}
+	want := g.ShapleyValues()
+	const pairs, reps = 20, 30
+	var mseAnti, mseMC float64
+	for rep := 0; rep < reps; rep++ {
+		seed := uint64(4000 + rep)
+		anti := MonteCarloAntithetic(g, pairs, rng.New(seed))
+		mc := MonteCarlo(g, 2*pairs, rng.New(seed+900))
+		mseAnti += stat.MSE(anti, want) / reps
+		mseMC += stat.MSE(mc, want) / reps
+	}
+	if mseAnti >= mseMC {
+		t.Fatalf("antithetic MSE %v not below MC MSE %v at equal budget", mseAnti, mseMC)
+	}
+}
+
+func TestAntitheticDegenerate(t *testing.T) {
+	if got := MonteCarloAntithetic(game.Additive{}, 5, rng.New(1)); len(got) != 0 {
+		t.Fatal("empty game should give empty result")
+	}
+	got := MonteCarloAntithetic(game.Additive{Weights: []float64{1}}, 0, rng.New(1))
+	if got[0] != 0 {
+		t.Fatal("τ=0 should give zeros")
+	}
+}
+
+func TestAntitheticDeterministic(t *testing.T) {
+	g := tableGame{n: 6, seed: 143}
+	a := MonteCarloAntithetic(g, 100, rng.New(7))
+	b := MonteCarloAntithetic(g, 100, rng.New(7))
+	if maxAbsDiff(a, b) != 0 {
+		t.Fatal("same-seed antithetic runs differ")
+	}
+}

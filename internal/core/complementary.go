@@ -1,0 +1,68 @@
+package core
+
+import (
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// ComplementaryMonteCarlo approximates Shapley values from complementary
+// contributions (Zhang et al., "Efficient sampling approaches to Shapley
+// value approximation", SIGMOD 2023 — the stratification the paper's
+// related-work section highlights):
+//
+//	CC(S) = U(S) − U(N∖S),
+//	SV_i  = (1/n) Σ_{j=1..n} E[CC(S) | i ∈ S, |S| = j].
+//
+// One sampled permutation yields n nested coalitions (its prefixes), and a
+// single CC evaluation benefits every member of S simultaneously, so each
+// utility evaluation informs many players — the source of its variance
+// advantage on games with strong complementarities.
+//
+// The estimator averages within each (player, size) stratum and then
+// averages the strata, skipping empty ones (they occur only at tiny τ).
+func ComplementaryMonteCarlo(g game.Game, tau int, r *rng.Source) []float64 {
+	n := g.N()
+	sv := make([]float64, n)
+	if n == 0 || tau <= 0 {
+		return sv
+	}
+	sums := make([][]float64, n)
+	counts := make([][]int, n)
+	for i := range sums {
+		sums[i] = make([]float64, n+1)
+		counts[i] = make([]int, n+1)
+	}
+	perm := make([]int, n)
+	prefix := bitset.New(n)
+	complement := bitset.New(n)
+	for t := 0; t < tau; t++ {
+		r.Perm(perm)
+		prefix.Clear()
+		complement.CopyFrom(bitset.Full(n))
+		for j := 1; j <= n; j++ {
+			p := perm[j-1]
+			prefix.Add(p)
+			complement.Remove(p)
+			cc := g.Value(prefix) - g.Value(complement)
+			for _, i := range perm[:j] {
+				sums[i][j] += cc
+				counts[i][j]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		total := 0.0
+		filled := 0
+		for j := 1; j <= n; j++ {
+			if counts[i][j] > 0 {
+				total += sums[i][j] / float64(counts[i][j])
+				filled++
+			}
+		}
+		if filled > 0 {
+			sv[i] = total / float64(filled)
+		}
+	}
+	return sv
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+	"dynshap/internal/stat"
+)
+
+func TestComplementaryMonteCarloConverges(t *testing.T) {
+	g := tableGame{n: 9, seed: 121}
+	want := Exact(g)
+	got := ComplementaryMonteCarlo(g, 20000, rng.New(1))
+	if mse := stat.MSE(got, want); mse > 1e-4 {
+		t.Fatalf("CC-MC MSE = %v", mse)
+	}
+}
+
+func TestComplementaryMonteCarloAdditive(t *testing.T) {
+	g := game.Additive{Weights: []float64{0.5, -0.25, 1, 0}}
+	got := ComplementaryMonteCarlo(g, 5000, rng.New(2))
+	if mse := stat.MSE(got, g.ShapleyValues()); mse > 1e-4 {
+		t.Fatalf("CC-MC on additive game MSE = %v", mse)
+	}
+}
+
+func TestComplementaryMonteCarloDeterministic(t *testing.T) {
+	g := tableGame{n: 7, seed: 122}
+	a := ComplementaryMonteCarlo(g, 200, rng.New(5))
+	b := ComplementaryMonteCarlo(g, 200, rng.New(5))
+	if maxAbsDiff(a, b) != 0 {
+		t.Fatal("same-seed CC-MC differs")
+	}
+}
+
+func TestComplementaryMonteCarloDegenerate(t *testing.T) {
+	if got := ComplementaryMonteCarlo(game.Additive{}, 10, rng.New(1)); len(got) != 0 {
+		t.Fatal("empty game should give empty result")
+	}
+	got := ComplementaryMonteCarlo(game.Additive{Weights: []float64{1, 2}}, 0, rng.New(1))
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatal("τ=0 should give zeros")
+	}
+}
+
+func TestComplementaryBeatsMCOnComplementaryGame(t *testing.T) {
+	// On a symmetric game dominated by the grand-coalition bonus, a single
+	// CC sample carries far more information than a single marginal: the
+	// CC estimator should win clearly at equal permutation counts.
+	g := game.Symmetric{Players: 10, F: func(k int) float64 {
+		v := float64(k) / 10
+		if k == 10 {
+			v += 1
+		}
+		return v
+	}}
+	want := g.ShapleyValues()
+	const tau, reps = 40, 20
+	var mseCC, mseMC float64
+	for rep := 0; rep < reps; rep++ {
+		seed := uint64(3000 + rep)
+		cc := ComplementaryMonteCarlo(g, tau, rng.New(seed))
+		mc := MonteCarlo(g, tau, rng.New(seed+500))
+		mseCC += stat.MSE(cc, want) / reps
+		mseMC += stat.MSE(mc, want) / reps
+	}
+	if mseCC >= mseMC {
+		t.Fatalf("CC-MC MSE %v not below MC MSE %v", mseCC, mseMC)
+	}
+}

@@ -1,0 +1,176 @@
+// Package core implements the paper's contribution: Shapley value
+// computation and its dynamic maintenance under data additions and
+// deletions.
+//
+// The static estimators are exact enumeration (small n), Monte Carlo
+// permutation sampling (Algorithm 1 of the paper) and Truncated Monte Carlo
+// (Ghorbani & Zou). The dynamic algorithms are:
+//
+//   - addition: the pivot-based algorithms with same/different sampled
+//     permutations (Algorithms 2–4) and the delta-based algorithm
+//     (Algorithm 5);
+//   - deletion: the YN-NN algorithm (Algorithms 6–7), its multi-delete
+//     generalisation YNN-NNN (Lemma 4) and the delta-based deletion
+//     algorithm (Algorithm 8);
+//   - heuristics: KNN (Algorithm 9) and KNN+ (Algorithm 10).
+//
+// All estimators take an explicit *rng.Source and are deterministic given
+// the seed. Player indexing follows the game: players are 0-based; in
+// addition scenarios the new point is player n of the (n+1)-player game.
+package core
+
+import (
+	"fmt"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// MaxExactPlayers bounds the exact enumerator: it tabulates all 2^n
+// coalition utilities, so memory is 8·2^n bytes.
+const MaxExactPlayers = 24
+
+// Exact returns the exact Shapley values of every player by complete
+// enumeration of the 2^n coalitions. It panics if g has more than
+// MaxExactPlayers players.
+func Exact(g game.Game) []float64 {
+	n := g.N()
+	if n > MaxExactPlayers {
+		panic(fmt.Sprintf("core: Exact limited to %d players, got %d", MaxExactPlayers, n))
+	}
+	if n == 0 {
+		return nil
+	}
+	size := 1 << uint(n)
+	util := make([]float64, size)
+	s := bitset.New(n)
+	for mask := 0; mask < size; mask++ {
+		s.Clear()
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Add(i)
+			}
+		}
+		util[mask] = g.Value(s)
+	}
+	// weight[s] = s!(n−1−s)!/n! computed stably via the recurrence
+	// weight[0] = 1/n, weight[s] = weight[s−1]·s/(n−s).
+	weight := make([]float64, n)
+	weight[0] = 1 / float64(n)
+	for s := 1; s < n; s++ {
+		weight[s] = weight[s-1] * float64(s) / float64(n-s)
+	}
+	sv := make([]float64, n)
+	for mask := 0; mask < size; mask++ {
+		sz := popcount(mask)
+		for i := 0; i < n; i++ {
+			bit := 1 << uint(i)
+			if mask&bit == 0 {
+				sv[i] += weight[sz] * (util[mask|bit] - util[mask])
+			}
+		}
+	}
+	return sv
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// MonteCarlo approximates Shapley values by permutation sampling
+// (Algorithm 1): τ random permutations are scanned head to tail and each
+// player is credited its marginal contribution; the estimate is the average.
+func MonteCarlo(g game.Game, tau int, r *rng.Source) []float64 {
+	n := g.N()
+	sv := make([]float64, n)
+	if n == 0 || tau <= 0 {
+		return sv
+	}
+	perm := make([]int, n)
+	prefix := bitset.New(n)
+	empty := g.Value(bitset.New(n))
+	for k := 0; k < tau; k++ {
+		r.Perm(perm)
+		prefix.Clear()
+		prev := empty
+		for _, p := range perm {
+			prefix.Add(p)
+			cur := g.Value(prefix)
+			sv[p] += cur - prev
+			prev = cur
+		}
+	}
+	for i := range sv {
+		sv[i] /= float64(tau)
+	}
+	return sv
+}
+
+// TruncatedMonteCarlo is Monte Carlo with Ghorbani–Zou truncation: once the
+// prefix utility is within tol of the full-coalition utility, the remaining
+// players of the permutation are credited zero marginal contribution,
+// saving their model trainings. Following the paper's experimental setup
+// (§VII-A), truncation is only allowed from position ⌈n/2⌉ onward.
+func TruncatedMonteCarlo(g game.Game, tau int, tol float64, r *rng.Source) []float64 {
+	n := g.N()
+	sv := make([]float64, n)
+	if n == 0 || tau <= 0 {
+		return sv
+	}
+	perm := make([]int, n)
+	prefix := bitset.New(n)
+	empty := g.Value(bitset.New(n))
+	full := g.Value(bitset.Full(n))
+	minPos := (n + 1) / 2
+	for k := 0; k < tau; k++ {
+		r.Perm(perm)
+		prefix.Clear()
+		prev := empty
+		for pos, p := range perm {
+			if pos >= minPos && abs(full-prev) < tol {
+				break // remaining marginals treated as zero
+			}
+			prefix.Add(p)
+			cur := g.Value(prefix)
+			sv[p] += cur - prev
+			prev = cur
+		}
+	}
+	for i := range sv {
+		sv[i] /= float64(tau)
+	}
+	return sv
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BaseAdd is the paper's "Base" baseline for additions: original players
+// keep their precomputed values and every added player receives the average
+// of the original values.
+func BaseAdd(oldSV []float64, added int) []float64 {
+	n := len(oldSV)
+	out := make([]float64, n+added)
+	copy(out, oldSV)
+	avg := 0.0
+	if n > 0 {
+		for _, v := range oldSV {
+			avg += v
+		}
+		avg /= float64(n)
+	}
+	for i := 0; i < added; i++ {
+		out[n+i] = avg
+	}
+	return out
+}

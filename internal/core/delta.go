@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// DeltaAdd runs Algorithm 5 (the delta-based algorithm for adding a data
+// point): instead of re-estimating absolute Shapley values it estimates the
+// *change* ∆SV_i of every original player caused by the arrival of the new
+// point, by sampling differential marginal contributions
+//
+//	DMC(S, i) = [U(S∪{z_new}∪{z_i}) − U(S∪{z_i})] − [U(S∪{z_new}) − U(S)],
+//
+// whose range d is typically far smaller than the range r of raw marginal
+// contributions; by Hoeffding's inequality (Theorem 2) the same accuracy
+// then needs a factor (d/r)² fewer permutations.
+//
+// gPlus is the (n+1)-player updated game whose last player is the new
+// point; oldSV holds the n precomputed values. The returned slice has n+1
+// entries: updated values for the original players and a fresh estimate for
+// the new one.
+//
+// Deviation from the paper's pseudocode: Algorithm 5 (line 8) estimates the
+// new point's own value by averaging its marginal contributions over prefix
+// sizes 1..n with weight 1/n, which both skips the S=∅ stratum and
+// mis-normalises Eq. (2); we include the empty stratum and divide by n+1,
+// which makes the estimator unbiased (verified against exact enumeration in
+// the tests).
+func DeltaAdd(gPlus game.Game, oldSV []float64, tau int, r *rng.Source) ([]float64, error) {
+	n := len(oldSV)
+	if gPlus.N() != n+1 {
+		return nil, fmt.Errorf("core: DeltaAdd game has %d players, want %d", gPlus.N(), n+1)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("core: DeltaAdd requires tau > 0, got %d", tau)
+	}
+	pivot := n
+	m := n + 1
+	dsv := make([]float64, n)
+	newSV := 0.0
+
+	perm := make([]int, n)
+	prefix := bitset.New(m)     // without the new point
+	prefixWith := bitset.New(m) // with the new point
+	empty := bitset.New(m)
+	onlyPivot := bitset.FromIndices(m, pivot)
+	uEmpty := gPlus.Value(empty)
+	uPivot := gPlus.Value(onlyPivot)
+
+	for k := 0; k < tau; k++ {
+		r.Perm(perm)
+		prefix.Clear()
+		prefixWith.Clear()
+		prefixWith.Add(pivot)
+		prevNo := uEmpty
+		prevWith := uPivot
+		newSV += prevWith - prevNo // S=∅ stratum of the new point's value
+		for pos, p := range perm {
+			prefix.Add(p)
+			prefixWith.Add(p)
+			curNo := gPlus.Value(prefix)
+			curWith := gPlus.Value(prefixWith)
+			dmc := (curWith - curNo) - (prevWith - prevNo)
+			// Stratified weight (|S|+1)/(n+1) with |S| = pos (Lemma 2 /
+			// Theorem 2): the scan visits each prefix size exactly once.
+			dsv[p] += dmc * float64(pos+1) / float64(n+1)
+			newSV += curWith - curNo
+			prevNo, prevWith = curNo, curWith
+		}
+	}
+
+	out := make([]float64, m)
+	for i := 0; i < n; i++ {
+		out[i] = oldSV[i] + dsv[i]/float64(tau)
+	}
+	out[pivot] = newSV / float64(tau) / float64(n+1)
+	return out, nil
+}
+
+// DeltaDelete runs Algorithm 8 (the delta-based algorithm for deleting data
+// point p): it samples permutations of the surviving players and estimates
+// each survivor's value change from differential marginal contributions
+// involving the departing point, then subtracts it from the precomputed
+// value. The returned slice has n entries with out[p] = 0 (the paper's
+// convention for removed points).
+//
+// All utility evaluations are coalitions of the *original* game g (some
+// including p), so no new data is touched — only extra model trainings on
+// subsets that were never sampled before.
+func DeltaDelete(g game.Game, oldSV []float64, p, tau int, r *rng.Source) ([]float64, error) {
+	n := g.N()
+	if len(oldSV) != n {
+		return nil, fmt.Errorf("core: DeltaDelete oldSV has %d entries, want %d", len(oldSV), n)
+	}
+	if p < 0 || p >= n {
+		return nil, fmt.Errorf("core: DeltaDelete point %d out of range [0,%d)", p, n)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("core: DeltaDelete requires tau > 0, got %d", tau)
+	}
+	if n == 1 {
+		return []float64{0}, nil
+	}
+	// Survivors in a fixed order; permutations are drawn over them.
+	survivors := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != p {
+			survivors = append(survivors, i)
+		}
+	}
+	dsv := make([]float64, n)
+	perm := make([]int, n-1)
+	prefix := bitset.New(n)
+	prefixWith := bitset.New(n)
+	uEmpty := g.Value(bitset.New(n))
+	uP := g.Value(bitset.FromIndices(n, p))
+	for k := 0; k < tau; k++ {
+		r.Perm(perm)
+		prefix.Clear()
+		prefixWith.Clear()
+		prefixWith.Add(p)
+		prevNo := uEmpty
+		prevWith := uP
+		for pos, idx := range perm {
+			q := survivors[idx]
+			prefix.Add(q)
+			prefixWith.Add(q)
+			curNo := g.Value(prefix)
+			curWith := g.Value(prefixWith)
+			// Deletion mirrors addition with opposite sign: the survivor
+			// loses exactly the share the departing point contributed.
+			// Weight (|S|+1)/n with |S| = pos (Lemma 2's deletion form).
+			dmc := (curWith - curNo) - (prevWith - prevNo)
+			dsv[q] -= dmc * float64(pos+1) / float64(n)
+			prevNo, prevWith = curNo, curWith
+		}
+	}
+	out := make([]float64, n)
+	for _, q := range survivors {
+		out[q] = oldSV[q] + dsv[q]/float64(tau)
+	}
+	return out, nil
+}

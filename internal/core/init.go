@@ -1,0 +1,121 @@
+package core
+
+import (
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// InitOptions selects which dynamic-update structures a combined
+// initialisation pass should build alongside the Shapley estimates.
+type InitOptions struct {
+	// KeepPerms retains sampled permutations in the pivot state, enabling
+	// Pivot-s (Algorithm 3) later. Costs O(τ·n) memory.
+	KeepPerms bool
+	// TrackDeletions fills the YN-NN store (Algorithm 6). Costs O(n³) memory
+	// and O(n²) extra additions per permutation.
+	TrackDeletions bool
+	// MultiDelete, when ≥1, additionally fills a YNN-NNN store for deleting
+	// exactly MultiDelete of the Candidates at once.
+	MultiDelete int
+	// Candidates restricts the multi-deletion store; required when
+	// MultiDelete ≥ 1.
+	Candidates []int
+}
+
+// InitResult bundles the structures produced by Initialize. Pivot is always
+// present; Deletion and Multi are nil unless requested.
+type InitResult struct {
+	Pivot    *PivotState
+	Deletion *DeletionStore
+	Multi    *MultiDeletionStore
+}
+
+// SV returns the Shapley estimates of the initialisation pass.
+func (res *InitResult) SV() []float64 {
+	return append([]float64(nil), res.Pivot.SV...)
+}
+
+// Initialize runs one Monte Carlo pass of τ permutations over g and builds
+// every requested structure from the same samples: Shapley estimates, the
+// pivot state's LSV (Algorithm 2), and the YN-NN / YNN-NNN utility arrays
+// (Algorithm 6). Sharing the pass matters because utility evaluations — one
+// model training each — dominate the cost; the bookkeeping that
+// distinguishes the algorithms is nearly free by comparison.
+func Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source) (*InitResult, error) {
+	n := g.N()
+	res := &InitResult{
+		Pivot: &PivotState{
+			SV:  make([]float64, n),
+			LSV: make([]float64, n),
+			Tau: tau,
+		},
+	}
+	if opt.KeepPerms {
+		res.Pivot.perms = make([][]int, 0, tau)
+		res.Pivot.slots = make([]int, 0, tau)
+	}
+	if opt.TrackDeletions {
+		res.Deletion = NewDeletionStore(n)
+	}
+	if opt.MultiDelete >= 1 {
+		ms, err := NewMultiDeletionStore(n, opt.MultiDelete, opt.Candidates)
+		if err != nil {
+			return nil, err
+		}
+		res.Multi = ms
+	}
+	if n == 0 || tau <= 0 {
+		return res, nil
+	}
+
+	prefix := bitset.New(n)
+	uEmpty := g.Value(bitset.New(n))
+	utilities := make([]float64, n)
+	st := res.Pivot
+	for k := 0; k < tau; k++ {
+		perm := r.PermN(n)
+		t := r.Intn(n + 1)
+		prefix.Clear()
+		prev := uEmpty
+		for pos, p := range perm {
+			prefix.Add(p)
+			cur := g.Value(prefix)
+			utilities[pos] = cur
+			m := cur - prev
+			st.SV[p] += m
+			if pos < t {
+				st.LSV[p] += m
+			}
+			prev = cur
+		}
+		if opt.KeepPerms {
+			st.perms = append(st.perms, perm)
+			st.slots = append(st.slots, t)
+		}
+		if res.Deletion != nil {
+			res.Deletion.AccumulatePermutation(perm, utilities, uEmpty)
+		}
+		if res.Multi != nil {
+			res.Multi.AccumulatePermutation(perm, utilities, uEmpty)
+		}
+	}
+	for i := 0; i < n; i++ {
+		st.SV[i] /= float64(tau)
+		st.LSV[i] /= float64(tau)
+	}
+	if res.Deletion != nil {
+		res.Deletion.finishSampled()
+	}
+	if res.Multi != nil {
+		inv := 1 / float64(res.Multi.tau)
+		for i := range res.Multi.y {
+			res.Multi.y[i] *= inv
+			res.Multi.nn[i] *= inv
+		}
+		for i := range res.Multi.SV {
+			res.Multi.SV[i] *= inv
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+	"dynshap/internal/stat"
+)
+
+func TestInitializeMatchesIndividualPasses(t *testing.T) {
+	g := tableGame{n: 7, seed: 81}
+	res, err := Initialize(g, 20000, InitOptions{KeepPerms: true, TrackDeletions: true}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Exact(g)
+	if mse := stat.MSE(res.Pivot.SV, want); mse > 1e-4 {
+		t.Fatalf("combined-pass SV MSE = %v", mse)
+	}
+	if !res.Pivot.HasPermutations() {
+		t.Fatal("KeepPerms not honoured")
+	}
+	if res.Deletion == nil {
+		t.Fatal("TrackDeletions not honoured")
+	}
+	// The deletion store built in the combined pass must merge correctly.
+	got, err := res.Deletion.Merge(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDel := expandDeleted(Exact(game.NewRestrict(g, 2)), 7, 2)
+	if mse := stat.MSE(got, wantDel); mse > 2e-4 {
+		t.Fatalf("combined-pass merge MSE = %v", mse)
+	}
+	// Store and pivot agree on the Shapley estimates (same samples).
+	if d := maxAbsDiff(res.Deletion.SV, res.Pivot.SV); d > 1e-12 {
+		t.Fatalf("SV mismatch between structures: %v", d)
+	}
+	if sv := res.SV(); maxAbsDiff(sv, res.Pivot.SV) != 0 {
+		t.Fatal("InitResult.SV() differs from pivot SV")
+	}
+}
+
+func TestInitializeWithMultiDelete(t *testing.T) {
+	g := tableGame{n: 6, seed: 82}
+	res, err := Initialize(g, 30000, InitOptions{MultiDelete: 2, Candidates: []int{0, 3, 5}}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Multi == nil {
+		t.Fatal("MultiDelete not honoured")
+	}
+	got, err := res.Multi.Merge(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expandDeleted(Exact(game.NewRestrict(g, 0, 5)), 6, 0, 5)
+	if mse := stat.MSE(got, want); mse > 2e-4 {
+		t.Fatalf("multi merge MSE = %v", mse)
+	}
+}
+
+func TestInitializeValidation(t *testing.T) {
+	g := tableGame{n: 5, seed: 83}
+	if _, err := Initialize(g, 10, InitOptions{MultiDelete: 2, Candidates: []int{0}}, rng.New(3)); err == nil {
+		t.Fatal("invalid multi-delete options should fail")
+	}
+}
+
+func TestInitializeDegenerate(t *testing.T) {
+	res, err := Initialize(game.Additive{}, 10, InitOptions{}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pivot.SV) != 0 {
+		t.Fatal("empty game should give empty SV")
+	}
+	res, err = Initialize(tableGame{n: 3, seed: 84}, 0, InitOptions{}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Pivot.SV {
+		if v != 0 {
+			t.Fatal("τ=0 should give zero SV")
+		}
+	}
+}
+
+func TestInitializePivotUsableForAdd(t *testing.T) {
+	gPlus := tableGame{n: 6, seed: 85}
+	gD := restrictFirst(gPlus, 5)
+	res, err := Initialize(gD, 20000, InitOptions{KeepPerms: true}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Pivot.AddSame(gPlus, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Exact(gPlus)
+	if mse := stat.MSE(got, want); mse > 2e-4 {
+		t.Fatalf("AddSame after Initialize MSE = %v", mse)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/dataset"
+	"dynshap/internal/game"
+)
+
+// This file implements the exact k-NN Shapley algorithm of Jia et al.
+// ("Efficient task-specific data valuation for nearest neighbor
+// algorithms", VLDB 2019) — cited by the paper as the lazy-classifier
+// special case where exactness is tractable. For the soft k-NN utility
+//
+//	U(S) = (1/|T|) Σ_{t∈T} (#correct among the min(k,|S|) nearest
+//	        neighbours of t in S) / k,
+//
+// the Shapley value of every training point has a closed form computable in
+// O(n log n) per test point: sort the training points by distance to t and
+// apply the recurrence
+//
+//	s_{α_n} = 1[y_{α_n} = y_t] / n
+//	s_{α_i} = s_{α_{i+1}} + (1[y_{α_i}=y_t] − 1[y_{α_{i+1}}=y_t])/k ·
+//	          min(k, i+1)/(i+1)
+//
+// where α sorts points by increasing distance (1-based i). The library uses
+// it both as a fast exact valuer for k-NN utilities and as an independent
+// correctness oracle for the Monte Carlo machinery.
+
+// KNNShapley returns the exact Shapley values of every training point under
+// the soft k-NN utility over the given test set.
+func KNNShapley(train, test *dataset.Dataset, k int) ([]float64, error) {
+	n := train.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("core: KNNShapley needs a non-empty training set")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: KNNShapley needs k ≥ 1, got %d", k)
+	}
+	if test.Len() == 0 {
+		return make([]float64, n), nil
+	}
+	sv := make([]float64, n)
+	order := make([]int, n)
+	dists := make([]float64, n)
+	s := make([]float64, n)
+	for _, t := range test.Points {
+		for i, p := range train.Points {
+			dists[i] = dataset.Euclidean(p.X, t.X)
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+		match := func(rank int) float64 {
+			if train.Points[order[rank]].Y == t.Y {
+				return 1
+			}
+			return 0
+		}
+		// Recurrence from the farthest point inward (0-based rank i,
+		// 1-based position i+1).
+		s[n-1] = match(n-1) / float64(n)
+		for i := n - 2; i >= 0; i-- {
+			// min(k, i+1)/(i+1) with i+1 the 1-based position of rank i+1's
+			// predecessor pair in Jia et al.'s Theorem 1.
+			minK := float64(k)
+			if float64(i+1) < minK {
+				minK = float64(i + 1)
+			}
+			s[i] = s[i+1] + (match(i)-match(i+1))/float64(k)*minK/float64(i+1)
+		}
+		for rank, idx := range order {
+			sv[idx] += s[rank]
+		}
+	}
+	inv := 1 / float64(test.Len())
+	for i := range sv {
+		sv[i] *= inv
+	}
+	return sv, nil
+}
+
+// SoftKNNUtility is the game the closed form above values exactly:
+// U(S) = mean over test points of (#same-label points among the min(k,|S|)
+// nearest neighbours in S) / k. It deliberately differs from the
+// majority-vote accuracy of ml.KNN — only this "soft" utility admits the
+// closed form.
+type SoftKNNUtility struct {
+	train *dataset.Dataset
+	test  *dataset.Dataset
+	k     int
+}
+
+// NewSoftKNNUtility builds the soft k-NN utility game. Datasets are cloned.
+func NewSoftKNNUtility(train, test *dataset.Dataset, k int) *SoftKNNUtility {
+	if k <= 0 {
+		k = 5
+	}
+	return &SoftKNNUtility{train: train.Clone(), test: test.Clone(), k: k}
+}
+
+// N implements game.Game.
+func (u *SoftKNNUtility) N() int { return u.train.Len() }
+
+// Value implements game.Game.
+func (u *SoftKNNUtility) Value(s bitset.Set) float64 {
+	if u.test.Len() == 0 || s.Empty() {
+		return 0
+	}
+	members := s.Indices()
+	total := 0.0
+	type cand struct {
+		dist float64
+		y    int
+	}
+	cands := make([]cand, 0, len(members))
+	for _, t := range u.test.Points {
+		cands = cands[:0]
+		for _, i := range members {
+			cands = append(cands, cand{dist: dataset.Euclidean(u.train.Points[i].X, t.X), y: u.train.Points[i].Y})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+		kk := u.k
+		if kk > len(cands) {
+			kk = len(cands)
+		}
+		correct := 0
+		for _, c := range cands[:kk] {
+			if c.y == t.Y {
+				correct++
+			}
+		}
+		total += float64(correct) / float64(u.k)
+	}
+	return total / float64(u.test.Len())
+}
+
+// interface check
+var _ game.Game = (*SoftKNNUtility)(nil)

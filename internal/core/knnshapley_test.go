@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/dataset"
+	"dynshap/internal/rng"
+	"dynshap/internal/stat"
+)
+
+func knnFixture(n, nTest int, seed uint64) (*dataset.Dataset, *dataset.Dataset) {
+	d := dataset.IrisLike(rng.New(seed), n+nTest)
+	d.Standardize()
+	train := d.Subset(seqRange(0, n))
+	test := d.Subset(seqRange(n, n+nTest))
+	return train, test
+}
+
+func seqRange(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// The decisive check: the closed form must equal complete enumeration of
+// the soft k-NN utility, for several k and datasets.
+func TestKNNShapleyMatchesExactEnumeration(t *testing.T) {
+	for _, k := range []int{1, 3, 5} {
+		for _, n := range []int{6, 9} {
+			train, test := knnFixture(n, 12, uint64(100+k))
+			u := NewSoftKNNUtility(train, test, k)
+			want := Exact(u)
+			got, err := KNNShapley(train, test, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(got, want); d > 1e-10 {
+				t.Fatalf("k=%d n=%d: closed form diff %v\n got %v\nwant %v", k, n, d, got, want)
+			}
+		}
+	}
+}
+
+func TestKNNShapleyBalance(t *testing.T) {
+	train, test := knnFixture(40, 20, 7)
+	const k = 5
+	sv, err := KNNShapley(train, test, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range sv {
+		sum += v
+	}
+	u := NewSoftKNNUtility(train, test, k)
+	full := u.Value(bitset.Full(40))
+	if math.Abs(sum-full) > 1e-10 {
+		t.Fatalf("ΣSV = %v, want U(N) = %v (U(∅)=0)", sum, full)
+	}
+}
+
+func TestKNNShapleyAgreesWithMonteCarlo(t *testing.T) {
+	// Cross-validation in the other direction: the generic Monte Carlo
+	// estimator over the soft k-NN game must converge to the closed form.
+	train, test := knnFixture(12, 15, 9)
+	const k = 3
+	exact, err := KNNShapley(train, test, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewSoftKNNUtility(train, test, k)
+	mc := MonteCarlo(u, 20000, rng.New(1))
+	if mse := stat.MSE(mc, exact); mse > 1e-5 {
+		t.Fatalf("MC vs closed form MSE = %v", mse)
+	}
+}
+
+func TestKNNShapleyValidation(t *testing.T) {
+	train, test := knnFixture(5, 5, 11)
+	if _, err := KNNShapley(dataset.New(nil), test, 3); err == nil {
+		t.Fatal("empty training set should fail")
+	}
+	if _, err := KNNShapley(train, test, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	got, err := KNNShapley(train, dataset.New(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("empty test set should value everything 0")
+		}
+	}
+}
+
+func TestSoftKNNUtilityProperties(t *testing.T) {
+	train, test := knnFixture(8, 10, 13)
+	u := NewSoftKNNUtility(train, test, 3)
+	if u.N() != 8 {
+		t.Fatalf("N = %d", u.N())
+	}
+	if got := u.Value(bitset.New(8)); got != 0 {
+		t.Fatalf("U(∅) = %v", got)
+	}
+	full := u.Value(bitset.Full(8))
+	if full < 0 || full > 1 {
+		t.Fatalf("U(N) = %v out of [0,1]", full)
+	}
+	// Deterministic.
+	if u.Value(bitset.Full(8)) != full {
+		t.Fatal("utility not deterministic")
+	}
+}
+
+func TestKNNShapleyFavorsInformativePoints(t *testing.T) {
+	// A training point identical to a test point (same label) must be worth
+	// more than a mislabelled twin of it.
+	train := dataset.New([]dataset.Point{
+		{X: []float64{0, 0}, Y: 0}, // matches the test point
+		{X: []float64{0, 0}, Y: 1}, // mislabelled twin
+		{X: []float64{5, 5}, Y: 1},
+		{X: []float64{6, 6}, Y: 1},
+	})
+	test := dataset.New([]dataset.Point{{X: []float64{0, 0}, Y: 0}})
+	sv, err := KNNShapley(train, test, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv[0] <= sv[1] {
+		t.Fatalf("correct twin %v not above mislabelled twin %v", sv[0], sv[1])
+	}
+}
+
+func BenchmarkKNNShapleyN1000(b *testing.B) {
+	train, test := knnFixture(1000, 50, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KNNShapley(train, test, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// MonteCarloParallel is MonteCarlo with the τ permutations spread across
+// `workers` goroutines (≤0 selects GOMAXPROCS). The paper notes that MC,
+// TMC, Pivot-d and Delta parallelise this way (§VII-G, k = 48 threads);
+// permutations are independent, so the estimates merge by summation.
+// Each worker derives its own RNG stream with Split, so the result is
+// deterministic for a given (seed, workers) pair.
+func MonteCarloParallel(g game.Game, tau, workers int, r *rng.Source) []float64 {
+	return parallelPermutationSum(g.N(), tau, workers, r, func(sub *rng.Source, quota int, sv []float64) {
+		accumulateMC(g, quota, sub, sv)
+	})
+}
+
+func accumulateMC(g game.Game, tau int, r *rng.Source, sv []float64) {
+	n := g.N()
+	perm := make([]int, n)
+	prefix := bitset.New(n)
+	empty := g.Value(bitset.New(n))
+	for k := 0; k < tau; k++ {
+		r.Perm(perm)
+		prefix.Clear()
+		prev := empty
+		for _, p := range perm {
+			prefix.Add(p)
+			cur := g.Value(prefix)
+			sv[p] += cur - prev
+			prev = cur
+		}
+	}
+}
+
+// parallelPermutationSum runs fn on per-worker quotas summing into per-worker
+// accumulators, then merges and divides by τ.
+func parallelPermutationSum(n, tau, workers int, r *rng.Source, fn func(sub *rng.Source, quota int, sv []float64)) []float64 {
+	sv := make([]float64, n)
+	if n == 0 || tau <= 0 {
+		return sv
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tau {
+		workers = tau
+	}
+	partials := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := tau / workers
+		if w < tau%workers {
+			quota++
+		}
+		sub := r.Split()
+		partials[w] = make([]float64, n)
+		wg.Add(1)
+		go func(w, quota int, sub *rng.Source) {
+			defer wg.Done()
+			fn(sub, quota, partials[w])
+		}(w, quota, sub)
+	}
+	wg.Wait()
+	for _, part := range partials {
+		for i, v := range part {
+			sv[i] += v
+		}
+	}
+	for i := range sv {
+		sv[i] /= float64(tau)
+	}
+	return sv
+}

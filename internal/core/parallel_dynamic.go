@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// The paper notes (§VII-G) that MC, TMC, Pivot-d and Delta all parallelise
+// across sampled permutations. This file provides the parallel update
+// variants; they merge per-worker partial sums exactly like
+// MonteCarloParallel and are deterministic for a fixed (seed, workers).
+
+// DeltaAddParallel is DeltaAdd with the τ permutations spread over workers
+// goroutines (≤0 selects GOMAXPROCS).
+func DeltaAddParallel(gPlus game.Game, oldSV []float64, tau, workers int, r *rng.Source) ([]float64, error) {
+	n := len(oldSV)
+	if gPlus.N() != n+1 {
+		return nil, fmt.Errorf("core: DeltaAddParallel game has %d players, want %d", gPlus.N(), n+1)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("core: DeltaAddParallel requires tau > 0, got %d", tau)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tau {
+		workers = tau
+	}
+	pivot := n
+	m := n + 1
+	empty := bitset.New(m)
+	onlyPivot := bitset.FromIndices(m, pivot)
+	uEmpty := gPlus.Value(empty)
+	uPivot := gPlus.Value(onlyPivot)
+
+	type partial struct {
+		dsv   []float64
+		newSV float64
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := tau / workers
+		if w < tau%workers {
+			quota++
+		}
+		sub := r.Split()
+		partials[w].dsv = make([]float64, n)
+		wg.Add(1)
+		go func(w, quota int, sub *rng.Source) {
+			defer wg.Done()
+			perm := make([]int, n)
+			prefix := bitset.New(m)
+			prefixWith := bitset.New(m)
+			for k := 0; k < quota; k++ {
+				sub.Perm(perm)
+				prefix.Clear()
+				prefixWith.Clear()
+				prefixWith.Add(pivot)
+				prevNo, prevWith := uEmpty, uPivot
+				partials[w].newSV += prevWith - prevNo
+				for pos, p := range perm {
+					prefix.Add(p)
+					prefixWith.Add(p)
+					curNo := gPlus.Value(prefix)
+					curWith := gPlus.Value(prefixWith)
+					dmc := (curWith - curNo) - (prevWith - prevNo)
+					partials[w].dsv[p] += dmc * float64(pos+1) / float64(n+1)
+					partials[w].newSV += curWith - curNo
+					prevNo, prevWith = curNo, curWith
+				}
+			}
+		}(w, quota, sub)
+	}
+	wg.Wait()
+
+	out := make([]float64, m)
+	var newSV float64
+	for i := 0; i < n; i++ {
+		var d float64
+		for w := range partials {
+			d += partials[w].dsv[i]
+		}
+		out[i] = oldSV[i] + d/float64(tau)
+	}
+	for w := range partials {
+		newSV += partials[w].newSV
+	}
+	out[pivot] = newSV / float64(tau) / float64(n+1)
+	return out, nil
+}
+
+// AddDifferentParallel is PivotState.AddDifferent with the τ2 fresh
+// permutations spread over workers goroutines. Like AddDifferent it
+// invalidates stored permutations.
+func (st *PivotState) AddDifferentParallel(gPlus game.Game, tau2, workers int, r *rng.Source) ([]float64, error) {
+	n := st.N()
+	if gPlus.N() != n+1 {
+		return nil, fmt.Errorf("core: AddDifferentParallel game has %d players, want %d", gPlus.N(), n+1)
+	}
+	if tau2 <= 0 {
+		return nil, fmt.Errorf("core: AddDifferentParallel requires tau2 > 0, got %d", tau2)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tau2 {
+		workers = tau2
+	}
+	pivot := n
+	m := n + 1
+
+	type partial struct {
+		rsv  []float64
+		dlsv []float64
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := tau2 / workers
+		if w < tau2%workers {
+			quota++
+		}
+		sub := r.Split()
+		partials[w].rsv = make([]float64, m)
+		partials[w].dlsv = make([]float64, m)
+		wg.Add(1)
+		go func(w, quota int, sub *rng.Source) {
+			defer wg.Done()
+			perm := make([]int, m)
+			prefix := bitset.New(m)
+			for k := 0; k < quota; k++ {
+				sub.Perm(perm)
+				t := 0
+				for pos, q := range perm {
+					if q == pivot {
+						t = pos
+						break
+					}
+				}
+				p := sub.Intn(m + 1)
+				prefix.Clear()
+				for _, q := range perm[:t] {
+					prefix.Add(q)
+				}
+				prev := gPlus.Value(prefix)
+				for pos := t; pos < m; pos++ {
+					q := perm[pos]
+					prefix.Add(q)
+					cur := gPlus.Value(prefix)
+					mc := cur - prev
+					partials[w].rsv[q] += mc
+					if pos < p {
+						partials[w].dlsv[q] += mc
+					}
+					prev = cur
+				}
+			}
+		}(w, quota, sub)
+	}
+	wg.Wait()
+
+	sv := make([]float64, m)
+	lsv := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var l, rsvSum, dlsvSum float64
+		if i < n {
+			l = st.LSV[i]
+		}
+		for w := range partials {
+			rsvSum += partials[w].rsv[i]
+			dlsvSum += partials[w].dlsv[i]
+		}
+		sv[i] = l + rsvSum/float64(tau2)
+		lsv[i] = 2.0/3.0*l + dlsvSum/float64(tau2)
+	}
+	st.SV = sv
+	st.LSV = lsv
+	st.Tau = tau2
+	st.perms = nil
+	st.slots = nil
+	return append([]float64(nil), sv...), nil
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// PivotState carries the precomputation the pivot-based algorithms maintain
+// across additions: the current Shapley estimates, the left-of-pivot partial
+// sums LSV, and (optionally) the sampled permutations with their pivot
+// insertion slots, which Pivot-s (Algorithm 3) reuses verbatim.
+//
+// The decomposition (Lemma 1): taking the incoming point as a pivot, every
+// permutation of the updated dataset N⁺ places an original point z_i either
+// before the pivot — where its marginal contribution is unchanged from the
+// original dataset and can be reused — or after it. SV⁺_i = LSV⁺_i + RSV⁺_i,
+// where the two terms average marginal contributions over the two groups.
+type PivotState struct {
+	// SV holds the current Shapley estimates, one per player.
+	SV []float64
+	// LSV holds the left-group partial averages (LSV⁺ in the paper).
+	LSV []float64
+	// Tau is the number of permutations that produced SV and LSV.
+	Tau int
+
+	// perms/slots are retained only when the state was built with
+	// keepPerms; they enable AddSame.
+	perms [][]int
+	slots []int
+}
+
+// N returns the number of players currently covered by the state.
+func (st *PivotState) N() int { return len(st.SV) }
+
+// Clone returns an independent deep copy of the state, so one
+// initialisation can seed several competing update sequences.
+func (st *PivotState) Clone() *PivotState {
+	c := &PivotState{
+		SV:  append([]float64(nil), st.SV...),
+		LSV: append([]float64(nil), st.LSV...),
+		Tau: st.Tau,
+	}
+	if st.perms != nil {
+		c.perms = make([][]int, len(st.perms))
+		for i, p := range st.perms {
+			c.perms[i] = append([]int(nil), p...)
+		}
+		c.slots = append([]int(nil), st.slots...)
+	}
+	return c
+}
+
+// HasPermutations reports whether AddSame (Algorithm 3) is available.
+func (st *PivotState) HasPermutations() bool { return st.perms != nil }
+
+// PivotInit runs Algorithm 2: Monte Carlo Shapley computation over the
+// original game that additionally accumulates LSV — the part of each
+// player's estimate contributed while it sat before a uniformly chosen
+// pivot slot. keepPerms retains the sampled permutations so a later
+// addition can reuse them (Pivot-s); without it only Pivot-d is available,
+// saving O(τ·n) memory.
+func PivotInit(g game.Game, tau int, keepPerms bool, r *rng.Source) *PivotState {
+	n := g.N()
+	st := &PivotState{
+		SV:  make([]float64, n),
+		LSV: make([]float64, n),
+		Tau: tau,
+	}
+	if keepPerms {
+		st.perms = make([][]int, 0, tau)
+		st.slots = make([]int, 0, tau)
+	}
+	if n == 0 || tau <= 0 {
+		return st
+	}
+	prefix := bitset.New(n)
+	empty := g.Value(bitset.New(n))
+	for k := 0; k < tau; k++ {
+		perm := r.PermN(n)
+		// t = number of players that will precede the pivot; uniform on
+		// {0, …, n} because the incoming point is equally likely to land in
+		// any of the n+1 slots of an (n+1)-permutation.
+		t := r.Intn(n + 1)
+		prefix.Clear()
+		prev := empty
+		for pos, p := range perm {
+			prefix.Add(p)
+			cur := g.Value(prefix)
+			m := cur - prev
+			st.SV[p] += m
+			if pos < t {
+				st.LSV[p] += m
+			}
+			prev = cur
+		}
+		if keepPerms {
+			st.perms = append(st.perms, perm)
+			st.slots = append(st.slots, t)
+		}
+	}
+	for i := 0; i < n; i++ {
+		st.SV[i] /= float64(tau)
+		st.LSV[i] /= float64(tau)
+	}
+	return st
+}
+
+// ErrNoPermutations is returned by AddSame when the state was built without
+// keepPerms (or a previous AddDifferent discarded the permutations).
+var ErrNoPermutations = errors.New("core: pivot state holds no stored permutations; use AddDifferent or rebuild with PivotInit(keepPerms)")
+
+// AddSame runs Algorithm 3 (the pivot-based algorithm with the same sampled
+// permutations): the stored permutations are extended by inserting the new
+// player at the recorded pivot slot, only the suffix starting at the pivot
+// is (re-)evaluated, and the refreshed estimates SV⁺ = LSV + RSV are
+// installed in the state. gPlus must be the (n+1)-player game whose last
+// player is the new point.
+//
+// With a cached utility the prefix evaluations before the pivot hit the
+// cache entries produced by PivotInit — this is the "half the computation"
+// reuse the paper's title claim rests on.
+func (st *PivotState) AddSame(gPlus game.Game, r *rng.Source) ([]float64, error) {
+	if st.perms == nil {
+		return nil, ErrNoPermutations
+	}
+	n := st.N()
+	if gPlus.N() != n+1 {
+		return nil, fmt.Errorf("core: AddSame game has %d players, want %d", gPlus.N(), n+1)
+	}
+	pivot := n
+	m := n + 1
+	rsv := make([]float64, m)
+	dlsv := make([]float64, m)
+	prefix := bitset.New(m)
+	for k := range st.perms {
+		old := st.perms[k]
+		t := st.slots[k]
+		perm := make([]int, 0, m)
+		perm = append(perm, old[:t]...)
+		perm = append(perm, pivot)
+		perm = append(perm, old[t:]...)
+		// Slot for the *next* pivot, uniform over the m+1 = n+2 positions.
+		p := r.Intn(m + 1)
+		prefix.Clear()
+		for _, q := range perm[:t] {
+			prefix.Add(q)
+		}
+		prev := gPlus.Value(prefix)
+		for pos := t; pos < m; pos++ {
+			q := perm[pos]
+			prefix.Add(q)
+			cur := gPlus.Value(prefix)
+			mc := cur - prev
+			rsv[q] += mc
+			if pos < p {
+				dlsv[q] += mc
+			}
+			prev = cur
+		}
+		st.perms[k] = perm
+		st.slots[k] = p
+	}
+	sv := make([]float64, m)
+	lsv := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var l float64
+		if i < n {
+			l = st.LSV[i]
+		}
+		sv[i] = l + rsv[i]/float64(st.Tau)
+		// 2/3 of the permutations counted in the old LSV keep z_i before the
+		// next pivot (among the 3! relative orders of {z_i, old pivot, next
+		// pivot}, conditioning on z_i before the old pivot leaves 2/3 with
+		// z_i also before the next one); ∆LSV supplies the freshly sampled
+		// "after old pivot, before next pivot" share.
+		lsv[i] = 2.0/3.0*l + dlsv[i]/float64(st.Tau)
+	}
+	st.SV = sv
+	st.LSV = lsv
+	return append([]float64(nil), sv...), nil
+}
+
+// AddDifferent runs Algorithm 4 (the pivot-based algorithm with different
+// sampled permutations): tau2 fresh permutations of the updated game are
+// sampled and only the suffix from the pivot's position onward is
+// evaluated; RSV is estimated from these while LSV is inherited from the
+// state. Fresh permutations cost no permutation storage and allow
+// τ_LSV ≠ τ_RSV — the paper's Table V regime, where a large offline τ_LSV
+// drives the overall error below Pivot-s.
+//
+// AddDifferent invalidates any stored permutations (they no longer match
+// the sampled estimates), so a subsequent AddSame returns
+// ErrNoPermutations.
+func (st *PivotState) AddDifferent(gPlus game.Game, tau2 int, r *rng.Source) ([]float64, error) {
+	n := st.N()
+	if gPlus.N() != n+1 {
+		return nil, fmt.Errorf("core: AddDifferent game has %d players, want %d", gPlus.N(), n+1)
+	}
+	if tau2 <= 0 {
+		return nil, fmt.Errorf("core: AddDifferent requires tau2 > 0, got %d", tau2)
+	}
+	pivot := n
+	m := n + 1
+	rsv := make([]float64, m)
+	dlsv := make([]float64, m)
+	prefix := bitset.New(m)
+	perm := make([]int, m)
+	for k := 0; k < tau2; k++ {
+		r.Perm(perm)
+		t := 0
+		for pos, q := range perm {
+			if q == pivot {
+				t = pos
+				break
+			}
+		}
+		p := r.Intn(m + 1)
+		prefix.Clear()
+		for _, q := range perm[:t] {
+			prefix.Add(q)
+		}
+		prev := gPlus.Value(prefix)
+		for pos := t; pos < m; pos++ {
+			q := perm[pos]
+			prefix.Add(q)
+			cur := gPlus.Value(prefix)
+			mc := cur - prev
+			rsv[q] += mc
+			if pos < p {
+				dlsv[q] += mc
+			}
+			prev = cur
+		}
+	}
+	sv := make([]float64, m)
+	lsv := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var l float64
+		if i < n {
+			l = st.LSV[i]
+		}
+		sv[i] = l + rsv[i]/float64(tau2)
+		lsv[i] = 2.0/3.0*l + dlsv[i]/float64(tau2)
+	}
+	st.SV = sv
+	st.LSV = lsv
+	st.Tau = tau2
+	st.perms = nil
+	st.slots = nil
+	return append([]float64(nil), sv...), nil
+}

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// DeletionStore is the YN-NN data structure (Algorithm 6 / Definition 1):
+// two three-dimensional utility-sum arrays filled as a free by-product of
+// computing Shapley values on the original dataset, from which the
+// post-deletion Shapley value of every surviving player is recovered in
+// O(n²) — without a single new utility evaluation.
+//
+//	YN[i][j][k] accumulates utilities of size-k coalitions containing i and
+//	excluding j; NN[i][j][k] those excluding both i and j.
+//
+// Two fill semantics exist and are tracked by the exact flag:
+//
+//   - sampled (Algorithm 6): each permutation's prefix utilities are
+//     accumulated and divided by τ. E[YN[i][j][k]] equals the Definition-1
+//     sum scaled by (k−1)!(n−k)!/n!, so Merge uses the derived coefficient
+//     n/(n−k). (The paper's Algorithm 7 prints (n−1)/(n−j); the corrected
+//     coefficient is verified against full-enumeration recovery in the
+//     tests.)
+//   - exact (Definition 1): the arrays hold the combinatorial sums
+//     themselves and Merge applies Lemma 3 verbatim.
+type DeletionStore struct {
+	// SV holds the Shapley estimates computed while filling (sampled mode).
+	SV []float64
+
+	n     int
+	tau   int
+	exact bool
+	// yn[i][j][k] for k in 0..n, nn likewise; flat layout i*(n*(n+1)) + j*(n+1) + k.
+	yn, nn []float64
+}
+
+// NewDeletionStore allocates an empty store for an n-player game.
+func NewDeletionStore(n int) *DeletionStore {
+	return &DeletionStore{
+		n:  n,
+		yn: make([]float64, n*n*(n+1)),
+		nn: make([]float64, n*n*(n+1)),
+		SV: make([]float64, n),
+	}
+}
+
+// N returns the number of players the store covers.
+func (ds *DeletionStore) N() int { return ds.n }
+
+// Tau returns the number of permutations accumulated (sampled mode).
+func (ds *DeletionStore) Tau() int { return ds.tau }
+
+// MemoryBytes returns the heap footprint of the two utility arrays — the
+// quantity the paper's Table IX reports.
+func (ds *DeletionStore) MemoryBytes() int64 {
+	return int64(len(ds.yn)+len(ds.nn)) * 8
+}
+
+func (ds *DeletionStore) at(arr []float64, i, j, k int) float64 {
+	return arr[(i*ds.n+j)*(ds.n+1)+k]
+}
+
+func (ds *DeletionStore) add(arr []float64, i, j, k int, v float64) {
+	arr[(i*ds.n+j)*(ds.n+1)+k] += v
+}
+
+// AccumulatePermutation folds one permutation's prefix utilities into the
+// sampled-mode arrays and Shapley sums (the loop body of Algorithm 6).
+// utilities[pos] must hold U({perm[0..pos]}); uEmpty is U(∅).
+func (ds *DeletionStore) AccumulatePermutation(perm []int, utilities []float64, uEmpty float64) {
+	n := ds.n
+	if len(perm) != n || len(utilities) != n {
+		panic("core: AccumulatePermutation length mismatch")
+	}
+	prev := uEmpty
+	for pos, pt := range perm {
+		cur := utilities[pos]
+		ds.SV[pt] += cur - prev
+		// Every player at a later position is absent from both prefixes.
+		for j := pos; j < n; j++ {
+			q := perm[j]
+			ds.add(ds.yn, pt, q, pos+1, cur)
+			ds.add(ds.nn, pt, q, pos, prev)
+		}
+		prev = cur
+	}
+	ds.tau++
+}
+
+// PreprocessDeletion runs Algorithm 6: Monte Carlo Shapley computation over
+// g that simultaneously fills the YN/NN arrays. The extra work per
+// permutation is O(n²) float additions — no additional utility evaluations.
+func PreprocessDeletion(g game.Game, tau int, r *rng.Source) *DeletionStore {
+	n := g.N()
+	ds := NewDeletionStore(n)
+	if n == 0 || tau <= 0 {
+		return ds
+	}
+	prefix := bitset.New(n)
+	uEmpty := g.Value(bitset.New(n))
+	utilities := make([]float64, n)
+	perm := make([]int, n)
+	for k := 0; k < tau; k++ {
+		r.Perm(perm)
+		prefix.Clear()
+		for pos, p := range perm {
+			prefix.Add(p)
+			utilities[pos] = g.Value(prefix)
+		}
+		ds.AccumulatePermutation(perm, utilities, uEmpty)
+	}
+	ds.finishSampled()
+	return ds
+}
+
+// finishSampled converts accumulated sums into averages.
+func (ds *DeletionStore) finishSampled() {
+	inv := 1 / float64(ds.tau)
+	for i := range ds.yn {
+		ds.yn[i] *= inv
+		ds.nn[i] *= inv
+	}
+	for i := range ds.SV {
+		ds.SV[i] *= inv
+	}
+}
+
+// PreprocessDeletionExact fills the arrays with the combinatorial sums of
+// Definition 1 by complete enumeration (n ≤ MaxExactPlayers) and records
+// exact Shapley values. Merge then applies Lemma 3 verbatim.
+func PreprocessDeletionExact(g game.Game) *DeletionStore {
+	n := g.N()
+	if n > MaxExactPlayers {
+		panic(fmt.Sprintf("core: PreprocessDeletionExact limited to %d players, got %d", MaxExactPlayers, n))
+	}
+	ds := NewDeletionStore(n)
+	ds.exact = true
+	ds.SV = Exact(g)
+	s := bitset.New(n)
+	size := 1 << uint(n)
+	for mask := 0; mask < size; mask++ {
+		s.Clear()
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Add(i)
+			}
+		}
+		u := g.Value(s)
+		k := popcount(mask)
+		for i := 0; i < n; i++ {
+			iIn := mask&(1<<uint(i)) != 0
+			for j := 0; j < n; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					continue // j must be excluded
+				}
+				if iIn {
+					ds.add(ds.yn, i, j, k, u)
+				} else if i != j {
+					ds.add(ds.nn, i, j, k, u)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// Merge runs Algorithm 7: it derives the post-deletion Shapley values of
+// every surviving player after removing player p, purely from the stored
+// arrays. The returned slice has n entries with out[p] = 0.
+func (ds *DeletionStore) Merge(p int) ([]float64, error) {
+	n := ds.n
+	if p < 0 || p >= n {
+		return nil, fmt.Errorf("core: Merge point %d out of range [0,%d)", p, n)
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		return out, nil
+	}
+	if ds.exact {
+		// Lemma 3: SV⁻_i = 1/(n−1) Σ_k (YN[i][p][k] − NN[i][p][k−1]) / C(n−2, k−1).
+		binom := 1.0 // C(n−2, 0)
+		for k := 1; k <= n-1; k++ {
+			for i := 0; i < n; i++ {
+				if i == p {
+					continue
+				}
+				out[i] += (ds.at(ds.yn, i, p, k) - ds.at(ds.nn, i, p, k-1)) / binom
+			}
+			binom = binom * float64(n-1-k) / float64(k) // C(n−2, k)
+		}
+		for i := range out {
+			out[i] /= float64(n - 1)
+		}
+		return out, nil
+	}
+	// Sampled semantics: coefficient n/(n−k) (see type comment).
+	for k := 1; k <= n-1; k++ {
+		coef := float64(n) / float64(n-k)
+		for i := 0; i < n; i++ {
+			if i == p {
+				continue
+			}
+			out[i] += (ds.at(ds.yn, i, p, k) - ds.at(ds.nn, i, p, k-1)) * coef
+		}
+	}
+	return out, nil
+}
+
+// MultiDeletionStore is the YNN-NNN generalisation (Definition 2 / Lemma 4)
+// for deleting d points at once: the arrays gain one axis per potential
+// deleted point. Materialising them for all C(n, d) tuples is O(n^{d+2})
+// space, so the store is built over an explicit candidate set — the points
+// that may leave (a realistic broker knows which owners are revocable; the
+// paper's experiments delete from a fixed pool).
+type MultiDeletionStore struct {
+	// SV holds the Shapley estimates computed while filling (sampled mode).
+	SV []float64
+
+	n          int
+	d          int
+	tau        int
+	exact      bool
+	candidates []int
+	candIndex  map[int]int // player -> position in candidates
+	tupleRank  map[string]int
+	tuples     [][]int
+	// y[i][t][k], nn[i][t][k] flat: (i*len(tuples)+t)*(n+1)+k
+	y, nn []float64
+}
+
+// tupleKey canonicalises a sorted tuple of player indices.
+func tupleKey(sorted []int) string {
+	var b strings.Builder
+	for i, v := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// NewMultiDeletionStore allocates a store for deleting exactly d of the
+// candidate players from an n-player game.
+func NewMultiDeletionStore(n, d int, candidates []int) (*MultiDeletionStore, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("core: multi-deletion needs d ≥ 1, got %d", d)
+	}
+	if len(candidates) < d {
+		return nil, fmt.Errorf("core: %d candidates cannot cover d = %d deletions", len(candidates), d)
+	}
+	seen := map[int]bool{}
+	cands := append([]int(nil), candidates...)
+	sort.Ints(cands)
+	for _, c := range cands {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("core: candidate %d out of range [0,%d)", c, n)
+		}
+		if seen[c] {
+			return nil, fmt.Errorf("core: duplicate candidate %d", c)
+		}
+		seen[c] = true
+	}
+	ms := &MultiDeletionStore{
+		n:          n,
+		d:          d,
+		candidates: cands,
+		candIndex:  make(map[int]int, len(cands)),
+		tupleRank:  make(map[string]int),
+		SV:         make([]float64, n),
+	}
+	for i, c := range cands {
+		ms.candIndex[c] = i
+	}
+	// Enumerate all d-subsets of the candidates.
+	comb := make([]int, d)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == d {
+			t := make([]int, d)
+			for i, ci := range comb {
+				t[i] = cands[ci]
+			}
+			ms.tupleRank[tupleKey(t)] = len(ms.tuples)
+			ms.tuples = append(ms.tuples, t)
+			return
+		}
+		for c := start; c <= len(cands)-(d-depth); c++ {
+			comb[depth] = c
+			rec(c+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	ms.y = make([]float64, n*len(ms.tuples)*(n+1))
+	ms.nn = make([]float64, n*len(ms.tuples)*(n+1))
+	return ms, nil
+}
+
+// N returns the number of players the store covers.
+func (ms *MultiDeletionStore) N() int { return ms.n }
+
+// D returns the number of simultaneous deletions the store supports.
+func (ms *MultiDeletionStore) D() int { return ms.d }
+
+// Candidates returns the deletable players (sorted).
+func (ms *MultiDeletionStore) Candidates() []int {
+	return append([]int(nil), ms.candidates...)
+}
+
+// MemoryBytes returns the heap footprint of the two utility arrays.
+func (ms *MultiDeletionStore) MemoryBytes() int64 {
+	return int64(len(ms.y)+len(ms.nn)) * 8
+}
+
+func (ms *MultiDeletionStore) idx(i, t, k int) int {
+	return (i*len(ms.tuples)+t)*(ms.n+1) + k
+}
+
+// AccumulatePermutation folds one permutation into the sampled-mode arrays.
+// utilities[pos] must hold U({perm[0..pos]}); uEmpty is U(∅).
+func (ms *MultiDeletionStore) AccumulatePermutation(perm []int, utilities []float64, uEmpty float64) {
+	n := ms.n
+	if len(perm) != n || len(utilities) != n {
+		panic("core: AccumulatePermutation length mismatch")
+	}
+	// minPos[t] = earliest position of any member of tuple t.
+	minPos := make([]int, len(ms.tuples))
+	for i := range minPos {
+		minPos[i] = n
+	}
+	pos := make(map[int]int, len(ms.candidates))
+	for p, pt := range perm {
+		if _, ok := ms.candIndex[pt]; ok {
+			pos[pt] = p
+		}
+	}
+	for t, tuple := range ms.tuples {
+		for _, member := range tuple {
+			if pos[member] < minPos[t] {
+				minPos[t] = pos[member]
+			}
+		}
+	}
+	prev := uEmpty
+	for p, pt := range perm {
+		cur := utilities[p]
+		ms.SV[pt] += cur - prev
+		for t := range ms.tuples {
+			// All tuple members strictly after position p ⇒ the prefix
+			// excludes the whole tuple (and pt ∉ tuple, since pt is at p).
+			if minPos[t] > p {
+				ms.y[ms.idx(pt, t, p+1)] += cur
+				ms.nn[ms.idx(pt, t, p)] += prev
+			}
+		}
+		prev = cur
+	}
+	ms.tau++
+}
+
+// PreprocessMultiDeletion runs the YNN-NNN fill: Monte Carlo Shapley
+// computation over g that simultaneously populates the (d+2)-dimensional
+// arrays for every d-subset of the candidates.
+func PreprocessMultiDeletion(g game.Game, d int, candidates []int, tau int, r *rng.Source) (*MultiDeletionStore, error) {
+	n := g.N()
+	ms, err := NewMultiDeletionStore(n, d, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || tau <= 0 {
+		return ms, nil
+	}
+	prefix := bitset.New(n)
+	uEmpty := g.Value(bitset.New(n))
+	utilities := make([]float64, n)
+	perm := make([]int, n)
+	for k := 0; k < tau; k++ {
+		r.Perm(perm)
+		prefix.Clear()
+		for pos, p := range perm {
+			prefix.Add(p)
+			utilities[pos] = g.Value(prefix)
+		}
+		ms.AccumulatePermutation(perm, utilities, uEmpty)
+	}
+	inv := 1 / float64(ms.tau)
+	for i := range ms.y {
+		ms.y[i] *= inv
+		ms.nn[i] *= inv
+	}
+	for i := range ms.SV {
+		ms.SV[i] *= inv
+	}
+	return ms, nil
+}
+
+// PreprocessMultiDeletionExact fills Definition-2 arrays by complete
+// enumeration (n ≤ MaxExactPlayers).
+func PreprocessMultiDeletionExact(g game.Game, d int, candidates []int) (*MultiDeletionStore, error) {
+	n := g.N()
+	if n > MaxExactPlayers {
+		return nil, fmt.Errorf("core: exact multi-deletion limited to %d players, got %d", MaxExactPlayers, n)
+	}
+	ms, err := NewMultiDeletionStore(n, d, candidates)
+	if err != nil {
+		return nil, err
+	}
+	ms.exact = true
+	ms.SV = Exact(g)
+	s := bitset.New(n)
+	size := 1 << uint(n)
+	for mask := 0; mask < size; mask++ {
+		s.Clear()
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Add(i)
+			}
+		}
+		u := g.Value(s)
+		k := popcount(mask)
+		for t, tuple := range ms.tuples {
+			excluded := true
+			for _, m := range tuple {
+				if mask&(1<<uint(m)) != 0 {
+					excluded = false
+					break
+				}
+			}
+			if !excluded {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					ms.y[ms.idx(i, t, k)] += u
+				} else if !contains(tuple, i) {
+					ms.nn[ms.idx(i, t, k)] += u
+				}
+			}
+		}
+	}
+	return ms, nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Merge derives the post-deletion Shapley values after removing exactly the
+// given points, which must form one of the prepared d-subsets of the
+// candidate set. The returned slice has n entries, zero at deleted points.
+func (ms *MultiDeletionStore) Merge(points ...int) ([]float64, error) {
+	if len(points) != ms.d {
+		return nil, fmt.Errorf("core: Merge got %d points, store prepared for d = %d", len(points), ms.d)
+	}
+	sorted := append([]int(nil), points...)
+	sort.Ints(sorted)
+	t, ok := ms.tupleRank[tupleKey(sorted)]
+	if !ok {
+		return nil, fmt.Errorf("core: tuple %v not covered by candidate set %v", sorted, ms.candidates)
+	}
+	n, d := ms.n, ms.d
+	out := make([]float64, n)
+	if ms.exact {
+		// Lemma 4: SV⁻_i = 1/(n−d) Σ_k (Y[i][t][k] − N[i][t][k−1]) / C(n−d−1, k−1).
+		binom := 1.0
+		for k := 1; k <= n-d; k++ {
+			for i := 0; i < n; i++ {
+				if contains(sorted, i) {
+					continue
+				}
+				out[i] += (ms.y[ms.idx(i, t, k)] - ms.nn[ms.idx(i, t, k-1)]) / binom
+			}
+			binom = binom * float64(n-d-k) / float64(k)
+		}
+		for i := range out {
+			out[i] /= float64(n - d)
+		}
+		return out, nil
+	}
+	// Sampled semantics: coef(k) = Π_{j<k} (n−j)/(n−d−j), the d-point
+	// generalisation of the n/(n−k) coefficient (see DESIGN.md §3).
+	coef := 1.0
+	for k := 1; k <= n-d; k++ {
+		coef *= float64(n-k+1) / float64(n-d-k+1)
+		for i := 0; i < n; i++ {
+			if contains(sorted, i) {
+				continue
+			}
+			out[i] += (ms.y[ms.idx(i, t, k)] - ms.nn[ms.idx(i, t, k-1)]) * coef
+		}
+	}
+	return out, nil
+}

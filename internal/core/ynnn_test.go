@@ -1,0 +1,358 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+	"dynshap/internal/stat"
+)
+
+// expandDeleted re-expands exact values of a restricted game into original
+// indexing with zeros at deleted points.
+func expandDeleted(sub []float64, n int, deleted ...int) []float64 {
+	gone := map[int]bool{}
+	for _, p := range deleted {
+		gone[p] = true
+	}
+	out := make([]float64, n)
+	ri := 0
+	for i := 0; i < n; i++ {
+		if gone[i] {
+			continue
+		}
+		out[i] = sub[ri]
+		ri++
+	}
+	return out
+}
+
+// fillAllPermutations feeds every permutation of {0..n−1} into the store,
+// making the sampled-mode arrays exact up to floating point. It validates
+// the sampled merge coefficient n/(n−k) independently of sampling noise.
+func fillAllPermutations(g game.Game, ds *DeletionStore) {
+	n := g.N()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	prefix := bitset.New(n)
+	uEmpty := g.Value(bitset.New(n))
+	utilities := make([]float64, n)
+	var visit func(k int)
+	visit = func(k int) {
+		if k == n {
+			prefix.Clear()
+			for pos, p := range perm {
+				prefix.Add(p)
+				utilities[pos] = g.Value(prefix)
+			}
+			ds.AccumulatePermutation(perm, utilities, uEmpty)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			visit(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	visit(0)
+	ds.finishSampled()
+}
+
+func TestDeletionStoreExactFill(t *testing.T) {
+	g := tableGame{n: 7, seed: 61}
+	ds := PreprocessDeletionExact(g)
+	for p := 0; p < 7; p++ {
+		got, err := ds.Merge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expandDeleted(Exact(game.NewRestrict(g, p)), 7, p)
+		if d := maxAbsDiff(got, want); d > 1e-10 {
+			t.Fatalf("exact-fill Merge(%d): max diff %v\n got %v\nwant %v", p, d, got, want)
+		}
+	}
+}
+
+func TestDeletionStoreSampledCoefficientExactOnFullEnumeration(t *testing.T) {
+	// With ALL n! permutations accumulated, the sampled-semantics merge must
+	// recover the exact post-deletion Shapley values to machine precision —
+	// the decisive check of the derived n/(n−k) coefficient (the paper's
+	// printed (n−1)/(n−j) fails this test).
+	g := tableGame{n: 6, seed: 62}
+	ds := NewDeletionStore(6)
+	fillAllPermutations(g, ds)
+	for p := 0; p < 6; p++ {
+		got, err := ds.Merge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expandDeleted(Exact(game.NewRestrict(g, p)), 6, p)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("full-enumeration Merge(%d): max diff %v\n got %v\nwant %v", p, d, got, want)
+		}
+	}
+	// The SV accumulated during the fill must equal the exact SV too.
+	if d := maxAbsDiff(ds.SV, Exact(g)); d > 1e-9 {
+		t.Fatalf("fill SV diff %v", d)
+	}
+}
+
+func TestDeletionStoreSampledConverges(t *testing.T) {
+	g := tableGame{n: 8, seed: 63}
+	ds := PreprocessDeletion(g, 40000, rng.New(1))
+	for _, p := range []int{0, 4, 7} {
+		got, err := ds.Merge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expandDeleted(Exact(game.NewRestrict(g, p)), 8, p)
+		if mse := stat.MSE(got, want); mse > 2e-4 {
+			t.Fatalf("sampled Merge(%d) MSE = %v", p, mse)
+		}
+	}
+}
+
+func TestDeletionStoreNoNewEvaluations(t *testing.T) {
+	// Merging must not evaluate the game at all — the YN-NN selling point.
+	counting := game.NewCounting(tableGame{n: 6, seed: 64})
+	ds := PreprocessDeletion(counting, 100, rng.New(2))
+	counting.Reset()
+	if _, err := ds.Merge(3); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Calls() != 0 {
+		t.Fatalf("Merge evaluated the game %d times", counting.Calls())
+	}
+}
+
+func TestDeletionStoreMemoryBytes(t *testing.T) {
+	ds := NewDeletionStore(100)
+	want := int64(2 * 100 * 100 * 101 * 8)
+	if got := ds.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+	// n=100 should be ~16 MB, matching the paper's Table IX scale (15.25 MB).
+	if mb := float64(ds.MemoryBytes()) / (1 << 20); mb < 12 || mb > 20 {
+		t.Fatalf("n=100 memory = %.2f MB, expected ≈16 MB", mb)
+	}
+}
+
+func TestDeletionStoreMergeValidation(t *testing.T) {
+	ds := NewDeletionStore(4)
+	if _, err := ds.Merge(4); err == nil {
+		t.Fatal("out-of-range merge should fail")
+	}
+	if _, err := ds.Merge(-1); err == nil {
+		t.Fatal("negative merge should fail")
+	}
+}
+
+func TestDeletionStoreSinglePlayer(t *testing.T) {
+	g := tableGame{n: 1, seed: 65}
+	ds := PreprocessDeletion(g, 10, rng.New(3))
+	got, err := ds.Merge(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-player merge = %v", got)
+	}
+}
+
+func TestMultiDeletionExactFill(t *testing.T) {
+	g := tableGame{n: 7, seed: 66}
+	cands := []int{1, 3, 5, 6}
+	ms, err := PreprocessMultiDeletionExact(g, 2, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{1, 3}, {3, 5}, {1, 6}, {5, 6}}
+	for _, pr := range pairs {
+		got, err := ms.Merge(pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expandDeleted(Exact(game.NewRestrict(g, pr[0], pr[1])), 7, pr[0], pr[1])
+		if d := maxAbsDiff(got, want); d > 1e-10 {
+			t.Fatalf("exact multi Merge(%v): diff %v\n got %v\nwant %v", pr, d, got, want)
+		}
+	}
+}
+
+func TestMultiDeletionSampledCoefficientExactOnFullEnumeration(t *testing.T) {
+	g := tableGame{n: 6, seed: 67}
+	ms, err := NewMultiDeletionStore(6, 2, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed all 6! permutations.
+	n := 6
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	prefix := bitset.New(n)
+	uEmpty := g.Value(bitset.New(n))
+	utilities := make([]float64, n)
+	var visit func(k int)
+	visit = func(k int) {
+		if k == n {
+			prefix.Clear()
+			for pos, p := range perm {
+				prefix.Add(p)
+				utilities[pos] = g.Value(prefix)
+			}
+			ms.AccumulatePermutation(perm, utilities, uEmpty)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			visit(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	visit(0)
+	inv := 1 / float64(ms.tau)
+	for i := range ms.y {
+		ms.y[i] *= inv
+		ms.nn[i] *= inv
+	}
+	for _, pr := range [][2]int{{0, 2}, {0, 4}, {2, 4}} {
+		got, err := ms.Merge(pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := expandDeleted(Exact(game.NewRestrict(g, pr[0], pr[1])), 6, pr[0], pr[1])
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("full-enumeration multi Merge(%v): diff %v\n got %v\nwant %v", pr, d, got, want)
+		}
+	}
+}
+
+func TestMultiDeletionSampledConverges(t *testing.T) {
+	g := tableGame{n: 8, seed: 68}
+	ms, err := PreprocessMultiDeletion(g, 2, []int{1, 4, 6}, 40000, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ms.Merge(4, 1) // order must not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expandDeleted(Exact(game.NewRestrict(g, 1, 4)), 8, 1, 4)
+	if mse := stat.MSE(got, want); mse > 2e-4 {
+		t.Fatalf("sampled multi merge MSE = %v", mse)
+	}
+}
+
+func TestMultiDeletionD3(t *testing.T) {
+	g := tableGame{n: 7, seed: 69}
+	ms, err := PreprocessMultiDeletionExact(g, 3, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ms.Merge(0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expandDeleted(Exact(game.NewRestrict(g, 0, 2, 3)), 7, 0, 2, 3)
+	if d := maxAbsDiff(got, want); d > 1e-10 {
+		t.Fatalf("d=3 exact merge diff %v", d)
+	}
+}
+
+func TestMultiDeletionValidation(t *testing.T) {
+	if _, err := NewMultiDeletionStore(5, 0, []int{1}); err == nil {
+		t.Fatal("d=0 should fail")
+	}
+	if _, err := NewMultiDeletionStore(5, 2, []int{1}); err == nil {
+		t.Fatal("too few candidates should fail")
+	}
+	if _, err := NewMultiDeletionStore(5, 1, []int{7}); err == nil {
+		t.Fatal("out-of-range candidate should fail")
+	}
+	if _, err := NewMultiDeletionStore(5, 1, []int{1, 1}); err == nil {
+		t.Fatal("duplicate candidate should fail")
+	}
+	ms, err := NewMultiDeletionStore(5, 2, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Merge(0); err == nil {
+		t.Fatal("wrong deletion count should fail")
+	}
+	if _, err := ms.Merge(0, 3); err == nil {
+		t.Fatal("uncovered tuple should fail")
+	}
+}
+
+func TestMultiDeletionCandidates(t *testing.T) {
+	ms, err := NewMultiDeletionStore(6, 2, []int{5, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ms.Candidates()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Candidates = %v, want %v", got, want)
+		}
+	}
+	if ms.N() != 6 || ms.D() != 2 {
+		t.Fatalf("N/D = %d/%d", ms.N(), ms.D())
+	}
+	// 3 candidates choose 2 = 3 tuples; memory = 2·n·3·(n+1)·8 bytes.
+	want64 := int64(2 * 6 * 3 * 7 * 8)
+	if ms.MemoryBytes() != want64 {
+		t.Fatalf("MemoryBytes = %d, want %d", ms.MemoryBytes(), want64)
+	}
+}
+
+func TestMultiDeletionAgreesWithSingleStore(t *testing.T) {
+	// d=1 multi store must agree with the dedicated DeletionStore.
+	g := tableGame{n: 6, seed: 70}
+	ds := PreprocessDeletion(g, 5000, rng.New(5))
+	ms, err := PreprocessMultiDeletion(g, 1, []int{0, 1, 2, 3, 4, 5}, 5000, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 6; p++ {
+		a, err := ds.Merge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ms.Merge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(a, b); d > 1e-12 {
+			t.Fatalf("d=1 stores disagree at p=%d: %v", p, d)
+		}
+	}
+}
+
+func TestDeletionStoreBalanceOfMergedValues(t *testing.T) {
+	// Balance on the restricted game: Σ SV⁻ = U(N⁻) − U(∅).
+	g := tableGame{n: 6, seed: 71}
+	ds := PreprocessDeletionExact(g)
+	for p := 0; p < 6; p++ {
+		got, err := ds.Merge(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range got {
+			sum += v
+		}
+		rest := bitset.Full(6)
+		rest.Remove(p)
+		want := g.Value(rest) - g.Value(bitset.New(6))
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("balance after delete %d: ΣSV⁻ = %v, want %v", p, sum, want)
+		}
+	}
+}

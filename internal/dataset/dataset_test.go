@@ -1,0 +1,348 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynshap/internal/rng"
+)
+
+func sample() *Dataset {
+	return New([]Point{
+		{X: []float64{1, 2}, Y: 0},
+		{X: []float64{3, 4}, Y: 1},
+		{X: []float64{5, 6}, Y: 2},
+		{X: []float64{7, 8}, Y: 1},
+	})
+}
+
+func TestNewInfersClasses(t *testing.T) {
+	d := sample()
+	if d.Classes != 3 {
+		t.Fatalf("Classes = %d, want 3", d.Classes)
+	}
+	if d.Len() != 4 || d.Dim() != 2 {
+		t.Fatalf("Len=%d Dim=%d", d.Len(), d.Dim())
+	}
+	empty := New(nil)
+	if empty.Len() != 0 || empty.Dim() != 0 || empty.Classes != 0 {
+		t.Fatal("empty dataset misreported")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	d := sample()
+	c := d.Clone()
+	c.Points[0].X[0] = 99
+	c.Points[0].Y = 9
+	if d.Points[0].X[0] == 99 || d.Points[0].Y == 9 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sample()
+	s := d.Subset([]int{2, 0})
+	if s.Len() != 2 || s.Points[0].X[0] != 5 || s.Points[1].X[0] != 1 {
+		t.Fatalf("Subset wrong: %+v", s.Points)
+	}
+	s.Points[0].X[0] = -1
+	if d.Points[2].X[0] == -1 {
+		t.Fatal("Subset shares storage")
+	}
+}
+
+func TestAppendAndRemove(t *testing.T) {
+	d := sample()
+	bigger := d.Append(Point{X: []float64{9, 10}, Y: 3})
+	if d.Len() != 4 {
+		t.Fatal("Append mutated receiver")
+	}
+	if bigger.Len() != 5 || bigger.Classes != 4 {
+		t.Fatalf("Append result Len=%d Classes=%d", bigger.Len(), bigger.Classes)
+	}
+	smaller := d.Remove(1, 3)
+	if smaller.Len() != 2 || smaller.Points[0].Y != 0 || smaller.Points[1].Y != 2 {
+		t.Fatalf("Remove wrong: %+v", smaller.Points)
+	}
+	if d.Len() != 4 {
+		t.Fatal("Remove mutated receiver")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := sample()
+	train, test := d.Split(0.75)
+	if train.Len() != 3 || test.Len() != 1 {
+		t.Fatalf("Split sizes %d/%d", train.Len(), test.Len())
+	}
+	if test.Points[0].X[0] != 7 {
+		t.Fatal("Split did not preserve order")
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split(1.5) did not panic")
+		}
+	}()
+	sample().Split(1.5)
+}
+
+func TestStandardize(t *testing.T) {
+	d := New([]Point{
+		{X: []float64{1, 5}, Y: 0},
+		{X: []float64{3, 5}, Y: 0},
+	})
+	means, stds := d.Standardize()
+	if means[0] != 2 || stds[0] != 1 {
+		t.Fatalf("means/stds = %v/%v", means, stds)
+	}
+	if stds[1] != 1 {
+		t.Fatal("zero-variance feature should keep scale 1")
+	}
+	if d.Points[0].X[0] != -1 || d.Points[1].X[0] != 1 {
+		t.Fatalf("standardised values: %+v", d.Points)
+	}
+	if d.Points[0].X[1] != 0 {
+		t.Fatal("constant feature should centre to 0")
+	}
+	// ApplyStandardize maps a future point with the same affine transform.
+	x := []float64{2, 5}
+	ApplyStandardize(x, means, stds)
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("ApplyStandardize = %v", x)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if got := Euclidean([]float64{0, 3}, []float64{4, 0}); got != 5 {
+		t.Fatalf("Euclidean = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestNearest(t *testing.T) {
+	d := New([]Point{
+		{X: []float64{0, 0}, Y: 0},
+		{X: []float64{1, 0}, Y: 0},
+		{X: []float64{5, 5}, Y: 1},
+		{X: []float64{0.4, 0}, Y: 0},
+	})
+	got := d.Nearest([]float64{0, 0}, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Nearest = %v, want [0 3]", got)
+	}
+	if got := d.Nearest([]float64{0, 0}, 10); len(got) != 4 {
+		t.Fatalf("Nearest with k>n returned %d", len(got))
+	}
+	if got := d.Nearest([]float64{0, 0}, 0); got != nil {
+		t.Fatalf("Nearest with k=0 returned %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.Classes != d.Classes {
+		t.Fatalf("round trip Len=%d Classes=%d", back.Len(), back.Classes)
+	}
+	for i := range d.Points {
+		if back.Points[i].Y != d.Points[i].Y {
+			t.Fatalf("label %d changed", i)
+		}
+		for j := range d.Points[i].X {
+			if back.Points[i].X[j] != d.Points[i].X[j] {
+				t.Fatalf("feature (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	d := sample()
+	path := filepath.Join(t.TempDir(), "d.csv")
+	if err := d.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("Len = %d", back.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"1.0\n",            // too few fields
+		"1.0,2.0,x\n",      // bad label
+		"a,2.0,1\n",        // bad feature
+		"1,2,0\n1,2,3,0\n", // inconsistent dims
+		"1.0,2.0,-1\n",     // negative label
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestLoadCSVMissingFile(t *testing.T) {
+	if _, err := LoadCSV("/nonexistent/x.csv"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestIrisLike(t *testing.T) {
+	d := IrisLike(rng.New(1), 150)
+	if d.Len() != 150 || d.Dim() != 4 || d.Classes != 3 {
+		t.Fatalf("IrisLike shape: Len=%d Dim=%d Classes=%d", d.Len(), d.Dim(), d.Classes)
+	}
+	counts := make([]int, 3)
+	for _, p := range d.Points {
+		counts[p.Y]++
+	}
+	for c, cnt := range counts {
+		if cnt != 50 {
+			t.Errorf("class %d count = %d, want 50", c, cnt)
+		}
+	}
+	// Setosa (class 0) should have clearly smaller petal length (feature 2).
+	var m0, m12 float64
+	for _, p := range d.Points {
+		if p.Y == 0 {
+			m0 += p.X[2] / 50
+		} else {
+			m12 += p.X[2] / 100
+		}
+	}
+	if m0 >= m12-1 {
+		t.Errorf("class separation lost: setosa petal %.2f vs others %.2f", m0, m12)
+	}
+}
+
+func TestAdultLike(t *testing.T) {
+	d := AdultLike(rng.New(2), 5000)
+	if d.Len() != 5000 || d.Dim() != 3 || d.Classes != 2 {
+		t.Fatalf("AdultLike shape: Len=%d Dim=%d Classes=%d", d.Len(), d.Dim(), d.Classes)
+	}
+	pos := 0
+	for _, p := range d.Points {
+		pos += p.Y
+		if p.X[0] < 17 || p.X[0] > 90 {
+			t.Fatalf("age out of range: %v", p.X[0])
+		}
+	}
+	frac := float64(pos) / 5000
+	if frac < 0.18 || frac < 0 || frac > 0.34 {
+		t.Errorf("positive fraction = %.3f, want ≈0.24±0.10", frac)
+	}
+}
+
+func TestTwoGaussians(t *testing.T) {
+	d := TwoGaussians(rng.New(3), 200, 5, 4)
+	if d.Len() != 200 || d.Dim() != 5 || d.Classes != 2 {
+		t.Fatalf("TwoGaussians shape wrong")
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	d1 := sample()
+	d2 := sample()
+	d1.Shuffle(rng.New(7))
+	d2.Shuffle(rng.New(7))
+	for i := range d1.Points {
+		if d1.Points[i].X[0] != d2.Points[i].X[0] {
+			t.Fatal("same-seed shuffles differ")
+		}
+	}
+}
+
+// Property: standardisation yields per-feature mean ≈ 0 and variance ≈ 1
+// for any dataset with ≥2 distinct rows.
+func TestQuickStandardize(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		pts := make([]Point, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Point{X: []float64{float64(raw[i]), float64(raw[i+1])}, Y: 0})
+		}
+		d := New(pts)
+		d.Standardize()
+		n := float64(d.Len())
+		for j := 0; j < 2; j++ {
+			var mean, varr float64
+			for _, p := range d.Points {
+				mean += p.X[j]
+			}
+			mean /= n
+			for _, p := range d.Points {
+				varr += (p.X[j] - mean) * (p.X[j] - mean)
+			}
+			varr /= n
+			if math.Abs(mean) > 1e-9 {
+				return false
+			}
+			if varr != 0 && math.Abs(varr-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Nearest returns indices sorted by distance.
+func TestQuickNearestSorted(t *testing.T) {
+	f := func(raw []int8, kRaw uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		pts := make([]Point, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Point{X: []float64{float64(raw[i]), float64(raw[i+1])}, Y: 0})
+		}
+		d := New(pts)
+		k := 1 + int(kRaw)%d.Len()
+		q := []float64{0, 0}
+		got := d.Nearest(q, k)
+		if len(got) != k {
+			return false
+		}
+		prev := -1.0
+		for _, idx := range got {
+			dist := Euclidean(q, d.Points[idx].X)
+			if dist < prev {
+				return false
+			}
+			prev = dist
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

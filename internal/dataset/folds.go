@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"dynshap/internal/rng"
+)
+
+// KFold partitions the dataset into k folds and returns, for each fold, the
+// training set (the other folds) and the test set (the fold itself). The
+// dataset is shuffled with r first (pass nil to keep order). Valuation
+// users cross-validate the utility definition this way before committing to
+// an expensive Shapley run.
+func (d *Dataset) KFold(k int, r *rng.Source) ([]*Dataset, []*Dataset, error) {
+	n := d.Len()
+	if k < 2 || k > n {
+		return nil, nil, fmt.Errorf("dataset: KFold needs 2 ≤ k ≤ n, got k=%d n=%d", k, n)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if r != nil {
+		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	trains := make([]*Dataset, k)
+	tests := make([]*Dataset, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		testIdx := order[lo:hi]
+		trainIdx := make([]int, 0, n-(hi-lo))
+		trainIdx = append(trainIdx, order[:lo]...)
+		trainIdx = append(trainIdx, order[hi:]...)
+		trains[f] = d.Subset(trainIdx)
+		tests[f] = d.Subset(testIdx)
+	}
+	return trains, tests, nil
+}
+
+// Manhattan returns the L1 distance between feature vectors.
+func Manhattan(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("dataset: Manhattan dimension mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Cosine returns the cosine distance 1 − cos(a, b) ∈ [0, 2]. Zero vectors
+// are at distance 1 from everything (no direction information).
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("dataset: Cosine dimension mismatch")
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+}
+
+// ClassCounts returns how many points carry each label.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, p := range d.Points {
+		counts[p.Y]++
+	}
+	return counts
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"dynshap/internal/rng"
+)
+
+func TestKFoldPartitions(t *testing.T) {
+	d := IrisLike(rng.New(41), 30)
+	trains, tests, err := d.KFold(5, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trains) != 5 || len(tests) != 5 {
+		t.Fatalf("fold counts %d/%d", len(trains), len(tests))
+	}
+	totalTest := 0
+	for f := range trains {
+		if trains[f].Len()+tests[f].Len() != 30 {
+			t.Fatalf("fold %d sizes %d+%d != 30", f, trains[f].Len(), tests[f].Len())
+		}
+		totalTest += tests[f].Len()
+	}
+	if totalTest != 30 {
+		t.Fatalf("test folds cover %d points, want 30", totalTest)
+	}
+}
+
+func TestKFoldUnevenSizes(t *testing.T) {
+	d := IrisLike(rng.New(43), 10)
+	_, tests, err := d.KFold(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 into 3 folds: sizes 3, 4, 3 (floor boundaries).
+	sizes := []int{tests[0].Len(), tests[1].Len(), tests[2].Len()}
+	if sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Fatalf("fold sizes %v", sizes)
+	}
+	for _, s := range sizes {
+		if s < 3 || s > 4 {
+			t.Fatalf("unbalanced folds %v", sizes)
+		}
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	d := IrisLike(rng.New(44), 5)
+	if _, _, err := d.KFold(1, nil); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, _, err := d.KFold(6, nil); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestKFoldNoOverlap(t *testing.T) {
+	// Without shuffling, fold f's test rows must be absent from its train.
+	d := IrisLike(rng.New(45), 12)
+	trains, tests, err := d.KFold(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(p Point) [4]float64 {
+		var k [4]float64
+		copy(k[:], p.X)
+		return k
+	}
+	for f := range trains {
+		inTest := map[[4]float64]bool{}
+		for _, p := range tests[f].Points {
+			inTest[key(p)] = true
+		}
+		for _, p := range trains[f].Points {
+			if inTest[key(p)] {
+				t.Fatalf("fold %d train/test overlap", f)
+			}
+		}
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	if got := Manhattan([]float64{1, -2}, []float64{4, 2}); got != 7 {
+		t.Fatalf("Manhattan = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch should panic")
+		}
+	}()
+	Manhattan([]float64{1}, []float64{1, 2})
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{2, 0}); math.Abs(got) > 1e-12 {
+		t.Fatalf("parallel vectors distance = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("orthogonal vectors distance = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{-1, 0}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("opposite vectors distance = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 2}); got != 1 {
+		t.Fatalf("zero vector distance = %v", got)
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	d := New([]Point{
+		{X: []float64{0}, Y: 0},
+		{X: []float64{0}, Y: 2},
+		{X: []float64{0}, Y: 2},
+	})
+	counts := d.ClassCounts()
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 2 {
+		t.Fatalf("ClassCounts = %v", counts)
+	}
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import "dynshap/internal/rng"
+
+// The paper evaluates on UCI Iris (150×4, 3 classes) and UCI Adult (sampled
+// to 10 000 points, 3 features, binary label). This module is offline, so we
+// generate synthetic datasets matching those datasets' published class
+// structure and feature statistics. Every Shapley-maintenance algorithm
+// under test treats the utility as a black box, so only the coarse
+// statistics (dimensionality, separability, class balance, accuracy range of
+// the trained model) matter to the experimental shape; see DESIGN.md §4.
+
+// gaussianClass draws count points of class label around the given per-
+// feature means with the given per-feature standard deviations.
+func gaussianClass(r *rng.Source, count, label int, means, stds []float64) []Point {
+	pts := make([]Point, count)
+	for i := range pts {
+		x := make([]float64, len(means))
+		for j := range x {
+			x[j] = means[j] + stds[j]*r.NormFloat64()
+		}
+		pts[i] = Point{X: x, Y: label}
+	}
+	return pts
+}
+
+// IrisLike generates an Iris-style dataset: total points split evenly over 3
+// classes with 4 features (sepal length/width, petal length/width) whose
+// per-class means and spreads follow the published Iris statistics. Class 0
+// (setosa) is linearly separable from the others; classes 1 and 2
+// (versicolor/virginica) overlap, so model accuracy on subsets is noisy —
+// the regime the paper's MSE experiments live in.
+func IrisLike(r *rng.Source, total int) *Dataset {
+	per := total / 3
+	rem := total - 2*per
+	classes := []struct {
+		means, stds []float64
+		count       int
+	}{
+		{[]float64{5.01, 3.43, 1.46, 0.25}, []float64{0.35, 0.38, 0.17, 0.11}, per},
+		{[]float64{5.94, 2.77, 4.26, 1.33}, []float64{0.52, 0.31, 0.47, 0.20}, per},
+		{[]float64{6.59, 2.97, 5.55, 2.03}, []float64{0.64, 0.32, 0.55, 0.27}, rem},
+	}
+	var pts []Point
+	for label, c := range classes {
+		pts = append(pts, gaussianClass(r, c.count, label, c.means, c.stds)...)
+	}
+	d := New(pts)
+	d.Classes = 3
+	d.Shuffle(r)
+	return d
+}
+
+// AdultLike generates an Adult-census-style binary classification dataset
+// with 3 numeric features (age, education-num, hours-per-week), ~24% positive
+// class (income >50K), weakly informative features, and label noise — the
+// configuration of the paper's large-dataset experiment (§VII-G). A linear
+// model reaches roughly 0.76–0.85 accuracy, as on the real Adult data.
+func AdultLike(r *rng.Source, total int) *Dataset {
+	pts := make([]Point, total)
+	for i := range pts {
+		pos := r.Float64() < 0.24
+		var age, edu, hours float64
+		if pos {
+			age = clamp(44+10.5*r.NormFloat64(), 17, 90)
+			edu = clamp(11.6+2.4*r.NormFloat64(), 1, 16)
+			hours = clamp(45.5+11*r.NormFloat64(), 1, 99)
+		} else {
+			age = clamp(36.8+14*r.NormFloat64(), 17, 90)
+			edu = clamp(9.6+2.4*r.NormFloat64(), 1, 16)
+			hours = clamp(38.8+12.3*r.NormFloat64(), 1, 99)
+		}
+		y := 0
+		if pos {
+			y = 1
+		}
+		// 5% label noise keeps per-subset utilities from saturating.
+		if r.Float64() < 0.05 {
+			y = 1 - y
+		}
+		pts[i] = Point{X: []float64{age, edu, hours}, Y: y}
+	}
+	d := New(pts)
+	d.Classes = 2
+	return d
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// TwoGaussians generates a simple two-class d-dimensional benchmark with the
+// class means separated by `sep` standard deviations — convenient for unit
+// tests that need a dataset with a controllable difficulty.
+func TwoGaussians(r *rng.Source, total, dim int, sep float64) *Dataset {
+	m0 := make([]float64, dim)
+	m1 := make([]float64, dim)
+	s := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		m1[j] = sep / float64(dim)
+		s[j] = 1
+	}
+	per := total / 2
+	pts := append(gaussianClass(r, per, 0, m0, s), gaussianClass(r, total-per, 1, m1, s)...)
+	d := New(pts)
+	d.Classes = 2
+	d.Shuffle(r)
+	return d
+}

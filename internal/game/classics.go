@@ -1,0 +1,197 @@
+package game
+
+import (
+	"sort"
+
+	"dynshap/internal/bitset"
+)
+
+// Additive is the inessential game U(S) = Σ_{i∈S} w_i. Its Shapley values
+// are exactly the weights — the canonical sanity check for any estimator.
+type Additive struct {
+	Weights []float64
+}
+
+// N implements Game.
+func (g Additive) N() int { return len(g.Weights) }
+
+// Value implements Game.
+func (g Additive) Value(s bitset.Set) float64 {
+	v := 0.0
+	s.ForEach(func(i int) { v += g.Weights[i] })
+	return v
+}
+
+// ShapleyValues implements ExactShapley.
+func (g Additive) ShapleyValues() []float64 {
+	return append([]float64(nil), g.Weights...)
+}
+
+// Unanimity is the game U(S) = 1 iff S ⊇ T for a carrier coalition T.
+// Shapley values: 1/|T| for members of T, 0 otherwise — it exercises the
+// zero-element (null player) property.
+type Unanimity struct {
+	Players int
+	Carrier []int // distinct player indices
+}
+
+// N implements Game.
+func (g Unanimity) N() int { return g.Players }
+
+// Value implements Game.
+func (g Unanimity) Value(s bitset.Set) float64 {
+	for _, t := range g.Carrier {
+		if !s.Contains(t) {
+			return 0
+		}
+	}
+	return 1
+}
+
+// ShapleyValues implements ExactShapley.
+func (g Unanimity) ShapleyValues() []float64 {
+	sv := make([]float64, g.Players)
+	share := 1 / float64(len(g.Carrier))
+	for _, t := range g.Carrier {
+		sv[t] = share
+	}
+	return sv
+}
+
+// Glove is the glove-market game: players in L hold left gloves, players in
+// R hold right gloves, and U(S) = min(|S∩L|, |S∩R|) (pairs formed). For the
+// 3-player market L={0}, R={1,2} the exact values are (2/3, 1/6, 1/6);
+// general values are computed by the test suite through enumeration.
+type Glove struct {
+	Left  []int
+	Right []int
+	total int
+}
+
+// NewGlove builds a glove market. Player indices must partition 0..n−1.
+func NewGlove(left, right []int) Glove {
+	return Glove{Left: left, Right: right, total: len(left) + len(right)}
+}
+
+// N implements Game.
+func (g Glove) N() int { return g.total }
+
+// Value implements Game.
+func (g Glove) Value(s bitset.Set) float64 {
+	l, r := 0, 0
+	for _, i := range g.Left {
+		if s.Contains(i) {
+			l++
+		}
+	}
+	for _, i := range g.Right {
+		if s.Contains(i) {
+			r++
+		}
+	}
+	if l < r {
+		return float64(l)
+	}
+	return float64(r)
+}
+
+// Airport is Littlechild–Owen's airport game: player i needs a runway of
+// cost c_i and U(S) = max_{i∈S} c_i (cost games are usually stated as costs;
+// we use the value form, whose Shapley value has the same closed form).
+//
+// With costs sorted ascending c_(1) ≤ … ≤ c_(n), the Shapley value of the
+// player with the k-th smallest cost is Σ_{j=1..k} (c_(j) − c_(j−1))/(n−j+1).
+type Airport struct {
+	Costs []float64
+}
+
+// N implements Game.
+func (g Airport) N() int { return len(g.Costs) }
+
+// Value implements Game.
+func (g Airport) Value(s bitset.Set) float64 {
+	maxC := 0.0
+	s.ForEach(func(i int) {
+		if g.Costs[i] > maxC {
+			maxC = g.Costs[i]
+		}
+	})
+	return maxC
+}
+
+// ShapleyValues implements ExactShapley using the Littlechild–Owen formula.
+func (g Airport) ShapleyValues() []float64 {
+	n := len(g.Costs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.Costs[order[a]] < g.Costs[order[b]] })
+	sv := make([]float64, n)
+	acc := 0.0
+	prev := 0.0
+	for rank, p := range order {
+		// Segment (prev, c_p] is shared by the n−rank players with cost ≥ c_p.
+		acc += (g.Costs[p] - prev) / float64(n-rank)
+		sv[p] = acc
+		prev = g.Costs[p]
+	}
+	return sv
+}
+
+// WeightedVoting is the weighted majority game: U(S) = 1 iff the total
+// weight of S reaches Quota. Exact Shapley values (= Shapley–Shubik power
+// indices) are produced by enumeration in tests.
+type WeightedVoting struct {
+	Weights []float64
+	Quota   float64
+}
+
+// N implements Game.
+func (g WeightedVoting) N() int { return len(g.Weights) }
+
+// Value implements Game.
+func (g WeightedVoting) Value(s bitset.Set) float64 {
+	w := 0.0
+	s.ForEach(func(i int) { w += g.Weights[i] })
+	if w >= g.Quota {
+		return 1
+	}
+	return 0
+}
+
+// Symmetric is a game whose utility depends only on coalition size:
+// U(S) = f(|S|). All players share the same Shapley value
+// (f(n) − f(0)) / n by the balance and symmetry axioms.
+type Symmetric struct {
+	Players int
+	F       func(size int) float64
+}
+
+// N implements Game.
+func (g Symmetric) N() int { return g.Players }
+
+// Value implements Game.
+func (g Symmetric) Value(s bitset.Set) float64 { return g.F(s.Len()) }
+
+// ShapleyValues implements ExactShapley.
+func (g Symmetric) ShapleyValues() []float64 {
+	sv := make([]float64, g.Players)
+	share := (g.F(g.Players) - g.F(0)) / float64(g.Players)
+	for i := range sv {
+		sv[i] = share
+	}
+	return sv
+}
+
+// Sum is the player-wise sum of two games over the same player set. The
+// additivity axiom states SV_{A+B} = SV_A + SV_B; the property tests use it.
+type Sum struct {
+	A, B Game
+}
+
+// N implements Game.
+func (g Sum) N() int { return g.A.N() }
+
+// Value implements Game.
+func (g Sum) Value(s bitset.Set) float64 { return g.A.Value(s) + g.B.Value(s) }

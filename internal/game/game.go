@@ -1,0 +1,214 @@
+// Package game defines the cooperative-game abstraction the Shapley engine
+// operates on, together with a collection of classical games with
+// closed-form Shapley values used to validate every estimator, and utility
+// wrappers (caching, evaluation counting) shared by the machine-learning
+// valuation substrate.
+//
+// A cooperative game is a pair (N, U) of a player set N = {0, …, n−1} and a
+// characteristic (utility) function U: 2^N → ℝ. In data valuation the
+// players are training points and U(S) is the test performance of a model
+// trained on S; nothing in the Shapley engine depends on that
+// interpretation, which is why the paper's algorithms also apply to general
+// games (paper §I).
+package game
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dynshap/internal/bitset"
+)
+
+// Game is a cooperative game with a fixed player set.
+//
+// Implementations must be safe for concurrent Value calls; the engine's
+// parallel samplers evaluate coalitions from many goroutines.
+type Game interface {
+	// N returns the number of players.
+	N() int
+	// Value returns the utility U(S) of the coalition S.
+	// S must have capacity N().
+	Value(s bitset.Set) float64
+}
+
+// Func adapts a plain function to the Game interface.
+type Func struct {
+	Players int
+	U       func(s bitset.Set) float64
+}
+
+// N implements Game.
+func (f Func) N() int { return f.Players }
+
+// Value implements Game.
+func (f Func) Value(s bitset.Set) float64 { return f.U(s) }
+
+// ExactShapley is implemented by games whose Shapley values are known in
+// closed form. The test suite uses it to validate estimators independently
+// of the exact enumerator.
+type ExactShapley interface {
+	// ShapleyValues returns the exact Shapley value of every player.
+	ShapleyValues() []float64
+}
+
+// Counting wraps a game and counts utility evaluations. The experiment
+// harness reports evaluation counts alongside wall time because the paper's
+// large-dataset tables (XI–XIV) are dominated by #evaluations × training
+// time.
+type Counting struct {
+	inner Game
+	calls atomic.Int64
+}
+
+// NewCounting returns a counting wrapper around g.
+func NewCounting(g Game) *Counting { return &Counting{inner: g} }
+
+// N implements Game.
+func (c *Counting) N() int { return c.inner.N() }
+
+// Value implements Game.
+func (c *Counting) Value(s bitset.Set) float64 {
+	c.calls.Add(1)
+	return c.inner.Value(s)
+}
+
+// Calls returns the number of Value invocations so far.
+func (c *Counting) Calls() int64 { return c.calls.Load() }
+
+// Reset zeroes the call counter.
+func (c *Counting) Reset() { c.calls.Store(0) }
+
+// cacheStore is the shareable state behind Cached: the memoised values and
+// the lock guarding them.
+type cacheStore struct {
+	mu     sync.RWMutex
+	values map[string]float64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Cached wraps a game with a memoising coalition→utility cache. Model
+// training is by far the dominant cost of data valuation, and dynamic
+// updates re-evaluate many coalitions already seen while valuing the
+// original dataset (paper §I, motivating example), so the cache is what
+// makes "reuse" measurable.
+type Cached struct {
+	inner Game
+	store *cacheStore
+}
+
+// NewCached returns a caching wrapper around g.
+func NewCached(g Game) *Cached {
+	return &Cached{inner: g, store: &cacheStore{values: make(map[string]float64)}}
+}
+
+// NewCachedShared returns a caching wrapper around g that shares prev's
+// memoised values (and statistics). It supports growing a game by appended
+// players: coalitions over the original players keep identical keys, so
+// the expensive utilities computed before the growth keep serving hits.
+// It must NOT be used across player re-numberings (deletions) — build a
+// fresh cache there. A nil prev behaves like NewCached.
+func NewCachedShared(g Game, prev *Cached) *Cached {
+	if prev == nil {
+		return NewCached(g)
+	}
+	return &Cached{inner: g, store: prev.store}
+}
+
+// Fork returns a new Cached around inner, pre-warmed with a copy of c's
+// entries but with fresh statistics and independent storage. The experiment
+// harness uses it to hand every contender the same starting cache without
+// letting them warm each other's.
+func (c *Cached) Fork(inner Game) *Cached {
+	c.store.mu.RLock()
+	values := make(map[string]float64, len(c.store.values))
+	for k, v := range c.store.values {
+		values[k] = v
+	}
+	c.store.mu.RUnlock()
+	return &Cached{inner: inner, store: &cacheStore{values: values}}
+}
+
+// N implements Game.
+func (c *Cached) N() int { return c.inner.N() }
+
+// Value implements Game, consulting the cache first.
+func (c *Cached) Value(s bitset.Set) float64 {
+	k := s.Key()
+	c.store.mu.RLock()
+	v, ok := c.store.values[k]
+	c.store.mu.RUnlock()
+	if ok {
+		c.store.hits.Add(1)
+		return v
+	}
+	v = c.inner.Value(s)
+	c.store.mu.Lock()
+	c.store.values[k] = v
+	c.store.mu.Unlock()
+	c.store.misses.Add(1)
+	return v
+}
+
+// Stats returns the numbers of cache hits and misses so far.
+func (c *Cached) Stats() (hits, misses int64) {
+	return c.store.hits.Load(), c.store.misses.Load()
+}
+
+// Len returns the number of cached coalitions.
+func (c *Cached) Len() int {
+	c.store.mu.RLock()
+	defer c.store.mu.RUnlock()
+	return len(c.store.values)
+}
+
+// Purge drops all cached entries.
+func (c *Cached) Purge() {
+	c.store.mu.Lock()
+	c.store.values = make(map[string]float64)
+	c.store.mu.Unlock()
+}
+
+// Restrict presents a sub-game over the players NOT in `removed`, with
+// player indices renumbered to 0..n−|removed|−1 preserving order. It is how
+// the deletion algorithms view the post-deletion dataset N⁻: utilities of
+// coalitions in N⁻ are utilities of the same coalitions in the original
+// game, so a cached original game transparently serves both.
+type Restrict struct {
+	inner Game
+	// keep[i] is the original index of restricted player i.
+	keep []int
+}
+
+// NewRestrict returns the sub-game of g over all players except removed.
+func NewRestrict(g Game, removed ...int) *Restrict {
+	gone := bitset.New(g.N())
+	for _, p := range removed {
+		gone.Add(p)
+	}
+	keep := make([]int, 0, g.N()-gone.Len())
+	for i := 0; i < g.N(); i++ {
+		if !gone.Contains(i) {
+			keep = append(keep, i)
+		}
+	}
+	return &Restrict{inner: g, keep: keep}
+}
+
+// N implements Game.
+func (r *Restrict) N() int { return len(r.keep) }
+
+// Keep returns the original indices of the remaining players in order.
+func (r *Restrict) Keep() []int { return append([]int(nil), r.keep...) }
+
+// Value implements Game by translating the restricted coalition into the
+// original player numbering.
+func (r *Restrict) Value(s bitset.Set) float64 {
+	if s.Cap() != len(r.keep) {
+		panic(fmt.Sprintf("game: Restrict.Value set capacity %d, want %d", s.Cap(), len(r.keep)))
+	}
+	orig := bitset.New(r.inner.N())
+	s.ForEach(func(i int) { orig.Add(r.keep[i]) })
+	return r.inner.Value(orig)
+}

@@ -1,0 +1,90 @@
+package game
+
+import "fmt"
+
+// ShapleyShubik computes the exact Shapley values (power indices) of a
+// weighted voting game with integer weights, in pseudo-polynomial time
+// O(n²·W) via subset-sum dynamic programming with item removal — no 2^n
+// enumeration, so councils with hundreds of voters are exact.
+//
+// Player i is pivotal for a coalition S ∌ i iff w(S) < quota ≤ w(S) + w_i;
+// its Shapley value is Σ_s s!(n−1−s)!/n! · #{S : |S| = s, pivotal}. The DP
+// table counts subsets of all players by (size, weight); for each player the
+// counts excluding it are recovered by inverting the item insertion.
+func ShapleyShubik(weights []int, quota int) ([]float64, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, nil
+	}
+	total := 0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("game: negative weight %d at player %d", w, i)
+		}
+		total += w
+	}
+	if quota <= 0 || quota > total {
+		return nil, fmt.Errorf("game: quota %d outside (0, %d]", quota, total)
+	}
+	// count[s][w] = number of subsets of ALL players with size s, weight w.
+	count := make([][]float64, n+1)
+	for s := range count {
+		count[s] = make([]float64, total+1)
+	}
+	count[0][0] = 1
+	for _, wi := range weights {
+		for s := n - 1; s >= 0; s-- {
+			for w := total - wi; w >= 0; w-- {
+				if count[s][w] != 0 {
+					count[s+1][w+wi] += count[s][w]
+				}
+			}
+		}
+	}
+	// Positional weights s!(n−1−s)!/n! via the stable recurrence.
+	weight := make([]float64, n)
+	weight[0] = 1 / float64(n)
+	for s := 1; s < n; s++ {
+		weight[s] = weight[s-1] * float64(s) / float64(n-s)
+	}
+	sv := make([]float64, n)
+	// without[s][w] reused per player.
+	without := make([][]float64, n)
+	for s := range without {
+		without[s] = make([]float64, total+1)
+	}
+	for i, wi := range weights {
+		// Invert player i's insertion: subsets not containing i.
+		for w := 0; w <= total; w++ {
+			without[0][w] = count[0][w]
+		}
+		for s := 1; s < n; s++ {
+			for w := 0; w <= total; w++ {
+				c := count[s][w]
+				if w >= wi {
+					c -= without[s-1][w-wi]
+				}
+				without[s][w] = c
+			}
+		}
+		if wi == 0 {
+			continue // null voter: never pivotal
+		}
+		lo := quota - wi
+		if lo < 0 {
+			lo = 0
+		}
+		for s := 0; s < n; s++ {
+			pivotal := 0.0
+			hi := quota - 1
+			if hi > total {
+				hi = total
+			}
+			for w := lo; w <= hi; w++ {
+				pivotal += without[s][w]
+			}
+			sv[i] += weight[s] * pivotal
+		}
+	}
+	return sv, nil
+}

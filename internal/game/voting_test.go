@@ -1,0 +1,148 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+// exactByEnumeration computes Shapley values of a WeightedVoting game by
+// brute force, as an oracle for the DP.
+func exactByEnumeration(weights []float64, quota float64) []float64 {
+	n := len(weights)
+	g := WeightedVoting{Weights: weights, Quota: quota}
+	weight := make([]float64, n)
+	weight[0] = 1 / float64(n)
+	for s := 1; s < n; s++ {
+		weight[s] = weight[s-1] * float64(s) / float64(n-s)
+	}
+	sv := make([]float64, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		s := set(n)
+		size := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Add(i)
+				size++
+			}
+		}
+		base := g.Value(s)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				s.Add(i)
+				sv[i] += weight[size] * (g.Value(s) - base)
+				s.Remove(i)
+			}
+		}
+	}
+	return sv
+}
+
+func TestShapleyShubikMatchesEnumeration(t *testing.T) {
+	cases := []struct {
+		weights []int
+		quota   int
+	}{
+		{[]int{4, 2, 1}, 5},
+		{[]int{40, 25, 15, 10, 5, 5}, 51},
+		{[]int{1, 1, 1, 1, 1}, 3},
+		{[]int{10, 1, 1, 1}, 11},
+		{[]int{3, 3, 2, 2, 1, 1, 1}, 7},
+	}
+	for _, c := range cases {
+		got, err := ShapleyShubik(c.weights, c.quota)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf := make([]float64, len(c.weights))
+		for i, w := range c.weights {
+			wf[i] = float64(w)
+		}
+		want := exactByEnumeration(wf, float64(c.quota))
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("weights %v quota %d: got %v, want %v", c.weights, c.quota, got, want)
+			}
+		}
+	}
+}
+
+func TestShapleyShubikSumsToOne(t *testing.T) {
+	// Balance: the power indices of a decisive game sum to 1.
+	got, err := ShapleyShubik([]int{7, 4, 3, 3, 2, 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Fatalf("Σ power = %v, want 1", sum)
+	}
+}
+
+func TestShapleyShubikNullVoter(t *testing.T) {
+	// A 0-weight voter has zero power (zero element).
+	got, err := ShapleyShubik([]int{5, 3, 0}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 0 {
+		t.Fatalf("null voter power = %v", got[2])
+	}
+}
+
+func TestShapleyShubikDictator(t *testing.T) {
+	// A voter meeting the quota alone with no one else able to combine
+	// against it takes all the power.
+	got, err := ShapleyShubik([]int{10, 1, 1, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-1) > 1e-10 {
+		t.Fatalf("dictator power = %v, want 1", got[0])
+	}
+}
+
+func TestShapleyShubikLargeCouncil(t *testing.T) {
+	// 60 voters — far beyond 2^n enumeration — finishes instantly and
+	// respects symmetry and balance.
+	weights := make([]int, 60)
+	for i := range weights {
+		weights[i] = 1 + i%3
+	}
+	totalW := 0
+	for _, w := range weights {
+		totalW += w
+	}
+	got, err := ShapleyShubik(weights, totalW/2+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Σ power = %v", sum)
+	}
+	// Same-weight voters have identical power.
+	if math.Abs(got[0]-got[3]) > 1e-10 { // both weight 1
+		t.Fatalf("symmetric voters differ: %v vs %v", got[0], got[3])
+	}
+}
+
+func TestShapleyShubikValidation(t *testing.T) {
+	if _, err := ShapleyShubik([]int{1, -2}, 1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := ShapleyShubik([]int{1, 2}, 0); err == nil {
+		t.Error("zero quota should fail")
+	}
+	if _, err := ShapleyShubik([]int{1, 2}, 4); err == nil {
+		t.Error("unreachable quota should fail")
+	}
+	if got, err := ShapleyShubik(nil, 1); err != nil || got != nil {
+		t.Error("empty game should return nil, nil")
+	}
+}

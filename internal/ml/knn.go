@@ -1,0 +1,49 @@
+package ml
+
+import "dynshap/internal/dataset"
+
+// KNN is the k-nearest-neighbours classifier. It is "lazy" — Fit only
+// captures the training set — which makes it the cheapest realistic utility
+// model for large-scale Shapley experiments (cf. Jia et al.'s k-NN Shapley,
+// cited by the paper).
+type KNN struct {
+	// K is the number of neighbours. Zero selects 5.
+	K int
+}
+
+type knnModel struct {
+	train *dataset.Dataset
+	k     int
+}
+
+// Fit implements Trainer.
+func (t KNN) Fit(train *dataset.Dataset) Classifier {
+	if train.Len() == 0 {
+		return Constant{Label: 0}
+	}
+	k := t.K
+	if k == 0 {
+		k = 5
+	}
+	if k > train.Len() {
+		k = train.Len()
+	}
+	return &knnModel{train: train.Clone(), k: k}
+}
+
+// Predict implements Classifier by majority vote among the k nearest
+// training points, ties broken toward the smaller label.
+func (m *knnModel) Predict(x []float64) int {
+	neighbors := m.train.Nearest(x, m.k)
+	counts := make([]int, m.train.Classes)
+	for _, i := range neighbors {
+		counts[m.train.Points[i].Y]++
+	}
+	best := 0
+	for l, c := range counts {
+		if c > counts[best] {
+			best = l
+		}
+	}
+	return best
+}

@@ -1,0 +1,74 @@
+// Package ml implements the machine-learning substrate for data valuation:
+// small, from-scratch classifiers whose test accuracy serves as the
+// cooperative-game utility function. The paper uses scikit-learn's SVM; Go
+// has no comparable library, so this package provides a linear SVM trained
+// with the Pegasos stochastic sub-gradient method, a k-nearest-neighbours
+// classifier, logistic regression, and a majority-class baseline — all
+// deterministic given an explicit seed, as required for reproducible
+// valuation runs.
+package ml
+
+import "dynshap/internal/dataset"
+
+// Classifier predicts a class label for a feature vector.
+type Classifier interface {
+	Predict(x []float64) int
+}
+
+// Trainer fits a Classifier to a training set. Implementations must be
+// stateless (safe for concurrent Fit calls) and must tolerate empty or
+// single-class training sets, since Shapley computation evaluates utilities
+// of arbitrarily small coalitions including ∅.
+type Trainer interface {
+	Fit(train *dataset.Dataset) Classifier
+}
+
+// Constant always predicts the same label. It is both the fallback model for
+// degenerate training sets and the "empty coalition" model.
+type Constant struct{ Label int }
+
+// Predict implements Classifier.
+func (c Constant) Predict([]float64) int { return c.Label }
+
+// Accuracy returns the fraction of test points the classifier labels
+// correctly. An empty test set yields 0.
+func Accuracy(c Classifier, test *dataset.Dataset) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for _, p := range test.Points {
+		if c.Predict(p.X) == p.Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(test.Len())
+}
+
+// majorityLabel returns the most frequent label in d, breaking ties toward
+// the smaller label; 0 for an empty dataset.
+func majorityLabel(d *dataset.Dataset) int {
+	if d.Len() == 0 {
+		return 0
+	}
+	counts := make([]int, d.Classes)
+	for _, p := range d.Points {
+		counts[p.Y]++
+	}
+	best := 0
+	for l, c := range counts {
+		if c > counts[best] {
+			best = l
+		}
+	}
+	return best
+}
+
+// Majority is the trivial baseline that predicts the most frequent training
+// label.
+type Majority struct{}
+
+// Fit implements Trainer.
+func (Majority) Fit(train *dataset.Dataset) Classifier {
+	return Constant{Label: majorityLabel(train)}
+}

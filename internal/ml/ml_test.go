@@ -1,0 +1,225 @@
+package ml
+
+import (
+	"testing"
+
+	"dynshap/internal/dataset"
+	"dynshap/internal/rng"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{Label: 2}
+	if c.Predict([]float64{1, 2}) != 2 {
+		t.Fatal("Constant mispredicts")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	test := dataset.New([]dataset.Point{
+		{X: []float64{0}, Y: 0},
+		{X: []float64{0}, Y: 1},
+		{X: []float64{0}, Y: 1},
+		{X: []float64{0}, Y: 1},
+	})
+	if got := Accuracy(Constant{Label: 1}, test); got != 0.75 {
+		t.Fatalf("Accuracy = %v, want 0.75", got)
+	}
+	if got := Accuracy(Constant{Label: 0}, dataset.New(nil)); got != 0 {
+		t.Fatalf("Accuracy on empty test = %v, want 0", got)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	train := dataset.New([]dataset.Point{
+		{X: []float64{0}, Y: 1},
+		{X: []float64{0}, Y: 1},
+		{X: []float64{0}, Y: 0},
+	})
+	m := Majority{}.Fit(train)
+	if m.Predict([]float64{9}) != 1 {
+		t.Fatal("Majority should predict 1")
+	}
+	if (Majority{}).Fit(dataset.New(nil)).Predict(nil) != 0 {
+		t.Fatal("Majority on empty should predict 0")
+	}
+}
+
+func TestTrainersHandleDegenerateSets(t *testing.T) {
+	empty := dataset.New(nil)
+	single := dataset.New([]dataset.Point{{X: []float64{1, 2}, Y: 3}})
+	single.Classes = 4
+	trainers := []Trainer{SVM{}, KNN{}, LogReg{}, Majority{}}
+	for _, tr := range trainers {
+		if got := tr.Fit(empty).Predict([]float64{0, 0}); got != 0 {
+			t.Errorf("%T on empty set predicts %d, want 0", tr, got)
+		}
+	}
+	// A single-class set must predict that class everywhere.
+	for _, tr := range []Trainer{SVM{}, KNN{}, LogReg{}} {
+		if got := tr.Fit(single).Predict([]float64{-5, 7}); got != 3 {
+			t.Errorf("%T on single-class set predicts %d, want 3", tr, got)
+		}
+	}
+}
+
+func TestSVMSeparatesGaussians(t *testing.T) {
+	r := rng.New(42)
+	d := dataset.TwoGaussians(r, 400, 3, 8)
+	d.Standardize()
+	train, test := d.Split(0.7)
+	model := SVM{Seed: 1}.Fit(train)
+	if acc := Accuracy(model, test); acc < 0.9 {
+		t.Errorf("SVM accuracy = %.3f on well-separated data, want ≥0.9", acc)
+	}
+}
+
+func TestSVMMulticlassIris(t *testing.T) {
+	d := dataset.IrisLike(rng.New(7), 150)
+	d.Standardize()
+	train, test := d.Split(0.7)
+	model := SVM{Seed: 1}.Fit(train)
+	if acc := Accuracy(model, test); acc < 0.8 {
+		t.Errorf("SVM accuracy = %.3f on Iris-like, want ≥0.8", acc)
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	d := dataset.IrisLike(rng.New(9), 60)
+	d.Standardize()
+	a := SVM{Seed: 5}.Fit(d)
+	b := SVM{Seed: 5}.Fit(d)
+	for _, p := range d.Points {
+		if a.Predict(p.X) != b.Predict(p.X) {
+			t.Fatal("same-seed SVM training not deterministic")
+		}
+	}
+}
+
+func TestKNNClassifies(t *testing.T) {
+	train := dataset.New([]dataset.Point{
+		{X: []float64{0, 0}, Y: 0},
+		{X: []float64{0, 1}, Y: 0},
+		{X: []float64{1, 0}, Y: 0},
+		{X: []float64{10, 10}, Y: 1},
+		{X: []float64{10, 11}, Y: 1},
+		{X: []float64{11, 10}, Y: 1},
+	})
+	m := KNN{K: 3}.Fit(train)
+	if m.Predict([]float64{0.2, 0.2}) != 0 {
+		t.Error("KNN mislabels cluster 0")
+	}
+	if m.Predict([]float64{10.5, 10.5}) != 1 {
+		t.Error("KNN mislabels cluster 1")
+	}
+}
+
+func TestKNNKLargerThanTrain(t *testing.T) {
+	train := dataset.New([]dataset.Point{
+		{X: []float64{0}, Y: 0},
+		{X: []float64{1}, Y: 1},
+		{X: []float64{1.1}, Y: 1},
+	})
+	m := KNN{K: 50}.Fit(train)
+	if m.Predict([]float64{1}) != 1 {
+		t.Error("KNN with clamped k mispredicts")
+	}
+}
+
+func TestKNNIndependentOfLaterMutation(t *testing.T) {
+	train := dataset.New([]dataset.Point{
+		{X: []float64{0}, Y: 0},
+		{X: []float64{5}, Y: 1},
+	})
+	m := KNN{K: 1}.Fit(train)
+	train.Points[0].Y = 1 // mutate after fit
+	if m.Predict([]float64{0}) != 0 {
+		t.Error("KNN model shares storage with training set")
+	}
+}
+
+func TestLogRegSeparatesGaussians(t *testing.T) {
+	d := dataset.TwoGaussians(rng.New(11), 400, 3, 8)
+	d.Standardize()
+	train, test := d.Split(0.7)
+	model := LogReg{Seed: 1}.Fit(train)
+	if acc := Accuracy(model, test); acc < 0.9 {
+		t.Errorf("LogReg accuracy = %.3f, want ≥0.9", acc)
+	}
+}
+
+func TestLogRegMulticlass(t *testing.T) {
+	d := dataset.IrisLike(rng.New(13), 150)
+	d.Standardize()
+	train, test := d.Split(0.7)
+	model := LogReg{Seed: 1}.Fit(train)
+	if acc := Accuracy(model, test); acc < 0.8 {
+		t.Errorf("LogReg accuracy = %.3f on Iris-like, want ≥0.8", acc)
+	}
+}
+
+func TestSVMAdultLike(t *testing.T) {
+	d := dataset.AdultLike(rng.New(17), 1200)
+	d.Standardize()
+	train, test := d.Split(0.75)
+	model := SVM{Seed: 1}.Fit(train)
+	acc := Accuracy(model, test)
+	// Real Adult linear models reach ~0.76–0.85; synthetic should too.
+	if acc < 0.7 {
+		t.Errorf("SVM accuracy = %.3f on Adult-like, want ≥0.7", acc)
+	}
+}
+
+func BenchmarkSVMFit50(b *testing.B) {
+	d := dataset.IrisLike(rng.New(1), 50)
+	d.Standardize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SVM{Seed: uint64(i)}.Fit(d)
+	}
+}
+
+func BenchmarkKNNPredict(b *testing.B) {
+	d := dataset.IrisLike(rng.New(1), 150)
+	m := KNN{K: 5}.Fit(d)
+	x := d.Points[0].X
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+func TestLogRegWithL2(t *testing.T) {
+	d := dataset.TwoGaussians(rng.New(31), 300, 3, 8)
+	d.Standardize()
+	train, test := d.Split(0.7)
+	model := LogReg{Seed: 1, L2: 0.05}.Fit(train)
+	if acc := Accuracy(model, test); acc < 0.85 {
+		t.Errorf("regularised LogReg accuracy = %.3f", acc)
+	}
+}
+
+func TestSVMCustomLambdaAndEpochs(t *testing.T) {
+	d := dataset.TwoGaussians(rng.New(33), 300, 3, 8)
+	d.Standardize()
+	train, test := d.Split(0.7)
+	model := SVM{Seed: 1, Lambda: 1e-3, Epochs: 30}.Fit(train)
+	if acc := Accuracy(model, test); acc < 0.85 {
+		t.Errorf("custom SVM accuracy = %.3f", acc)
+	}
+}
+
+func TestBinaryLinearModelSignDecision(t *testing.T) {
+	// Binary problems use a single margin decided by sign; verify both
+	// labels are reachable.
+	train := dataset.New([]dataset.Point{
+		{X: []float64{-1}, Y: 0},
+		{X: []float64{-0.9}, Y: 0},
+		{X: []float64{1}, Y: 1},
+		{X: []float64{0.9}, Y: 1},
+	})
+	m := SVM{Seed: 2, Epochs: 50}.Fit(train)
+	if m.Predict([]float64{-2}) != 0 || m.Predict([]float64{2}) != 1 {
+		t.Error("binary SVM failed trivial separation")
+	}
+}

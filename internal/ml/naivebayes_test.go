@@ -1,0 +1,83 @@
+package ml
+
+import (
+	"testing"
+
+	"dynshap/internal/dataset"
+	"dynshap/internal/rng"
+)
+
+func TestNaiveBayesSeparatesGaussians(t *testing.T) {
+	d := dataset.TwoGaussians(rng.New(21), 400, 3, 8)
+	train, test := d.Split(0.7)
+	m := NaiveBayes{}.Fit(train)
+	if acc := Accuracy(m, test); acc < 0.9 {
+		t.Errorf("NB accuracy = %.3f, want ≥0.9", acc)
+	}
+}
+
+func TestNaiveBayesMulticlassIris(t *testing.T) {
+	d := dataset.IrisLike(rng.New(23), 150)
+	train, test := d.Split(0.7)
+	m := NaiveBayes{}.Fit(train)
+	if acc := Accuracy(m, test); acc < 0.85 {
+		t.Errorf("NB accuracy = %.3f on Iris-like, want ≥0.85 (NB suits Gaussian classes)", acc)
+	}
+}
+
+func TestNaiveBayesDegenerate(t *testing.T) {
+	if got := (NaiveBayes{}).Fit(dataset.New(nil)).Predict([]float64{1}); got != 0 {
+		t.Fatalf("NB on empty predicts %d", got)
+	}
+	single := dataset.New([]dataset.Point{{X: []float64{1, 2}, Y: 2}})
+	single.Classes = 3
+	if got := (NaiveBayes{}).Fit(single).Predict([]float64{9, 9}); got != 2 {
+		t.Fatalf("NB on single-class predicts %d", got)
+	}
+}
+
+func TestNaiveBayesConstantFeature(t *testing.T) {
+	// A zero-variance feature must not produce NaN/±Inf likelihoods.
+	train := dataset.New([]dataset.Point{
+		{X: []float64{1, 0}, Y: 0},
+		{X: []float64{1, 0.1}, Y: 0},
+		{X: []float64{1, 5}, Y: 1},
+		{X: []float64{1, 5.1}, Y: 1},
+	})
+	m := NaiveBayes{}.Fit(train)
+	if got := m.Predict([]float64{1, 0.05}); got != 0 {
+		t.Errorf("predict near cluster 0 = %d", got)
+	}
+	if got := m.Predict([]float64{1, 5.05}); got != 1 {
+		t.Errorf("predict near cluster 1 = %d", got)
+	}
+}
+
+func TestNaiveBayesMissingClass(t *testing.T) {
+	// Class 1 absent from training (Classes = 3 overall): prediction must
+	// never return it.
+	train := dataset.New([]dataset.Point{
+		{X: []float64{0}, Y: 0},
+		{X: []float64{0.2}, Y: 0},
+		{X: []float64{10}, Y: 2},
+		{X: []float64{10.1}, Y: 2},
+	})
+	train.Classes = 3
+	m := NaiveBayes{}.Fit(train)
+	for _, x := range []float64{-5, 0, 5, 10, 20} {
+		if got := m.Predict([]float64{x}); got == 1 {
+			t.Fatalf("predicted absent class at x=%v", x)
+		}
+	}
+}
+
+func TestNaiveBayesDeterministic(t *testing.T) {
+	d := dataset.IrisLike(rng.New(29), 60)
+	a := NaiveBayes{}.Fit(d)
+	b := NaiveBayes{}.Fit(d)
+	for _, p := range d.Points {
+		if a.Predict(p.X) != b.Predict(p.X) {
+			t.Fatal("NB training not deterministic")
+		}
+	}
+}

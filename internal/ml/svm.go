@@ -1,0 +1,129 @@
+package ml
+
+import (
+	"dynshap/internal/dataset"
+	"dynshap/internal/rng"
+)
+
+// SVM trains linear support-vector machines with the Pegasos stochastic
+// sub-gradient algorithm (Shalev-Shwartz et al., 2007). Multi-class problems
+// use one-vs-rest: one binary margin per class, prediction by maximum score.
+//
+// Pegasos minimises  λ/2‖w‖² + (1/m) Σ max(0, 1 − y⟨w,x⟩)  with step size
+// 1/(λt) at iteration t, which converges at Õ(1/(λT)) independent of the
+// training-set size — ideal here, where Shapley sampling trains the model on
+// hundreds of thousands of small coalitions.
+type SVM struct {
+	// Lambda is the regularisation strength λ. Zero selects the default 1e-2.
+	Lambda float64
+	// Epochs is the number of passes over the training set. Zero selects 20.
+	Epochs int
+	// Seed drives the (deterministic) sampling order.
+	Seed uint64
+}
+
+type linearModel struct {
+	// weights[c] is the weight vector of class c's one-vs-rest margin,
+	// with the bias stored in the final element.
+	weights [][]float64
+}
+
+func (m *linearModel) score(c int, x []float64) float64 {
+	w := m.weights[c]
+	s := w[len(w)-1] // bias
+	for j, xj := range x {
+		s += w[j] * xj
+	}
+	return s
+}
+
+// Predict implements Classifier by maximum one-vs-rest score. With a single
+// margin (binary problems) the sign decides.
+func (m *linearModel) Predict(x []float64) int {
+	if len(m.weights) == 1 {
+		if m.score(0, x) >= 0 {
+			return 1
+		}
+		return 0
+	}
+	best, bestScore := 0, m.score(0, x)
+	for c := 1; c < len(m.weights); c++ {
+		if s := m.score(c, x); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Fit implements Trainer.
+func (t SVM) Fit(train *dataset.Dataset) Classifier {
+	if train.Len() == 0 {
+		return Constant{Label: 0}
+	}
+	oneClass := true
+	first := train.Points[0].Y
+	for _, p := range train.Points {
+		if p.Y != first {
+			oneClass = false
+			break
+		}
+	}
+	if oneClass {
+		return Constant{Label: first}
+	}
+	lambda := t.Lambda
+	if lambda == 0 {
+		lambda = 1e-2
+	}
+	epochs := t.Epochs
+	if epochs == 0 {
+		epochs = 20
+	}
+	dim := train.Dim()
+	margins := train.Classes
+	if margins == 2 {
+		margins = 1 // binary: single margin, class 1 positive
+	}
+	m := &linearModel{weights: make([][]float64, margins)}
+	r := rng.New(t.Seed ^ 0x5f4dcc3b5aa765d6)
+	for c := range m.weights {
+		m.weights[c] = pegasosBinary(train, c, margins == 1, lambda, epochs, dim, r.Split())
+	}
+	return m
+}
+
+// pegasosBinary trains one binary margin: positive label is `pos` (or label
+// 1 when binary is true). Returns dim+1 weights (bias last).
+func pegasosBinary(train *dataset.Dataset, pos int, binary bool, lambda float64, epochs, dim int, r *rng.Source) []float64 {
+	w := make([]float64, dim+1)
+	n := train.Len()
+	step := 0
+	for e := 0; e < epochs; e++ {
+		for k := 0; k < n; k++ {
+			step++
+			p := train.Points[r.Intn(n)]
+			y := -1.0
+			if (binary && p.Y == 1) || (!binary && p.Y == pos) {
+				y = 1
+			}
+			eta := 1 / (lambda * float64(step))
+			margin := w[dim]
+			for j, xj := range p.X {
+				margin += w[j] * xj
+			}
+			// Regularisation shrinkage applies to the weight vector only
+			// (the bias is conventionally unregularised).
+			decay := 1 - eta*lambda
+			for j := 0; j < dim; j++ {
+				w[j] *= decay
+			}
+			if y*margin < 1 {
+				for j, xj := range p.X {
+					w[j] += eta * y * xj
+				}
+				w[dim] += eta * y
+			}
+		}
+	}
+	return w
+}

@@ -1,0 +1,156 @@
+package stat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a least-squares system is rank-deficient.
+var ErrSingular = errors.New("stat: singular least-squares system")
+
+// PolyFit fits a polynomial of the given degree to the points (xs, ys) by
+// ordinary least squares and returns its coefficients c so that
+//
+//	y ≈ c[0] + c[1]·x + … + c[degree]·x^degree.
+//
+// It solves the normal equations with partially pivoted Gaussian elimination,
+// which is ample for the low degrees (≤3) used by the KNN+ heuristic.
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		panic("stat: PolyFit length mismatch")
+	}
+	if degree < 0 {
+		panic("stat: PolyFit negative degree")
+	}
+	m := degree + 1
+	if len(xs) < m {
+		return nil, ErrInsufficientData
+	}
+	// Build the normal equations AᵀA c = Aᵀy with A the Vandermonde matrix.
+	ata := make([][]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m+1)
+	}
+	pows := make([]float64, 2*m-1)
+	for _, x := range xs {
+		p := 1.0
+		for k := range pows {
+			pows[k] += p
+			p *= x
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			ata[i][j] = pows[i+j]
+		}
+	}
+	for k, x := range xs {
+		p := 1.0
+		for i := 0; i < m; i++ {
+			ata[i][m] += p * ys[k]
+			p *= x
+		}
+	}
+	return solveAugmented(ata)
+}
+
+// solveAugmented solves the m×(m+1) augmented system in place.
+func solveAugmented(a [][]float64) ([]float64, error) {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= m; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		s := a[i][m]
+		for j := i + 1; j < m; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// PolyEval evaluates the polynomial with coefficients c (as returned by
+// PolyFit) at x using Horner's rule.
+func PolyEval(c []float64, x float64) float64 {
+	y := 0.0
+	for i := len(c) - 1; i >= 0; i-- {
+		y = y*x + c[i]
+	}
+	return y
+}
+
+// ExpDecayFit fits y ≈ a·exp(−λ·x) to the points, where all ys must share one
+// sign, by linear regression of ln|y| on x. It returns (a, λ). This is the
+// curve family the paper's Figure 2 motivates for KNN+: the magnitude of a
+// Shapley value change decays with distance from the new point.
+func ExpDecayFit(xs, ys []float64) (a, lambda float64, err error) {
+	if len(xs) != len(ys) {
+		panic("stat: ExpDecayFit length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	sgn := 0.0
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i, y := range ys {
+		if y == 0 {
+			continue
+		}
+		s := math.Copysign(1, y)
+		if sgn == 0 {
+			sgn = s
+		} else if s != sgn {
+			return 0, 0, errors.New("stat: ExpDecayFit requires single-signed ys")
+		}
+		lx = append(lx, xs[i])
+		ly = append(ly, math.Log(math.Abs(y)))
+	}
+	if len(lx) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	c, err := PolyFit(lx, ly, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sgn * math.Exp(c[0]), -c[1], nil
+}
+
+// RSquared returns the coefficient of determination of predictions against
+// observations, or 0 when the observations are constant.
+func RSquared(pred, obs []float64) float64 {
+	if len(pred) != len(obs) {
+		panic("stat: RSquared length mismatch")
+	}
+	if len(obs) == 0 {
+		return 0
+	}
+	m := Mean(obs)
+	var ssRes, ssTot float64
+	for i := range obs {
+		ssRes += (obs[i] - pred[i]) * (obs[i] - pred[i])
+		ssTot += (obs[i] - m) * (obs[i] - m)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,67 @@
+package stat
+
+import (
+	"math"
+	"sort"
+)
+
+// Spearman returns the Spearman rank-correlation coefficient between two
+// paired samples, with average ranks for ties. Valuation practitioners care
+// about it alongside MSE: data selection and compensation ordering depend
+// only on the RANKS of the Shapley estimates, so an estimator with a worse
+// MSE but better rank agreement can still be the better business choice.
+// It returns 0 when either sample is constant (no ordering information).
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stat: Spearman length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	return pearson(rx, ry)
+}
+
+// ranks returns average ranks (1-based) with ties sharing their mean rank.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j share the average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// pearson returns the Pearson correlation of two equal-length samples,
+// or 0 when either is constant.
+func pearson(xs, ys []float64) float64 {
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy))
+}

@@ -1,0 +1,104 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpearmanPerfectAgreement(t *testing.T) {
+	xs := []float64{1, 5, 3, 9}
+	ys := []float64{10, 50, 30, 90}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want 1", got)
+	}
+}
+
+func TestSpearmanPerfectDisagreement(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{4, 3, 2, 1}
+	if got := Spearman(xs, ys); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want -1", got)
+	}
+}
+
+func TestSpearmanKnownValue(t *testing.T) {
+	// Classic textbook pairs: ranks of ys vs xs differ partially.
+	xs := []float64{106, 86, 100, 101, 99, 103, 97, 113, 112, 110}
+	ys := []float64{7, 0, 27, 50, 28, 29, 20, 12, 6, 17}
+	// Known Spearman ρ ≈ −0.1758 for this example.
+	if got := Spearman(xs, ys); math.Abs(got-(-0.17575757575757575)) > 1e-9 {
+		t.Fatalf("Spearman = %v, want ≈-0.1758", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Ties get average ranks: (1,1,2) vs (1,1,2) is still perfect.
+	if got := Spearman([]float64{1, 1, 2}, []float64{5, 5, 9}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("tied Spearman = %v, want 1", got)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if Spearman([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("single pair should give 0")
+	}
+	if Spearman([]float64{3, 3, 3}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant sample should give 0")
+	}
+}
+
+func TestSpearmanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Spearman([]float64{1}, []float64{1, 2})
+}
+
+// Property: Spearman is invariant under strictly monotone transforms.
+func TestQuickSpearmanMonotoneInvariant(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+			ys[i] = float64(i%5) - float64(r)/3
+		}
+		base := Spearman(xs, ys)
+		warped := make([]float64, len(xs))
+		for i, x := range xs {
+			warped[i] = x*x*x + 2*x // strictly increasing
+		}
+		return math.Abs(Spearman(warped, ys)-base) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranks are a permutation of average ranks summing to n(n+1)/2.
+func TestQuickRanksSum(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		sum := 0.0
+		for _, r := range ranks(xs) {
+			sum += r
+		}
+		n := float64(len(xs))
+		return math.Abs(sum-n*(n+1)/2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

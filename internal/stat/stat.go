@@ -1,0 +1,264 @@
+// Package stat provides the statistical machinery used by the valuation
+// engine and the experiment harness: descriptive statistics, mean-squared
+// error, Hoeffding sample-size bounds (Theorems 1, 2 and 4 of the paper),
+// Welch's t-test for the paper's MSE-difference p-values, and least-squares
+// curve fitting for the KNN+ heuristic.
+package stat
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n−1) sample variance of xs,
+// or 0 when fewer than two samples are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MSE returns the mean squared error between estimate and truth.
+// It panics if the slices have different lengths or are empty.
+func MSE(estimate, truth []float64) float64 {
+	if len(estimate) != len(truth) {
+		panic("stat: MSE length mismatch")
+	}
+	if len(estimate) == 0 {
+		panic("stat: MSE of empty slices")
+	}
+	s := 0.0
+	for i := range estimate {
+		d := estimate[i] - truth[i]
+		s += d * d
+	}
+	return s / float64(len(estimate))
+}
+
+// MAE returns the mean absolute error between estimate and truth.
+func MAE(estimate, truth []float64) float64 {
+	if len(estimate) != len(truth) {
+		panic("stat: MAE length mismatch")
+	}
+	if len(estimate) == 0 {
+		panic("stat: MAE of empty slices")
+	}
+	s := 0.0
+	for i := range estimate {
+		s += math.Abs(estimate[i] - truth[i])
+	}
+	return s / float64(len(estimate))
+}
+
+// HoeffdingSamples returns the number of i.i.d. samples of a random variable
+// with range width `width` (= b−a) required so that the sample mean is within
+// eps of the true mean with probability at least 1−delta:
+//
+//	τ ≥ width² · ln(2/δ) / (2 ε²)
+//
+// This is the bound behind Theorem 1 of the paper with width = 2r.
+func HoeffdingSamples(width, eps, delta float64) int {
+	if width <= 0 || eps <= 0 || delta <= 0 || delta >= 1 {
+		panic("stat: HoeffdingSamples requires width>0, eps>0, 0<delta<1")
+	}
+	tau := width * width * math.Log(2/delta) / (2 * eps * eps)
+	return int(math.Ceil(tau))
+}
+
+// PivotSamples returns Theorem 1's sample size for the pivot-based algorithm
+// with marginal-contribution range [−r, r]: τ ≥ 2 r² ln(2/δ) / ε².
+func PivotSamples(r, eps, delta float64) int {
+	return HoeffdingSamples(2*r, eps, delta)
+}
+
+// DeltaAddSamples returns Theorem 2's sample size for the delta-based
+// addition algorithm: τ ≥ 2 n² d² ln(2/δ) / ((n+1)² ε²), where d bounds the
+// absolute differential marginal contribution and n is the original size.
+func DeltaAddSamples(n int, d, eps, delta float64) int {
+	if n <= 0 {
+		panic("stat: DeltaAddSamples requires n>0")
+	}
+	scale := float64(n) / float64(n+1)
+	return HoeffdingSamples(2*d*scale, eps, delta)
+}
+
+// DeltaDeleteSamples returns Theorem 4's sample size for the delta-based
+// deletion algorithm: τ ≥ 2 (n−1)² d² ln(2/δ) / (n² ε²).
+func DeltaDeleteSamples(n int, d, eps, delta float64) int {
+	if n <= 1 {
+		panic("stat: DeltaDeleteSamples requires n>1")
+	}
+	scale := float64(n-1) / float64(n)
+	return HoeffdingSamples(2*d*scale, eps, delta)
+}
+
+// Welch holds the result of Welch's unequal-variance two-sample t-test.
+type Welch struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// ErrInsufficientData is returned when a test needs more observations.
+var ErrInsufficientData = errors.New("stat: insufficient data")
+
+// WelchTTest performs Welch's two-sample t-test on xs and ys and returns the
+// two-sided p-value. The paper reports such p-values for the differences
+// between the MSEs of each algorithm and plain Monte Carlo.
+func WelchTTest(xs, ys []float64) (Welch, error) {
+	nx, ny := float64(len(xs)), float64(len(ys))
+	if nx < 2 || ny < 2 {
+		return Welch{}, ErrInsufficientData
+	}
+	mx, my := Mean(xs), Mean(ys)
+	vx, vy := Variance(xs), Variance(ys)
+	sx, sy := vx/nx, vy/ny
+	se := math.Sqrt(sx + sy)
+	if se == 0 {
+		if mx == my {
+			return Welch{T: 0, DF: nx + ny - 2, P: 1}, nil
+		}
+		return Welch{T: math.Inf(sign(mx - my)), DF: nx + ny - 2, P: 0}, nil
+	}
+	t := (mx - my) / se
+	df := (sx + sy) * (sx + sy) / (sx*sx/(nx-1) + sy*sy/(ny-1))
+	p := 2 * studentTSF(math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return Welch{T: t, DF: df, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTSF returns P(T > t) for T ~ Student-t with df degrees of freedom,
+// t >= 0, via the regularised incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * RegIncBeta(df/2, 0.5, x)
+}
+
+// LogGamma returns ln Γ(x) for x > 0 (Lanczos approximation, g=7, n=9).
+func LogGamma(x float64) float64 {
+	if x <= 0 {
+		panic("stat: LogGamma requires x > 0")
+	}
+	var lanczos = [...]float64{
+		0.99999999999980993,
+		676.5203681218851,
+		-1259.1392167224028,
+		771.32342877765313,
+		-176.61502916214059,
+		12.507343278686905,
+		-0.13857109526572012,
+		9.9843695780195716e-6,
+		1.5056327351493116e-7,
+	}
+	if x < 0.5 {
+		// Reflection formula.
+		return math.Log(math.Pi/math.Sin(math.Pi*x)) - LogGamma(1-x)
+	}
+	x--
+	a := lanczos[0]
+	t := x + 7.5
+	for i := 1; i < len(lanczos); i++ {
+		a += lanczos[i] / (x + float64(i))
+	}
+	return 0.5*math.Log(2*math.Pi) + (x+0.5)*math.Log(t) - t + math.Log(a)
+}
+
+// RegIncBeta returns the regularised incomplete beta function I_x(a, b)
+// evaluated by the continued-fraction expansion (Numerical Recipes betacf).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	ln := LogGamma(a+b) - LogGamma(a) - LogGamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(ln)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

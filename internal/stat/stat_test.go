@@ -1,0 +1,311 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "Mean")
+	approx(t, Variance(xs), 32.0/7, 1e-12, "Variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7), 1e-12, "StdDev")
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestMSEAndMAE(t *testing.T) {
+	est := []float64{1, 2, 3}
+	tru := []float64{1, 1, 5}
+	approx(t, MSE(est, tru), (0.0+1+4)/3, 1e-12, "MSE")
+	approx(t, MAE(est, tru), (0.0+1+2)/3, 1e-12, "MAE")
+}
+
+func TestMSEPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MSE([]float64{1}, []float64{1, 2}) },
+		func() { MSE(nil, nil) },
+		func() { MAE([]float64{1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHoeffdingSamples(t *testing.T) {
+	// width=2, eps=0.1, delta=0.05: τ = 4·ln40/0.02 ≈ 737.8 → 738.
+	got := HoeffdingSamples(2, 0.1, 0.05)
+	want := int(math.Ceil(4 * math.Log(40) / 0.02))
+	if got != want {
+		t.Errorf("HoeffdingSamples = %d, want %d", got, want)
+	}
+	// Monotonicity: tighter eps needs more samples.
+	if HoeffdingSamples(2, 0.05, 0.05) <= got {
+		t.Error("smaller eps should need more samples")
+	}
+	if HoeffdingSamples(2, 0.1, 0.01) <= got {
+		t.Error("smaller delta should need more samples")
+	}
+}
+
+func TestTheoremSampleSizes(t *testing.T) {
+	// Theorem 1: τ ≥ 2r² ln(2/δ)/ε².
+	r, eps, delta := 0.5, 0.01, 0.05
+	want := int(math.Ceil(2 * r * r * math.Log(2/delta) / (eps * eps)))
+	if got := PivotSamples(r, eps, delta); got != want {
+		t.Errorf("PivotSamples = %d, want %d", got, want)
+	}
+	// Theorem 2: τ ≥ 2n²d² ln(2/δ)/((n+1)²ε²) — strictly below Theorem 1's
+	// bound whenever d < r (the delta-based advantage).
+	n, d := 100, 0.1
+	wantAdd := int(math.Ceil(2 * float64(n*n) * d * d * math.Log(2/delta) /
+		(float64((n+1)*(n+1)) * eps * eps)))
+	if got := DeltaAddSamples(n, d, eps, delta); got != wantAdd {
+		t.Errorf("DeltaAddSamples = %d, want %d", got, wantAdd)
+	}
+	if DeltaAddSamples(n, d, eps, delta) >= PivotSamples(r, eps, delta) {
+		t.Error("delta bound should beat pivot bound when d << r")
+	}
+	// Theorem 4: τ ≥ 2(n−1)²d² ln(2/δ)/(n²ε²).
+	wantDel := int(math.Ceil(2 * float64((n-1)*(n-1)) * d * d * math.Log(2/delta) /
+		(float64(n*n) * eps * eps)))
+	if got := DeltaDeleteSamples(n, d, eps, delta); got != wantDel {
+		t.Errorf("DeltaDeleteSamples = %d, want %d", got, wantDel)
+	}
+}
+
+func TestLogGamma(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+		{10.5, 13.940625219403763}, // math.lgamma reference
+	}
+	for _, c := range cases {
+		approx(t, LogGamma(c.x), c.want, 1e-10, "LogGamma")
+	}
+}
+
+func TestRegIncBeta(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		approx(t, RegIncBeta(1, 1, x), x, 1e-10, "I_x(1,1)")
+	}
+	// I_x(2,2) = 3x² − 2x³.
+	for _, x := range []float64{0.1, 0.5, 0.8} {
+		approx(t, RegIncBeta(2, 2, x), 3*x*x-2*x*x*x, 1e-10, "I_x(2,2)")
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	approx(t, RegIncBeta(3.5, 1.25, 0.3), 1-RegIncBeta(1.25, 3.5, 0.7), 1e-10, "beta symmetry")
+}
+
+func TestWelchTTestKnownValue(t *testing.T) {
+	// Classic example with clearly different means.
+	x := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	y := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5}
+	w, err := WelchTTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference computed independently in Python (Welch formula + lgamma
+	// incomplete beta): t≈−2.70778, df≈26.9527, p≈0.0116162.
+	approx(t, w.T, -2.70778, 5e-5, "Welch t")
+	approx(t, w.DF, 26.9527, 5e-4, "Welch df")
+	approx(t, w.P, 0.0116162, 5e-6, "Welch p")
+}
+
+func TestStudentTLargeDFMatchesNormal(t *testing.T) {
+	// For df → ∞ the Student-t tail converges to the normal tail:
+	// P(T>1.959964) → 0.025. At df=1e6 they agree to ~1e-6.
+	p := 2 * studentTSF(1.959964, 1e6)
+	approx(t, p, 0.05, 1e-4, "two-sided p at z=1.96, df=1e6")
+	// And the Cauchy case df=1 has closed form: P(T>t) = 1/2 − atan(t)/π.
+	for _, x := range []float64{0.5, 1, 2, 5} {
+		want := 0.5 - math.Atan(x)/math.Pi
+		approx(t, studentTSF(x, 1), want, 1e-10, "Cauchy tail")
+	}
+}
+
+func TestWelchTTestIdenticalSamples(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	w, err := WelchTTest(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, w.T, 0, 1e-12, "t on identical samples")
+	approx(t, w.P, 1, 1e-9, "p on identical samples")
+}
+
+func TestWelchTTestZeroVariance(t *testing.T) {
+	w, err := WelchTTest([]float64{1, 1, 1}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.P != 0 {
+		t.Errorf("p = %v for disjoint constants, want 0", w.P)
+	}
+	w, err = WelchTTest([]float64{3, 3}, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.P != 1 {
+		t.Errorf("p = %v for equal constants, want 1", w.P)
+	}
+}
+
+func TestWelchTTestInsufficient(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestPolyFitExact(t *testing.T) {
+	// y = 2 − 3x + 0.5x² fitted through 5 points must be recovered exactly.
+	xs := []float64{-2, -1, 0, 1, 2}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 - 3*x + 0.5*x*x
+	}
+	c, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, c[0], 2, 1e-9, "c0")
+	approx(t, c[1], -3, 1e-9, "c1")
+	approx(t, c[2], 0.5, 1e-9, "c2")
+	approx(t, PolyEval(c, 3), 2-9+4.5, 1e-9, "PolyEval")
+}
+
+func TestPolyFitInsufficient(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 2); err != ErrInsufficientData {
+		t.Errorf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestPolyFitSingular(t *testing.T) {
+	// All x identical → Vandermonde rank 1 → singular for degree ≥ 1.
+	if _, err := PolyFit([]float64{2, 2, 2}, []float64{1, 2, 3}, 1); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestExpDecayFit(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = -0.04 * math.Exp(-1.3*x) // negative branch, as for same-label ΔSV
+	}
+	a, l, err := ExpDecayFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a, -0.04, 1e-9, "amplitude")
+	approx(t, l, 1.3, 1e-9, "lambda")
+}
+
+func TestExpDecayFitMixedSigns(t *testing.T) {
+	if _, _, err := ExpDecayFit([]float64{0, 1, 2}, []float64{1, -1, 1}); err == nil {
+		t.Error("mixed-sign fit should fail")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	approx(t, RSquared(obs, obs), 1, 1e-12, "perfect fit R²")
+	if RSquared([]float64{0, 0, 0, 0}, obs) >= 1 {
+		t.Error("bad fit should have R² < 1")
+	}
+	if RSquared([]float64{1, 1}, []float64{2, 2}) != 0 {
+		t.Error("constant observations give R² = 0 by convention")
+	}
+}
+
+// Property: MSE is non-negative and zero iff slices match.
+func TestQuickMSENonNegative(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		m := MSE(a[:n], b[:n])
+		if m < 0 {
+			return false
+		}
+		same := true
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				same = false
+			}
+		}
+		return !same || m == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation-invariant and scales quadratically.
+func TestQuickVarianceAffine(t *testing.T) {
+	f := func(xs []float64, shiftRaw int8) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e6 {
+				return true // skip pathological magnitudes
+			}
+		}
+		shift := float64(shiftRaw)
+		shifted := make([]float64, len(xs))
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+			scaled[i] = 2 * x
+		}
+		v := Variance(xs)
+		tol := 1e-7 * (1 + v)
+		return math.Abs(Variance(shifted)-v) < tol &&
+			math.Abs(Variance(scaled)-4*v) < 4*tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: I_x(a,b) is monotone in x.
+func TestQuickRegIncBetaMonotone(t *testing.T) {
+	f := func(aRaw, bRaw uint8, x1Raw, x2Raw uint16) bool {
+		a := 0.5 + float64(aRaw%40)/4
+		b := 0.5 + float64(bRaw%40)/4
+		x1 := float64(x1Raw) / 65536
+		x2 := float64(x2Raw) / 65536
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return RegIncBeta(a, b, x1) <= RegIncBeta(a, b, x2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

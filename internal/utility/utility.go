@@ -1,0 +1,144 @@
+// Package utility turns machine-learning training runs into cooperative-game
+// utility functions: U(S) = score of a model trained on the coalition S of
+// training points, evaluated on a held-out test set (the interpretation used
+// throughout the paper).
+//
+// Two properties matter for valuation correctness and are enforced here:
+//
+//  1. Determinism — U(S) must return the same value every time it is asked
+//     about the same coalition, or estimators see phantom noise and caches
+//     poison results. The per-fit RNG seed is therefore derived from the
+//     coalition content itself.
+//  2. Observability — dynamic algorithms win by avoiding model trainings, so
+//     the layer exposes training counts and supports a simulated per-training
+//     latency for reproducing the paper's wall-clock tables on hardware
+//     much smaller than the authors' testbed.
+package utility
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/dataset"
+	"dynshap/internal/ml"
+)
+
+// ModelUtility is a game.Game whose value is the test accuracy of a model
+// trained on the coalition.
+type ModelUtility struct {
+	train   *dataset.Dataset
+	test    *dataset.Dataset
+	trainer ml.Trainer
+	// EmptyValue is U(∅). The conventional choice — used here — is the
+	// accuracy of the trivial always-predict-0 model, so marginal
+	// contributions of first points are meaningful.
+	emptyValue float64
+	// delay, when positive, is slept on every training run to emulate the
+	// paper's expensive models (T in Theorems 1–4).
+	delay time.Duration
+	fits  atomic.Int64
+}
+
+// Option configures a ModelUtility.
+type Option func(*ModelUtility)
+
+// WithSimulatedLatency makes every Value call sleep for d, emulating a model
+// whose training dominates runtime (the paper's SVM on Adult).
+func WithSimulatedLatency(d time.Duration) Option {
+	return func(u *ModelUtility) { u.delay = d }
+}
+
+// WithEmptyValue overrides U(∅).
+func WithEmptyValue(v float64) Option {
+	return func(u *ModelUtility) { u.emptyValue = v }
+}
+
+// NewModelUtility builds the utility for valuing the points of train with
+// the given trainer, scored on test. Both datasets are cloned; later
+// mutation of the arguments does not affect the utility.
+func NewModelUtility(train, test *dataset.Dataset, trainer ml.Trainer, opts ...Option) *ModelUtility {
+	u := &ModelUtility{
+		train:   train.Clone(),
+		test:    test.Clone(),
+		trainer: trainer,
+	}
+	u.emptyValue = ml.Accuracy(ml.Constant{Label: 0}, u.test)
+	for _, o := range opts {
+		o(u)
+	}
+	return u
+}
+
+// N implements game.Game: the players are the training points.
+func (u *ModelUtility) N() int { return u.train.Len() }
+
+// Value implements game.Game: train on the coalition, score on the test set.
+func (u *ModelUtility) Value(s bitset.Set) float64 {
+	if s.Empty() {
+		return u.emptyValue
+	}
+	if u.delay > 0 {
+		time.Sleep(u.delay)
+	}
+	u.fits.Add(1)
+	sub := u.train.Subset(s.Indices())
+	sub.Classes = u.train.Classes
+	model := u.seededFit(sub, s)
+	return ml.Accuracy(model, u.test)
+}
+
+// seededFit trains with a seed derived from the coalition so U is a pure
+// function of S even though training is stochastic.
+func (u *ModelUtility) seededFit(sub *dataset.Dataset, s bitset.Set) ml.Classifier {
+	switch tr := u.trainer.(type) {
+	case ml.SVM:
+		tr.Seed = s.Hash()
+		return tr.Fit(sub)
+	case ml.LogReg:
+		tr.Seed = s.Hash()
+		return tr.Fit(sub)
+	default:
+		return u.trainer.Fit(sub)
+	}
+}
+
+// Fits returns the number of model trainings performed so far (excluding
+// empty coalitions).
+func (u *ModelUtility) Fits() int64 { return u.fits.Load() }
+
+// ResetFits zeroes the training counter.
+func (u *ModelUtility) ResetFits() { u.fits.Store(0) }
+
+// Train returns a clone of the training dataset being valued.
+func (u *ModelUtility) Train() *dataset.Dataset { return u.train.Clone() }
+
+// Test returns a clone of the held-out test dataset.
+func (u *ModelUtility) Test() *dataset.Dataset { return u.test.Clone() }
+
+// Append returns a new ModelUtility over the training set extended with the
+// given points (the N⁺ view of the addition algorithms). The receiver is
+// unchanged; the test set, trainer, and options carry over.
+func (u *ModelUtility) Append(points ...dataset.Point) *ModelUtility {
+	nu := &ModelUtility{
+		train:      u.train.Append(points...),
+		test:       u.test,
+		trainer:    u.trainer,
+		emptyValue: u.emptyValue,
+		delay:      u.delay,
+	}
+	return nu
+}
+
+// Remove returns a new ModelUtility over the training set without the
+// points at the given indices (the N⁻ view of the deletion algorithms).
+func (u *ModelUtility) Remove(indices ...int) *ModelUtility {
+	nu := &ModelUtility{
+		train:      u.train.Remove(indices...),
+		test:       u.test,
+		trainer:    u.trainer,
+		emptyValue: u.emptyValue,
+		delay:      u.delay,
+	}
+	return nu
+}

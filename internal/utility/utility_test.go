@@ -1,0 +1,158 @@
+package utility
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/dataset"
+	"dynshap/internal/ml"
+	"dynshap/internal/rng"
+)
+
+func fixture(n int) (*dataset.Dataset, *dataset.Dataset) {
+	d := dataset.IrisLike(rng.New(3), n+30)
+	d.Standardize()
+	idxTrain := make([]int, n)
+	idxTest := make([]int, 30)
+	for i := range idxTrain {
+		idxTrain[i] = i
+	}
+	for i := range idxTest {
+		idxTest[i] = n + i
+	}
+	return d.Subset(idxTrain), d.Subset(idxTest)
+}
+
+func TestNPlayersAreTrainingPoints(t *testing.T) {
+	train, test := fixture(20)
+	u := NewModelUtility(train, test, ml.KNN{K: 3})
+	if u.N() != 20 {
+		t.Fatalf("N = %d, want 20", u.N())
+	}
+}
+
+func TestEmptyCoalitionValue(t *testing.T) {
+	train, test := fixture(10)
+	u := NewModelUtility(train, test, ml.KNN{K: 3})
+	want := ml.Accuracy(ml.Constant{Label: 0}, test)
+	if got := u.Value(bitset.New(10)); got != want {
+		t.Fatalf("U(∅) = %v, want %v", got, want)
+	}
+	u2 := NewModelUtility(train, test, ml.KNN{K: 3}, WithEmptyValue(0.123))
+	if got := u2.Value(bitset.New(10)); got != 0.123 {
+		t.Fatalf("U(∅) with override = %v", got)
+	}
+	if u.Fits() != 0 {
+		t.Fatal("empty coalitions should not count as fits")
+	}
+}
+
+func TestValueDeterministicPerCoalition(t *testing.T) {
+	train, test := fixture(15)
+	u := NewModelUtility(train, test, ml.SVM{Epochs: 5})
+	s := bitset.FromIndices(15, 0, 3, 7, 11)
+	v1 := u.Value(s)
+	v2 := u.Value(s)
+	if v1 != v2 {
+		t.Fatalf("U(S) not deterministic: %v vs %v", v1, v2)
+	}
+}
+
+func TestValueInRange(t *testing.T) {
+	train, test := fixture(12)
+	u := NewModelUtility(train, test, ml.SVM{Epochs: 5})
+	full := bitset.Full(12)
+	v := u.Value(full)
+	if v < 0 || v > 1 {
+		t.Fatalf("accuracy utility out of [0,1]: %v", v)
+	}
+	if v < 0.5 {
+		t.Errorf("full-data accuracy suspiciously low: %v", v)
+	}
+}
+
+func TestFitsCounter(t *testing.T) {
+	train, test := fixture(8)
+	u := NewModelUtility(train, test, ml.KNN{K: 1})
+	u.Value(bitset.FromIndices(8, 0))
+	u.Value(bitset.FromIndices(8, 0, 1))
+	if u.Fits() != 2 {
+		t.Fatalf("Fits = %d, want 2", u.Fits())
+	}
+	u.ResetFits()
+	if u.Fits() != 0 {
+		t.Fatal("ResetFits did not zero")
+	}
+}
+
+func TestSimulatedLatency(t *testing.T) {
+	train, test := fixture(6)
+	u := NewModelUtility(train, test, ml.KNN{K: 1}, WithSimulatedLatency(20*time.Millisecond))
+	start := time.Now()
+	u.Value(bitset.FromIndices(6, 0, 1))
+	if took := time.Since(start); took < 20*time.Millisecond {
+		t.Fatalf("latency not applied: %v", took)
+	}
+}
+
+func TestCloningIsolation(t *testing.T) {
+	train, test := fixture(6)
+	u := NewModelUtility(train, test, ml.KNN{K: 1})
+	before := u.Value(bitset.Full(6))
+	train.Points[0].Y = (train.Points[0].Y + 1) % 3 // mutate caller's copy
+	test.Points[0].Y = (test.Points[0].Y + 1) % 3
+	if after := u.Value(bitset.Full(6)); after != before {
+		t.Fatal("ModelUtility shares storage with caller datasets")
+	}
+}
+
+func TestAppendCreatesNPlusView(t *testing.T) {
+	train, test := fixture(10)
+	u := NewModelUtility(train, test, ml.KNN{K: 3})
+	p := dataset.Point{X: []float64{0, 0, 0, 0}, Y: 1}
+	up := u.Append(p)
+	if up.N() != 11 || u.N() != 10 {
+		t.Fatalf("Append sizes: got %d/%d", up.N(), u.N())
+	}
+	// Utilities of coalitions not containing the new point must agree.
+	s10 := bitset.FromIndices(10, 2, 5)
+	s11 := bitset.FromIndices(11, 2, 5)
+	if u.Value(s10) != up.Value(s11) {
+		t.Fatal("Append changed utilities of old coalitions")
+	}
+}
+
+func TestRemoveCreatesNMinusView(t *testing.T) {
+	train, test := fixture(10)
+	u := NewModelUtility(train, test, ml.KNN{K: 3})
+	um := u.Remove(4)
+	if um.N() != 9 {
+		t.Fatalf("Remove size = %d", um.N())
+	}
+	// Coalition {0,1} exists in both numberings (indices < 4 unaffected).
+	if u.Value(bitset.FromIndices(10, 0, 1)) != um.Value(bitset.FromIndices(9, 0, 1)) {
+		t.Fatal("Remove changed utilities of unaffected coalitions")
+	}
+}
+
+func TestConcurrentValueCalls(t *testing.T) {
+	train, test := fixture(12)
+	u := NewModelUtility(train, test, ml.KNN{K: 3})
+	var wg sync.WaitGroup
+	vals := make([]float64, 8)
+	for w := range vals {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals[w] = u.Value(bitset.FromIndices(12, 0, 1, 2, 3))
+		}(w)
+	}
+	wg.Wait()
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			t.Fatal("concurrent Value calls disagree")
+		}
+	}
+}

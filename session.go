@@ -1,0 +1,517 @@
+package dynshap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dynshap/internal/core"
+	"dynshap/internal/dataset"
+	"dynshap/internal/game"
+	"dynshap/internal/ml"
+	"dynshap/internal/rng"
+	"dynshap/internal/utility"
+)
+
+// Session is the broker-side valuation state for one model task: it owns
+// the training points being valued, the held-out test set defining the
+// utility, the current Shapley estimates, and whatever precomputed
+// structures (pivot LSV, stored permutations, YN-NN arrays) the selected
+// options maintain to make dynamic updates cheap.
+//
+// A Session is safe for concurrent use; updates serialise internally.
+type Session struct {
+	mu sync.Mutex
+
+	train   *dataset.Dataset
+	test    *dataset.Dataset
+	trainer ml.Trainer
+	cfg     config
+
+	util  *utility.ModelUtility
+	cache *game.Cached
+
+	sv    []float64
+	pivot *core.PivotState
+	del   *core.DeletionStore
+	multi *core.MultiDeletionStore
+	r     *rng.Source
+
+	initialized bool
+	// storesFresh is true while del/multi match the current training set
+	// (they are built for a fixed player set and go stale after updates).
+	storesFresh bool
+	// pastFits accumulates training counts of utilities replaced by updates,
+	// so ModelTrainings is cumulative over the session's lifetime.
+	pastFits int64
+}
+
+type config struct {
+	tau            int
+	updateTau      int
+	seed           uint64
+	keepPerms      bool
+	trackDeletions bool
+	multiDelete    int
+	candidates     []int
+	truncationTol  float64
+	knnK           int
+	knnPlus        core.KNNPlusConfig
+	cacheEnabled   bool
+}
+
+// Option configures a Session.
+type Option func(*config)
+
+// WithSamples sets the permutation sample size τ for initialisation (and,
+// unless WithUpdateSamples overrides it, for updates). Default 20·n, the
+// paper's experimental setting.
+func WithSamples(tau int) Option { return func(c *config) { c.tau = tau } }
+
+// WithUpdateSamples sets a separate sample size for dynamic updates —
+// typically smaller than the offline initialisation τ (the paper's
+// τ_LSV ≠ τ_RSV regime, Table V).
+func WithUpdateSamples(tau int) Option { return func(c *config) { c.updateTau = tau } }
+
+// WithSeed seeds every sampler in the session. Same seed, same results.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithKeepPermutations stores the sampled permutations, enabling the
+// Pivot-s addition algorithm at an O(τ·n) memory cost.
+func WithKeepPermutations() Option { return func(c *config) { c.keepPerms = true } }
+
+// WithTrackDeletions maintains the YN-NN arrays during initialisation,
+// enabling exact single-point deletion (AlgoYNNN) at an O(n³) memory cost.
+func WithTrackDeletions() Option { return func(c *config) { c.trackDeletions = true } }
+
+// WithMultiDelete additionally maintains YNN-NNN arrays for deleting
+// exactly d of the candidate points at once.
+func WithMultiDelete(d int, candidates []int) Option {
+	return func(c *config) {
+		c.multiDelete = d
+		c.candidates = append([]int(nil), candidates...)
+	}
+}
+
+// WithTruncationTolerance sets the TMC tolerance (default 1e-12, the
+// paper's setting).
+func WithTruncationTolerance(tol float64) Option {
+	return func(c *config) { c.truncationTol = tol }
+}
+
+// WithHeuristicK sets k for the KNN/KNN+ heuristics (default 5).
+func WithHeuristicK(k int) Option { return func(c *config) { c.knnK = k } }
+
+// WithKNNPlusConfig overrides the KNN+ parameters.
+func WithKNNPlusConfig(cfg KNNPlusConfig) Option {
+	return func(c *config) { c.knnPlus = cfg }
+}
+
+// WithoutCache disables coalition-utility memoisation. Only useful for
+// benchmarking the cost of cache misses; the dynamic algorithms' reuse
+// claims assume the cache.
+func WithoutCache() Option { return func(c *config) { c.cacheEnabled = false } }
+
+// NewSession creates a valuation session for the given training points,
+// scored against test with models produced by trainer.
+func NewSession(train, test *Dataset, trainer Trainer, opts ...Option) *Session {
+	cfg := config{
+		tau:           20 * train.Len(),
+		seed:          1,
+		truncationTol: 1e-12,
+		knnK:          5,
+		cacheEnabled:  true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.updateTau == 0 {
+		cfg.updateTau = cfg.tau
+	}
+	s := &Session{
+		train:   train.Clone(),
+		test:    test.Clone(),
+		trainer: trainer,
+		cfg:     cfg,
+		r:       rng.New(cfg.seed),
+	}
+	s.rebuildUtility()
+	return s
+}
+
+// rebuildUtility reconstructs the utility (and cache) for the current
+// training set. Caches survive additions (old coalitions keep their keys)
+// but must be dropped after deletions, where player indices shift.
+func (s *Session) rebuildUtility() {
+	if s.util != nil {
+		s.pastFits += s.util.Fits()
+	}
+	s.util = utility.NewModelUtility(s.train, s.test, s.trainer)
+	s.cache = game.NewCached(s.util)
+}
+
+// game returns the Game view the estimators should use.
+func (s *Session) game() game.Game {
+	if s.cfg.cacheEnabled {
+		return s.cache
+	}
+	return s.util
+}
+
+// gameFor returns a Game view over an updated utility, sharing the
+// session's cache when enabled (coalitions of the original points keep
+// identical cache keys after an append, which is what makes pivot reuse
+// effective).
+func (s *Session) gameFor(u *utility.ModelUtility) game.Game {
+	if s.cfg.cacheEnabled {
+		return game.NewCachedShared(u, s.cache)
+	}
+	return u
+}
+
+// N returns the number of training points currently under valuation.
+func (s *Session) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.train.Len()
+}
+
+// Data returns a copy of the training points currently under valuation,
+// index-aligned with Values.
+func (s *Session) Data() *Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.train.Clone()
+}
+
+// Values returns a copy of the current Shapley estimates, or nil before
+// Init.
+func (s *Session) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.sv...)
+}
+
+// ModelTrainings returns how many model trainings the session has performed
+// over its lifetime — the dominant cost every dynamic algorithm tries to
+// minimise.
+func (s *Session) ModelTrainings() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pastFits + s.util.Fits()
+}
+
+// CacheStats returns the utility cache's hit/miss counts.
+func (s *Session) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// ErrNotInitialized is returned by updates before Init has run.
+var ErrNotInitialized = errors.New("dynshap: session not initialized; call Init first")
+
+// ErrStaleStores is returned when AlgoYNNN is requested after the arrays
+// have gone stale (any prior update invalidates them); call Refresh.
+var ErrStaleStores = errors.New("dynshap: deletion arrays are stale after a previous update; call Refresh")
+
+// Init computes the initial Shapley values with one Monte Carlo pass of τ
+// permutations, simultaneously building every structure the options
+// request (Algorithm 2's LSV, Algorithm 6's YN-NN arrays, Lemma 4's
+// YNN-NNN arrays).
+func (s *Session) Init() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := core.Initialize(s.game(), s.cfg.tau, core.InitOptions{
+		KeepPerms:      s.cfg.keepPerms,
+		TrackDeletions: s.cfg.trackDeletions,
+		MultiDelete:    s.cfg.multiDelete,
+		Candidates:     s.cfg.candidates,
+	}, s.r.Split())
+	if err != nil {
+		return fmt.Errorf("dynshap: init: %w", err)
+	}
+	s.pivot = res.Pivot
+	s.del = res.Deletion
+	s.multi = res.Multi
+	s.sv = res.SV()
+	s.initialized = true
+	s.storesFresh = true
+	return nil
+}
+
+// Refresh recomputes values and rebuilds the dynamic structures for the
+// current training set — a full (expensive) pass, used after updates have
+// degraded the maintained state or invalidated the deletion arrays.
+func (s *Session) Refresh() error {
+	s.mu.Lock()
+	s.initialized = false
+	s.mu.Unlock()
+	return s.Init()
+}
+
+// Add appends the given points to the training set and returns the updated
+// Shapley values (index-aligned with Data; new points at the end). The
+// algorithm decides cost and accuracy:
+//
+//   - AlgoPivotSame / AlgoPivotDifferent / AlgoDelta: incremental, applied
+//     per point in sequence.
+//   - AlgoKNN / AlgoKNNPlus: instant heuristics.
+//   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
+//   - AlgoBase: keep old values; new points get the average old value.
+func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.initialized {
+		return nil, ErrNotInitialized
+	}
+	if len(points) == 0 {
+		return append([]float64(nil), s.sv...), nil
+	}
+	var err error
+	switch algo {
+	case AlgoMonteCarlo, AlgoTruncatedMC:
+		err = s.addRecompute(points, algo)
+	case AlgoBase:
+		s.sv = core.BaseAdd(s.sv, len(points))
+		s.applyAppend(points)
+	case AlgoPivotSame, AlgoPivotDifferent:
+		err = s.addPivot(points, algo)
+	case AlgoDelta:
+		err = s.addDelta(points)
+	case AlgoKNN:
+		s.sv, err = core.KNNAdd(s.sv, s.train, points, s.cfg.knnK)
+		if err == nil {
+			s.applyAppend(points)
+		}
+	case AlgoKNNPlus:
+		s.sv, err = core.KNNPlusAdd(s.game(), s.train, s.sv, points, nil, s.knnPlusCfg(), s.r.Split())
+		if err == nil {
+			s.applyAppend(points)
+		}
+	default:
+		err = fmt.Errorf("dynshap: algorithm %v does not support additions", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.storesFresh = false
+	return append([]float64(nil), s.sv...), nil
+}
+
+func (s *Session) knnPlusCfg() core.KNNPlusConfig {
+	cfg := s.cfg.knnPlus
+	if cfg.K == 0 {
+		cfg.K = s.cfg.knnK
+	}
+	return cfg
+}
+
+// applyAppend extends the training set and utility without touching sv.
+func (s *Session) applyAppend(points []Point) {
+	s.train = s.train.Append(points...)
+	s.pastFits += s.util.Fits()
+	s.util = s.util.Append(points...)
+	// The cache survives: coalitions over the original points keep their
+	// keys, and new coalitions simply miss. (Capacity growth across a
+	// 64-player word boundary changes keys, costing misses, not errors.)
+	if s.cfg.cacheEnabled {
+		s.cache = game.NewCachedShared(s.util, s.cache)
+	}
+}
+
+func (s *Session) addRecompute(points []Point, algo Algorithm) error {
+	s.applyAppend(points)
+	if algo == AlgoTruncatedMC {
+		s.sv = core.TruncatedMonteCarlo(s.game(), s.cfg.updateTau, s.cfg.truncationTol, s.r.Split())
+	} else {
+		s.sv = core.MonteCarlo(s.game(), s.cfg.updateTau, s.r.Split())
+	}
+	return nil
+}
+
+func (s *Session) addPivot(points []Point, algo Algorithm) error {
+	if s.pivot == nil {
+		return ErrNotInitialized
+	}
+	for _, p := range points {
+		uPlus := s.util.Append(p)
+		gPlus := s.gameFor(uPlus)
+		var (
+			sv  []float64
+			err error
+		)
+		if algo == AlgoPivotSame {
+			sv, err = s.pivot.AddSame(gPlus, s.r.Split())
+		} else {
+			sv, err = s.pivot.AddDifferent(gPlus, s.cfg.updateTau, s.r.Split())
+		}
+		if err != nil {
+			return err
+		}
+		s.sv = sv
+		s.applyAppendSingle(p, uPlus)
+	}
+	return nil
+}
+
+// applyAppendSingle installs an already-built utility for one added point.
+func (s *Session) applyAppendSingle(p Point, uPlus *utility.ModelUtility) {
+	s.train = s.train.Append(p)
+	s.pastFits += s.util.Fits()
+	s.util = uPlus
+	if s.cfg.cacheEnabled {
+		s.cache = game.NewCachedShared(s.util, s.cache)
+	}
+}
+
+func (s *Session) addDelta(points []Point) error {
+	for _, p := range points {
+		uPlus := s.util.Append(p)
+		gPlus := s.gameFor(uPlus)
+		sv, err := core.DeltaAdd(gPlus, s.sv, s.cfg.updateTau, s.r.Split())
+		if err != nil {
+			return err
+		}
+		s.sv = sv
+		s.applyAppendSingle(p, uPlus)
+	}
+	return nil
+}
+
+// Delete removes the points at the given indices (in the current Data
+// numbering) and returns the updated values, compacted to the surviving
+// points' order. Deletions invalidate the session's precomputed arrays and
+// stored permutations; subsequent AlgoYNNN calls need a Refresh first.
+//
+//   - AlgoYNNN: exact recovery from the YN-NN (single point) or YNN-NNN
+//     (multiple points, if prepared) arrays; no model trainings.
+//   - AlgoDelta: incremental, applied per point in sequence.
+//   - AlgoKNN / AlgoKNNPlus: instant heuristics.
+//   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
+func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.initialized {
+		return nil, ErrNotInitialized
+	}
+	if len(indices) == 0 {
+		return append([]float64(nil), s.sv...), nil
+	}
+	n := s.train.Len()
+	seen := make(map[int]bool, len(indices))
+	for _, p := range indices {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("dynshap: delete index %d out of range [0,%d)", p, n)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("dynshap: duplicate delete index %d", p)
+		}
+		seen[p] = true
+	}
+
+	var (
+		expanded []float64 // old indexing, zeros at deleted points
+		err      error
+	)
+	switch algo {
+	case AlgoYNNN:
+		expanded, err = s.deleteYNNN(indices)
+	case AlgoDelta:
+		expanded, err = s.deleteDelta(indices)
+	case AlgoKNN:
+		expanded, err = core.KNNDelete(s.sv, s.train, indices, s.cfg.knnK)
+	case AlgoKNNPlus:
+		expanded, err = core.KNNPlusDelete(s.game(), s.train, s.sv, indices, nil, s.knnPlusCfg(), s.r.Split())
+	case AlgoMonteCarlo, AlgoTruncatedMC:
+		restricted := game.NewRestrict(s.game(), indices...)
+		var sub []float64
+		if algo == AlgoTruncatedMC {
+			sub = core.TruncatedMonteCarlo(restricted, s.cfg.updateTau, s.cfg.truncationTol, s.r.Split())
+		} else {
+			sub = core.MonteCarlo(restricted, s.cfg.updateTau, s.r.Split())
+		}
+		expanded = make([]float64, n)
+		for ri, orig := range restricted.Keep() {
+			expanded[orig] = sub[ri]
+		}
+	default:
+		err = fmt.Errorf("dynshap: algorithm %v does not support deletions", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Compact to the surviving points.
+	compact := make([]float64, 0, n-len(indices))
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			compact = append(compact, expanded[i])
+		}
+	}
+	s.sv = compact
+	s.train = s.train.Remove(indices...)
+	s.rebuildUtility() // indices shifted: the old cache keys are invalid
+	s.pivot = nil
+	s.del = nil
+	s.multi = nil
+	s.storesFresh = false
+	return append([]float64(nil), s.sv...), nil
+}
+
+func (s *Session) deleteYNNN(indices []int) ([]float64, error) {
+	if !s.storesFresh {
+		return nil, ErrStaleStores
+	}
+	if len(indices) == 1 {
+		if s.del == nil {
+			return nil, errors.New("dynshap: AlgoYNNN needs WithTrackDeletions")
+		}
+		return s.del.Merge(indices[0])
+	}
+	if s.multi == nil {
+		return nil, errors.New("dynshap: multi-point AlgoYNNN needs WithMultiDelete")
+	}
+	return s.multi.Merge(indices...)
+}
+
+func (s *Session) deleteDelta(indices []int) ([]float64, error) {
+	// Apply sequentially; between steps, work in the shrinking restricted
+	// game but keep original indexing via an index map.
+	cur := append([]float64(nil), s.sv...)
+	g := s.game()
+	// alive maps restricted index -> original index.
+	alive := make([]int, s.train.Len())
+	for i := range alive {
+		alive[i] = i
+	}
+	rg := game.Game(g)
+	gone := map[int]bool{}
+	for _, orig := range indices {
+		// Find orig's current restricted index.
+		ri := -1
+		for i, o := range alive {
+			if o == orig {
+				ri = i
+				break
+			}
+		}
+		if ri == -1 {
+			return nil, fmt.Errorf("dynshap: internal: point %d already deleted", orig)
+		}
+		sub, err := core.DeltaDelete(rg, cur, ri, s.cfg.updateTau, s.r.Split())
+		if err != nil {
+			return nil, err
+		}
+		// Drop the deleted slot.
+		cur = append(sub[:ri:ri], sub[ri+1:]...)
+		alive = append(alive[:ri:ri], alive[ri+1:]...)
+		gone[orig] = true
+		removed := make([]int, 0, len(gone))
+		for o := range gone {
+			removed = append(removed, o)
+		}
+		rg = game.NewRestrict(g, removed...)
+	}
+	expanded := make([]float64, s.train.Len())
+	for i, orig := range alive {
+		expanded[orig] = cur[i]
+	}
+	return expanded, nil
+}

@@ -1,0 +1,134 @@
+package dynshap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"dynshap/internal/dataset"
+)
+
+// Snapshot is a serialisable record of a valuation session: the points, the
+// test set defining the utility, and the current Shapley estimates. It lets
+// a broker persist what it owes to whom and resume after a restart.
+//
+// Sampling state and the dynamic-update structures (LSV, stored
+// permutations, YN-NN arrays) are deliberately excluded: they are caches,
+// recomputed by Refresh, while the snapshot is the durable record.
+type Snapshot struct {
+	// Format identifies the snapshot schema; currently 1.
+	Format int `json:"format"`
+	// Train holds the valued points, index-aligned with Values.
+	Train []Point `json:"train"`
+	// Test holds the held-out points defining the utility.
+	Test []Point `json:"test"`
+	// Classes is the label-space size shared by both sets.
+	Classes int `json:"classes"`
+	// Values holds the Shapley estimates (nil before Init).
+	Values []float64 `json:"values,omitempty"`
+	// Samples is the τ the estimates were computed with.
+	Samples int `json:"samples"`
+}
+
+// Snapshot captures the session's durable state.
+func (s *Session) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	train := s.train.Clone()
+	test := s.test.Clone()
+	return &Snapshot{
+		Format:  1,
+		Train:   train.Points,
+		Test:    test.Points,
+		Classes: train.Classes,
+		Values:  append([]float64(nil), s.sv...),
+		Samples: s.cfg.tau,
+	}
+}
+
+// WriteTo serialises the snapshot as JSON.
+func (sn *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(sn, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("dynshap: encoding snapshot: %w", err)
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// Save writes the snapshot to the file at path.
+func (sn *Snapshot) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dynshap: %w", err)
+	}
+	if _, err := sn.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshot parses a JSON snapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var sn Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sn); err != nil {
+		return nil, fmt.Errorf("dynshap: decoding snapshot: %w", err)
+	}
+	if sn.Format != 1 {
+		return nil, fmt.Errorf("dynshap: unsupported snapshot format %d", sn.Format)
+	}
+	if len(sn.Values) != 0 && len(sn.Values) != len(sn.Train) {
+		return nil, fmt.Errorf("dynshap: snapshot has %d values for %d points", len(sn.Values), len(sn.Train))
+	}
+	return &sn, nil
+}
+
+// LoadSnapshot reads a snapshot from the file at path.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dynshap: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+// Resume reconstructs a session from the snapshot. The returned session has
+// the recorded values installed and is immediately usable for AlgoDelta,
+// AlgoKNN, AlgoKNNPlus, AlgoBase and from-scratch updates; algorithms that
+// need maintained structures (AlgoPivotSame/Different, AlgoYNNN) require a
+// Refresh first.
+func (sn *Snapshot) Resume(trainer Trainer, opts ...Option) (*Session, error) {
+	if len(sn.Values) != 0 && len(sn.Values) != len(sn.Train) {
+		return nil, fmt.Errorf("dynshap: snapshot has %d values for %d points", len(sn.Values), len(sn.Train))
+	}
+	train := dataset.New(clonePoints(sn.Train))
+	test := dataset.New(clonePoints(sn.Test))
+	if sn.Classes > train.Classes {
+		train.Classes = sn.Classes
+	}
+	if sn.Classes > test.Classes {
+		test.Classes = sn.Classes
+	}
+	opts = append([]Option{WithSamples(sn.Samples)}, opts...)
+	s := NewSession(train, test, trainer, opts...)
+	if len(sn.Values) > 0 {
+		s.mu.Lock()
+		s.sv = append([]float64(nil), sn.Values...)
+		s.initialized = true
+		s.storesFresh = false
+		s.mu.Unlock()
+	}
+	return s, nil
+}
+
+func clonePoints(pts []Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = p.Clone()
+	}
+	return out
+}

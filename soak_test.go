@@ -1,0 +1,83 @@
+package dynshap_test
+
+// Soak test: a long random sequence of session operations must never panic,
+// corrupt sizes, or produce non-finite values — the property a broker needs
+// from a component that runs for months.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynshap"
+)
+
+func TestSessionSoakRandomOperations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	data := dynshap.IrisLike(80, 51)
+	data.Standardize()
+	train := data.Subset(rangeInts(0, 20))
+	test := data.Subset(rangeInts(20, 50))
+	pool := data.Subset(rangeInts(50, 80)).Points
+
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 3},
+		dynshap.WithSamples(300),
+		dynshap.WithUpdateSamples(150),
+		dynshap.WithSeed(99),
+		dynshap.WithKNNPlusConfig(dynshap.KNNPlusConfig{CurveSamples: 3, CurveTau: 50, Degree: 1}))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(7))
+	addAlgos := []dynshap.Algorithm{dynshap.AlgoDelta, dynshap.AlgoKNN, dynshap.AlgoKNNPlus, dynshap.AlgoBase, dynshap.AlgoMonteCarlo}
+	delAlgos := []dynshap.Algorithm{dynshap.AlgoDelta, dynshap.AlgoKNN, dynshap.AlgoKNNPlus, dynshap.AlgoMonteCarlo}
+	poolIdx := 0
+
+	for step := 0; step < 30; step++ {
+		n := s.N()
+		switch {
+		case n <= 8 || (r.Intn(2) == 0 && poolIdx < len(pool)):
+			count := 1 + r.Intn(2)
+			if poolIdx+count > len(pool) {
+				count = len(pool) - poolIdx
+			}
+			if count == 0 {
+				continue
+			}
+			algo := addAlgos[r.Intn(len(addAlgos))]
+			got, err := s.Add(pool[poolIdx:poolIdx+count], algo)
+			if err != nil {
+				t.Fatalf("step %d: Add(%v): %v", step, algo, err)
+			}
+			poolIdx += count
+			if len(got) != n+count {
+				t.Fatalf("step %d: Add size %d, want %d", step, len(got), n+count)
+			}
+		default:
+			count := 1 + r.Intn(2)
+			if count >= n {
+				count = 1
+			}
+			indices := r.Perm(n)[:count]
+			algo := delAlgos[r.Intn(len(delAlgos))]
+			got, err := s.Delete(indices, algo)
+			if err != nil {
+				t.Fatalf("step %d: Delete(%v, %v): %v", step, indices, algo, err)
+			}
+			if len(got) != n-count {
+				t.Fatalf("step %d: Delete size %d, want %d", step, len(got), n-count)
+			}
+		}
+		for i, v := range s.Values() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("step %d: non-finite value at %d", step, i)
+			}
+		}
+		if len(s.Values()) != s.Data().Len() {
+			t.Fatalf("step %d: values/data misaligned", step)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package dynshap
+
+import (
+	"sort"
+
+	"dynshap/internal/ml"
+	"dynshap/internal/utility"
+)
+
+// This file holds valuation conveniences on top of the Session/estimator
+// core: building utility games directly, ranking points, and turning values
+// into monetary payouts — the broker-side operations the paper's data
+// market (Figure 1) performs with Shapley values.
+
+// ModelGame builds the cooperative game the library values: players are the
+// points of train and U(S) is the test accuracy of a model produced by
+// trainer on the coalition S. The datasets are cloned. Use it with the
+// game-level estimators when the Session abstraction is more than you need.
+func ModelGame(train, test *Dataset, trainer Trainer) Game {
+	return utility.NewModelUtility(train, test, trainer)
+}
+
+// Accuracy scores a classifier on a dataset — the utility metric.
+func Accuracy(c Classifier, test *Dataset) float64 { return ml.Accuracy(c, test) }
+
+// Ranked is one entry of a valuation ranking.
+type Ranked struct {
+	// Index is the point's position in the valued dataset.
+	Index int
+	// Value is its Shapley value.
+	Value float64
+}
+
+// Rank returns the points ordered by decreasing value, ties broken by index.
+func Rank(values []float64) []Ranked {
+	out := make([]Ranked, len(values))
+	for i, v := range values {
+		out[i] = Ranked{Index: i, Value: v}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Value != out[b].Value {
+			return out[a].Value > out[b].Value
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// TopK returns the indices of the k most valuable points (all indices when
+// k exceeds the count).
+func TopK(values []float64, k int) []int {
+	ranked := Rank(values)
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ranked[i].Index
+	}
+	return out
+}
+
+// Allocate distributes revenue over the data owners in proportion to their
+// positive Shapley values — the compensation rule of the paper's market
+// model. Owners with non-positive values receive zero (the zero-element
+// axiom: no contribution, no payment). If no value is positive, everything
+// is zero.
+func Allocate(values []float64, revenue float64) []float64 {
+	out := make([]float64, len(values))
+	var total float64
+	for _, v := range values {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	for i, v := range values {
+		if v > 0 {
+			out[i] = revenue * v / total
+		}
+	}
+	return out
+}

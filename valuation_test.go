@@ -1,0 +1,101 @@
+package dynshap_test
+
+import (
+	"math"
+	"testing"
+
+	"dynshap"
+)
+
+func TestRank(t *testing.T) {
+	ranked := dynshap.Rank([]float64{0.1, 0.5, -0.2, 0.5})
+	wantIdx := []int{1, 3, 0, 2} // ties by index
+	for i, w := range wantIdx {
+		if ranked[i].Index != w {
+			t.Fatalf("Rank order = %v, want indices %v", ranked, wantIdx)
+		}
+	}
+	if got := dynshap.Rank(nil); len(got) != 0 {
+		t.Fatal("Rank(nil) should be empty")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	values := []float64{0.1, 0.5, -0.2, 0.3}
+	if got := dynshap.TopK(values, 2); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("TopK = %v", got)
+	}
+	if got := dynshap.TopK(values, 99); len(got) != 4 {
+		t.Fatalf("TopK overflow = %v", got)
+	}
+	if got := dynshap.TopK(values, -1); len(got) != 0 {
+		t.Fatalf("TopK negative = %v", got)
+	}
+}
+
+func TestAllocate(t *testing.T) {
+	pay := dynshap.Allocate([]float64{0.2, 0.6, -0.1, 0}, 1000)
+	if math.Abs(pay[0]-250) > 1e-9 || math.Abs(pay[1]-750) > 1e-9 {
+		t.Fatalf("Allocate = %v", pay)
+	}
+	if pay[2] != 0 || pay[3] != 0 {
+		t.Fatal("non-positive values must receive nothing (zero element)")
+	}
+	var total float64
+	for _, p := range pay {
+		total += p
+	}
+	if math.Abs(total-1000) > 1e-9 {
+		t.Fatalf("allocation total = %v", total)
+	}
+	// All-negative portfolio pays nothing.
+	if pay := dynshap.Allocate([]float64{-1, -2}, 500); pay[0] != 0 || pay[1] != 0 {
+		t.Fatal("all-negative should pay zero")
+	}
+}
+
+func TestModelGame(t *testing.T) {
+	data := dynshap.IrisLike(40, 5)
+	data.Standardize()
+	train, test := data.Split(0.5)
+	g := dynshap.ModelGame(train, test, dynshap.KNNClassifier{K: 3})
+	if g.N() != train.Len() {
+		t.Fatalf("N = %d, want %d", g.N(), train.Len())
+	}
+	full := g.Value(dynshap.FullCoalition(g.N()))
+	if full < 0.5 || full > 1 {
+		t.Fatalf("U(N) = %v implausible", full)
+	}
+	empty := g.Value(dynshap.NewCoalition(g.N()))
+	if empty < 0 || empty > 1 {
+		t.Fatalf("U(∅) = %v implausible", empty)
+	}
+	// The game is usable with every game-level estimator.
+	sv := dynshap.MonteCarloShapley(g, 200, 1)
+	var sum float64
+	for _, v := range sv {
+		sum += v
+	}
+	if math.Abs(sum-(full-empty)) > 1e-9 {
+		t.Fatalf("balance violated: %v vs %v", sum, full-empty)
+	}
+}
+
+func TestAccuracyFacade(t *testing.T) {
+	data := dynshap.IrisLike(60, 6)
+	data.Standardize()
+	train, test := data.Split(0.5)
+	model := dynshap.KNNClassifier{K: 3}.Fit(train)
+	if acc := dynshap.Accuracy(model, test); acc < 0.5 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestRankCorrelationFacade(t *testing.T) {
+	if got := dynshap.RankCorrelation([]float64{1, 2, 3}, []float64{10, 20, 30}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("RankCorrelation = %v, want 1", got)
+	}
+	if got := dynshap.RankCorrelation([]float64{1, 2, 3}, []float64{3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("RankCorrelation = %v, want -1", got)
+	}
+}
