@@ -9,8 +9,12 @@ all: build vet test
 build:
 	$(GO) build ./...
 
+# vet first, then the full suite, then a race pass over the packages with
+# concurrent internals (parallel estimators, the sharded coalition cache).
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/core/... ./internal/game/...
 
 vet:
 	$(GO) vet ./...

@@ -8,9 +8,17 @@ package dynshap_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"dynshap"
 	"dynshap/internal/bench"
+	"dynshap/internal/bitset"
+	"dynshap/internal/core"
+	"dynshap/internal/dataset"
+	"dynshap/internal/game"
+	"dynshap/internal/ml"
+	"dynshap/internal/rng"
+	"dynshap/internal/utility"
 )
 
 // runArtifact regenerates one paper artifact per benchmark iteration.
@@ -120,5 +128,113 @@ func BenchmarkExactShapleyN16(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		dynshap.ExactShapley(g)
+	}
+}
+
+// Incremental prefix evaluation: one full permutation walk over a KNN
+// utility at n = 200, through the incremental evaluator versus scratch
+// Value calls. The incremental walk does O(m·(d+k)) work per step; the
+// scratch walk clones and scans the whole prefix, O(|S|·m·d), so the gap
+// widens with n — the per-permutation speedup the protocol exists for.
+
+func knnWalkUtility(n int) *utility.ModelUtility {
+	rnd := rng.New(2026)
+	pool := dataset.IrisLike(rnd, n+40)
+	pool.Standardize()
+	train, test := pool.Split(float64(n) / float64(n+40))
+	return utility.NewModelUtility(train, test, ml.KNN{K: 5})
+}
+
+func BenchmarkKNNPermutationWalkIncrementalN200(b *testing.B) {
+	u := knnWalkUtility(200)
+	ev := game.PrefixEvaluatorOf(u)
+	if ev == nil {
+		b.Fatal("KNN utility lost the Prefixer capability")
+	}
+	perm := rng.New(7).PermN(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Reset()
+		for _, p := range perm {
+			ev.Add(p)
+		}
+	}
+}
+
+func BenchmarkKNNPermutationWalkScratchN200(b *testing.B) {
+	u := knnWalkUtility(200)
+	perm := rng.New(7).PermN(200)
+	prefix := bitset.New(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prefix.Clear()
+		for _, p := range perm {
+			prefix.Add(p)
+			u.Value(prefix)
+		}
+	}
+}
+
+// TestKNNWalkSpeedup enforces the acceptance bound behind the benchmark
+// pair above: at n = 200 the incremental walk must beat the scratch walk by
+// at least 5×. The true ratio is orders of magnitude larger, so the bound
+// holds with wide margin even on noisy CI machines.
+func TestKNNWalkSpeedup(t *testing.T) {
+	u := knnWalkUtility(200)
+	ev := game.PrefixEvaluatorOf(u)
+	if ev == nil {
+		t.Fatal("KNN utility lost the Prefixer capability")
+	}
+	perm := rng.New(7).PermN(200)
+
+	walkInc := func() {
+		ev.Reset()
+		for _, p := range perm {
+			ev.Add(p)
+		}
+	}
+	prefix := bitset.New(200)
+	walkScratch := func() {
+		prefix.Clear()
+		for _, p := range perm {
+			prefix.Add(p)
+			u.Value(prefix)
+		}
+	}
+	// Warm up once each (allocation of windows, cache effects), then time.
+	walkInc()
+	walkScratch()
+	const reps = 3
+	startInc := time.Now()
+	for i := 0; i < reps; i++ {
+		walkInc()
+	}
+	incSecs := time.Since(startInc).Seconds()
+	startScratch := time.Now()
+	for i := 0; i < reps; i++ {
+		walkScratch()
+	}
+	scratchSecs := time.Since(startScratch).Seconds()
+	if incSecs*5 > scratchSecs {
+		t.Fatalf("incremental walk only %.1f× faster than scratch (incremental %.4fs, scratch %.4fs), want ≥5×",
+			scratchSecs/incSecs, incSecs, scratchSecs)
+	}
+}
+
+// Cache contention: a warmed sharded cache replayed by parallel Monte
+// Carlo. The same seed re-samples the same permutations, so every lookup
+// hits; with the old single-RWMutex cache the workers serialised on the one
+// lock, with the lock-striped shards they proceed mostly unimpeded.
+func BenchmarkParallelMCWarmedCache(b *testing.B) {
+	u := knnWalkUtility(60)
+	// Hide the Prefixer capability so the walk exercises the cache.
+	c := game.NewCached(game.Func{Players: 60, U: u.Value})
+	core.MonteCarloParallel(c, 120, 0, rng.New(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MonteCarloParallel(c, 120, 0, rng.New(5))
 	}
 }

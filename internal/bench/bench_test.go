@@ -181,8 +181,9 @@ func TestLargeTables(t *testing.T) {
 		if tab.Columns[1] != "MC+" {
 			t.Fatalf("%s: second column %q, want MC+", id, tab.Columns[1])
 		}
-		if len(tab.Rows) != 2 || tab.Rows[0][0] != "seconds" || tab.Rows[1][0] != "utility evals" {
-			t.Fatalf("%s: expected seconds + evals rows, got %v", id, tab.Rows)
+		if len(tab.Rows) != 4 || tab.Rows[0][0] != "seconds" || tab.Rows[1][0] != "utility evals" ||
+			tab.Rows[2][0] != "cache hits" || tab.Rows[3][0] != "prefix adds" {
+			t.Fatalf("%s: expected seconds/evals/hits/adds rows, got %v", id, tab.Rows)
 		}
 	}
 }

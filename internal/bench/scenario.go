@@ -95,8 +95,14 @@ type measurement struct {
 	name    string
 	mse     float64
 	seconds float64
-	evals   int64
-	na      bool // algorithm not applicable / skipped
+	evals   int64 // cache misses = fresh utility evaluations (model trainings)
+	// hits counts cache lookups served without a training; prefixAdds counts
+	// incremental prefix evaluations (game.PrefixEvaluator.Add), which bypass
+	// the cache entirely. Together the three counters show how an algorithm's
+	// utility work splits between fresh, cached, and incremental evaluation.
+	hits       int64
+	prefixAdds int64
+	na         bool // algorithm not applicable / skipped
 	// mseSamples holds the per-trial MSEs behind the averaged mse, for the
 	// paper's significance tests (§VII-A).
 	mseSamples []float64
@@ -227,8 +233,10 @@ func (r *Runner) runAdd(name string, sc *scenario, prods *initProducts, added []
 		return nil, m, nil
 	}
 	m.seconds = time.Since(start).Seconds()
-	_, misses := forked.Stats()
+	hits, misses := forked.Stats()
+	m.hits = hits
 	m.evals = misses
+	m.prefixAdds = forked.PrefixAdds()
 	return sv, m, nil
 }
 
@@ -318,8 +326,10 @@ func (r *Runner) runDelete(name string, sc *scenario, prods *initProducts, delet
 		return nil, m, nil
 	}
 	m.seconds = time.Since(start).Seconds()
-	_, misses := forked.Stats()
+	hits, misses := forked.Stats()
+	m.hits = hits
 	m.evals = misses
+	m.prefixAdds = forked.PrefixAdds()
 	return expanded, m, nil
 }
 
@@ -343,6 +353,8 @@ func averageMeasurements(per [][]measurement) []measurement {
 		out[i].mse = 0
 		out[i].seconds = 0
 		out[i].evals = 0
+		out[i].hits = 0
+		out[i].prefixAdds = 0
 	}
 	for i := range out {
 		out[i].mseSamples = nil
@@ -352,6 +364,8 @@ func averageMeasurements(per [][]measurement) []measurement {
 			out[i].mse += m.mse / float64(len(per))
 			out[i].seconds += m.seconds / float64(len(per))
 			out[i].evals += m.evals / int64(len(per))
+			out[i].hits += m.hits / int64(len(per))
+			out[i].prefixAdds += m.prefixAdds / int64(len(per))
 			out[i].na = out[i].na || m.na
 			out[i].mseSamples = append(out[i].mseSamples, m.mse)
 		}

@@ -214,14 +214,21 @@ func (s Set) AppendIndices(dst []int) []int {
 // use as a map key (e.g. in utility caches). Two sets of equal capacity have
 // equal keys iff they are Equal.
 func (s Set) Key() string {
-	var b strings.Builder
-	b.Grow(len(s.words) * 8)
+	return string(s.AppendKey(nil))
+}
+
+// AppendKey appends the coalition's key bytes (the little-endian words, 8
+// bytes each) to dst and returns the extended slice. Callers that reuse a
+// buffer — e.g. the utility cache, which keys a map lookup per coalition —
+// avoid the per-call string allocation of Key: map access through
+// string(dst) compiles to a no-copy lookup.
+func (s Set) AppendKey(dst []byte) []byte {
 	for _, w := range s.words {
-		for k := 0; k < 8; k++ {
-			b.WriteByte(byte(w >> (8 * k)))
-		}
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	return b.String()
+	return dst
 }
 
 // Hash returns a 64-bit hash of the coalition contents (FNV-1a over words).

@@ -314,3 +314,53 @@ func BenchmarkKey(b *testing.B) {
 		_ = s.Key()
 	}
 }
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130, 256} {
+		s := New(n)
+		for i := 0; i < n; i += 7 {
+			s.Add(i)
+		}
+		if got := string(s.AppendKey(nil)); got != s.Key() {
+			t.Errorf("n=%d: AppendKey = %q, Key = %q", n, got, s.Key())
+		}
+	}
+}
+
+func TestAppendKeyReusesBuffer(t *testing.T) {
+	s := FromIndices(130, 0, 64, 129)
+	buf := make([]byte, 0, 64)
+	out := s.AppendKey(buf)
+	if len(out) != 3*8 {
+		t.Fatalf("AppendKey length = %d, want %d", len(out), 3*8)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Error("AppendKey reallocated despite sufficient capacity")
+	}
+	// Appending onto existing content preserves the prefix.
+	pre := append([]byte(nil), 'x', 'y')
+	out = s.AppendKey(pre)
+	if string(out[:2]) != "xy" || string(out[2:]) != s.Key() {
+		t.Error("AppendKey clobbered the destination prefix")
+	}
+}
+
+func TestAppendKeyAllocFree(t *testing.T) {
+	s := Full(256)
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendKey(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("AppendKey into sized buffer allocates %.1f times per call", allocs)
+	}
+}
+
+func BenchmarkAppendKey(b *testing.B) {
+	s := Full(256)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendKey(buf[:0])
+	}
+}

@@ -23,14 +23,13 @@ func MonteCarloAntithetic(g game.Game, tau int, r *rng.Source) []float64 {
 		return sv
 	}
 	perm := make([]int, n)
-	prefix := bitset.New(n)
+	w := newPrefixWalker(g)
 	empty := g.Value(bitset.New(n))
 	scan := func(order []int) {
-		prefix.Clear()
+		w.reset()
 		prev := empty
 		for _, p := range order {
-			prefix.Add(p)
-			cur := g.Value(prefix)
+			cur := w.add(p)
 			sv[p] += cur - prev
 			prev = cur
 		}

@@ -93,15 +93,14 @@ func MonteCarlo(g game.Game, tau int, r *rng.Source) []float64 {
 		return sv
 	}
 	perm := make([]int, n)
-	prefix := bitset.New(n)
+	w := newPrefixWalker(g)
 	empty := g.Value(bitset.New(n))
 	for k := 0; k < tau; k++ {
 		r.Perm(perm)
-		prefix.Clear()
+		w.reset()
 		prev := empty
 		for _, p := range perm {
-			prefix.Add(p)
-			cur := g.Value(prefix)
+			cur := w.add(p)
 			sv[p] += cur - prev
 			prev = cur
 		}
@@ -124,20 +123,19 @@ func TruncatedMonteCarlo(g game.Game, tau int, tol float64, r *rng.Source) []flo
 		return sv
 	}
 	perm := make([]int, n)
-	prefix := bitset.New(n)
+	w := newPrefixWalker(g)
 	empty := g.Value(bitset.New(n))
 	full := g.Value(bitset.Full(n))
 	minPos := (n + 1) / 2
 	for k := 0; k < tau; k++ {
 		r.Perm(perm)
-		prefix.Clear()
+		w.reset()
 		prev := empty
 		for pos, p := range perm {
 			if pos >= minPos && abs(full-prev) < tol {
 				break // remaining marginals treated as zero
 			}
-			prefix.Add(p)
-			cur := g.Value(prefix)
+			cur := w.add(p)
 			sv[p] += cur - prev
 			prev = cur
 		}

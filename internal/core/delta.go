@@ -44,26 +44,24 @@ func DeltaAdd(gPlus game.Game, oldSV []float64, tau int, r *rng.Source) ([]float
 	newSV := 0.0
 
 	perm := make([]int, n)
-	prefix := bitset.New(m)     // without the new point
-	prefixWith := bitset.New(m) // with the new point
-	empty := bitset.New(m)
-	onlyPivot := bitset.FromIndices(m, pivot)
-	uEmpty := gPlus.Value(empty)
-	uPivot := gPlus.Value(onlyPivot)
+	// Two independent walks per permutation: the coalition without the new
+	// point and the one with it; each gets its own walker (and, for
+	// Prefixer games, its own incremental evaluator).
+	wNo := newPrefixWalker(gPlus)
+	wWith := newPrefixWalker(gPlus)
+	uEmpty := gPlus.Value(bitset.New(m))
+	uPivot := gPlus.Value(bitset.FromIndices(m, pivot))
 
 	for k := 0; k < tau; k++ {
 		r.Perm(perm)
-		prefix.Clear()
-		prefixWith.Clear()
-		prefixWith.Add(pivot)
+		wNo.reset()
+		wWith.reset()
 		prevNo := uEmpty
-		prevWith := uPivot
+		prevWith := wWith.seed(pivot, uPivot)
 		newSV += prevWith - prevNo // S=∅ stratum of the new point's value
 		for pos, p := range perm {
-			prefix.Add(p)
-			prefixWith.Add(p)
-			curNo := gPlus.Value(prefix)
-			curWith := gPlus.Value(prefixWith)
+			curNo := wNo.add(p)
+			curWith := wWith.add(p)
 			dmc := (curWith - curNo) - (prevWith - prevNo)
 			// Stratified weight (|S|+1)/(n+1) with |S| = pos (Lemma 2 /
 			// Theorem 2): the scan visits each prefix size exactly once.
@@ -114,23 +112,20 @@ func DeltaDelete(g game.Game, oldSV []float64, p, tau int, r *rng.Source) ([]flo
 	}
 	dsv := make([]float64, n)
 	perm := make([]int, n-1)
-	prefix := bitset.New(n)
-	prefixWith := bitset.New(n)
+	wNo := newPrefixWalker(g)
+	wWith := newPrefixWalker(g)
 	uEmpty := g.Value(bitset.New(n))
 	uP := g.Value(bitset.FromIndices(n, p))
 	for k := 0; k < tau; k++ {
 		r.Perm(perm)
-		prefix.Clear()
-		prefixWith.Clear()
-		prefixWith.Add(p)
+		wNo.reset()
+		wWith.reset()
 		prevNo := uEmpty
-		prevWith := uP
+		prevWith := wWith.seed(p, uP)
 		for pos, idx := range perm {
 			q := survivors[idx]
-			prefix.Add(q)
-			prefixWith.Add(q)
-			curNo := g.Value(prefix)
-			curWith := g.Value(prefixWith)
+			curNo := wNo.add(q)
+			curWith := wWith.add(q)
 			// Deletion mirrors addition with opposite sign: the survivor
 			// loses exactly the share the departing point contributed.
 			// Weight (|S|+1)/n with |S| = pos (Lemma 2's deletion form).

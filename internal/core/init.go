@@ -69,18 +69,17 @@ func Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source) (*InitResu
 		return res, nil
 	}
 
-	prefix := bitset.New(n)
+	w := newPrefixWalker(g)
 	uEmpty := g.Value(bitset.New(n))
 	utilities := make([]float64, n)
 	st := res.Pivot
 	for k := 0; k < tau; k++ {
 		perm := r.PermN(n)
 		t := r.Intn(n + 1)
-		prefix.Clear()
+		w.reset()
 		prev := uEmpty
 		for pos, p := range perm {
-			prefix.Add(p)
-			cur := g.Value(prefix)
+			cur := w.add(p)
 			utilities[pos] = cur
 			m := cur - prev
 			st.SV[p] += m

@@ -21,18 +21,20 @@ func MonteCarloParallel(g game.Game, tau, workers int, r *rng.Source) []float64 
 	})
 }
 
+// accumulateMC runs one worker's share of permutations. It is called once
+// per goroutine, so the walker it builds — and any incremental evaluator
+// inside — stays worker-local.
 func accumulateMC(g game.Game, tau int, r *rng.Source, sv []float64) {
 	n := g.N()
 	perm := make([]int, n)
-	prefix := bitset.New(n)
+	w := newPrefixWalker(g)
 	empty := g.Value(bitset.New(n))
 	for k := 0; k < tau; k++ {
 		r.Perm(perm)
-		prefix.Clear()
+		w.reset()
 		prev := empty
 		for _, p := range perm {
-			prefix.Add(p)
-			cur := g.Value(prefix)
+			cur := w.add(p)
 			sv[p] += cur - prev
 			prev = cur
 		}

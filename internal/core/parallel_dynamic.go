@@ -55,20 +55,20 @@ func DeltaAddParallel(gPlus game.Game, oldSV []float64, tau, workers int, r *rng
 		go func(w, quota int, sub *rng.Source) {
 			defer wg.Done()
 			perm := make([]int, n)
-			prefix := bitset.New(m)
-			prefixWith := bitset.New(m)
+			// Walkers are built inside the goroutine: incremental
+			// evaluators are single-goroutine state, one pair per worker.
+			wkNo := newPrefixWalker(gPlus)
+			wkWith := newPrefixWalker(gPlus)
 			for k := 0; k < quota; k++ {
 				sub.Perm(perm)
-				prefix.Clear()
-				prefixWith.Clear()
-				prefixWith.Add(pivot)
-				prevNo, prevWith := uEmpty, uPivot
+				wkNo.reset()
+				wkWith.reset()
+				prevNo := uEmpty
+				prevWith := wkWith.seed(pivot, uPivot)
 				partials[w].newSV += prevWith - prevNo
 				for pos, p := range perm {
-					prefix.Add(p)
-					prefixWith.Add(p)
-					curNo := gPlus.Value(prefix)
-					curWith := gPlus.Value(prefixWith)
+					curNo := wkNo.add(p)
+					curWith := wkWith.add(p)
 					dmc := (curWith - curNo) - (prevWith - prevNo)
 					partials[w].dsv[p] += dmc * float64(pos+1) / float64(n+1)
 					partials[w].newSV += curWith - curNo
@@ -133,7 +133,11 @@ func (st *PivotState) AddDifferentParallel(gPlus game.Game, tau2, workers int, r
 		go func(w, quota int, sub *rng.Source) {
 			defer wg.Done()
 			perm := make([]int, m)
-			prefix := bitset.New(m)
+			wk := newPrefixWalker(gPlus)
+			var uEmpty float64
+			if wk.incremental() {
+				uEmpty = gPlus.Value(bitset.New(m))
+			}
 			for k := 0; k < quota; k++ {
 				sub.Perm(perm)
 				t := 0
@@ -144,15 +148,11 @@ func (st *PivotState) AddDifferentParallel(gPlus game.Game, tau2, workers int, r
 					}
 				}
 				p := sub.Intn(m + 1)
-				prefix.Clear()
-				for _, q := range perm[:t] {
-					prefix.Add(q)
-				}
-				prev := gPlus.Value(prefix)
+				wk.reset()
+				prev := wk.advance(perm, t, uEmpty)
 				for pos := t; pos < m; pos++ {
 					q := perm[pos]
-					prefix.Add(q)
-					cur := gPlus.Value(prefix)
+					cur := wk.add(q)
 					mc := cur - prev
 					partials[w].rsv[q] += mc
 					if pos < p {

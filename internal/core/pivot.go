@@ -77,7 +77,7 @@ func PivotInit(g game.Game, tau int, keepPerms bool, r *rng.Source) *PivotState 
 	if n == 0 || tau <= 0 {
 		return st
 	}
-	prefix := bitset.New(n)
+	w := newPrefixWalker(g)
 	empty := g.Value(bitset.New(n))
 	for k := 0; k < tau; k++ {
 		perm := r.PermN(n)
@@ -85,11 +85,10 @@ func PivotInit(g game.Game, tau int, keepPerms bool, r *rng.Source) *PivotState 
 		// {0, …, n} because the incoming point is equally likely to land in
 		// any of the n+1 slots of an (n+1)-permutation.
 		t := r.Intn(n + 1)
-		prefix.Clear()
+		w.reset()
 		prev := empty
 		for pos, p := range perm {
-			prefix.Add(p)
-			cur := g.Value(prefix)
+			cur := w.add(p)
 			m := cur - prev
 			st.SV[p] += m
 			if pos < t {
@@ -135,7 +134,11 @@ func (st *PivotState) AddSame(gPlus game.Game, r *rng.Source) ([]float64, error)
 	m := n + 1
 	rsv := make([]float64, m)
 	dlsv := make([]float64, m)
-	prefix := bitset.New(m)
+	w := newPrefixWalker(gPlus)
+	var uEmpty float64
+	if w.incremental() {
+		uEmpty = gPlus.Value(bitset.New(m))
+	}
 	for k := range st.perms {
 		old := st.perms[k]
 		t := st.slots[k]
@@ -145,15 +148,11 @@ func (st *PivotState) AddSame(gPlus game.Game, r *rng.Source) ([]float64, error)
 		perm = append(perm, old[t:]...)
 		// Slot for the *next* pivot, uniform over the m+1 = n+2 positions.
 		p := r.Intn(m + 1)
-		prefix.Clear()
-		for _, q := range perm[:t] {
-			prefix.Add(q)
-		}
-		prev := gPlus.Value(prefix)
+		w.reset()
+		prev := w.advance(perm, t, uEmpty)
 		for pos := t; pos < m; pos++ {
 			q := perm[pos]
-			prefix.Add(q)
-			cur := gPlus.Value(prefix)
+			cur := w.add(q)
 			mc := cur - prev
 			rsv[q] += mc
 			if pos < p {
@@ -207,7 +206,11 @@ func (st *PivotState) AddDifferent(gPlus game.Game, tau2 int, r *rng.Source) ([]
 	m := n + 1
 	rsv := make([]float64, m)
 	dlsv := make([]float64, m)
-	prefix := bitset.New(m)
+	w := newPrefixWalker(gPlus)
+	var uEmpty float64
+	if w.incremental() {
+		uEmpty = gPlus.Value(bitset.New(m))
+	}
 	perm := make([]int, m)
 	for k := 0; k < tau2; k++ {
 		r.Perm(perm)
@@ -219,15 +222,11 @@ func (st *PivotState) AddDifferent(gPlus game.Game, tau2 int, r *rng.Source) ([]
 			}
 		}
 		p := r.Intn(m + 1)
-		prefix.Clear()
-		for _, q := range perm[:t] {
-			prefix.Add(q)
-		}
-		prev := gPlus.Value(prefix)
+		w.reset()
+		prev := w.advance(perm, t, uEmpty)
 		for pos := t; pos < m; pos++ {
 			q := perm[pos]
-			prefix.Add(q)
-			cur := gPlus.Value(prefix)
+			cur := w.add(q)
 			mc := cur - prev
 			rsv[q] += mc
 			if pos < p {

@@ -103,16 +103,15 @@ func PreprocessDeletion(g game.Game, tau int, r *rng.Source) *DeletionStore {
 	if n == 0 || tau <= 0 {
 		return ds
 	}
-	prefix := bitset.New(n)
+	w := newPrefixWalker(g)
 	uEmpty := g.Value(bitset.New(n))
 	utilities := make([]float64, n)
 	perm := make([]int, n)
 	for k := 0; k < tau; k++ {
 		r.Perm(perm)
-		prefix.Clear()
+		w.reset()
 		for pos, p := range perm {
-			prefix.Add(p)
-			utilities[pos] = g.Value(prefix)
+			utilities[pos] = w.add(p)
 		}
 		ds.AccumulatePermutation(perm, utilities, uEmpty)
 	}
@@ -377,16 +376,15 @@ func PreprocessMultiDeletion(g game.Game, d int, candidates []int, tau int, r *r
 	if n == 0 || tau <= 0 {
 		return ms, nil
 	}
-	prefix := bitset.New(n)
+	w := newPrefixWalker(g)
 	uEmpty := g.Value(bitset.New(n))
 	utilities := make([]float64, n)
 	perm := make([]int, n)
 	for k := 0; k < tau; k++ {
 		r.Perm(perm)
-		prefix.Clear()
+		w.reset()
 		for pos, p := range perm {
-			prefix.Add(p)
-			utilities[pos] = g.Value(prefix)
+			utilities[pos] = w.add(p)
 		}
 		ms.AccumulatePermutation(perm, utilities, uEmpty)
 	}

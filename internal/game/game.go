@@ -57,8 +57,9 @@ type ExactShapley interface {
 // large-dataset tables (XI–XIV) are dominated by #evaluations × training
 // time.
 type Counting struct {
-	inner Game
-	calls atomic.Int64
+	inner      Game
+	calls      atomic.Int64
+	prefixAdds atomic.Int64
 }
 
 // NewCounting returns a counting wrapper around g.
@@ -79,13 +80,77 @@ func (c *Counting) Calls() int64 { return c.calls.Load() }
 // Reset zeroes the call counter.
 func (c *Counting) Reset() { c.calls.Store(0) }
 
-// cacheStore is the shareable state behind Cached: the memoised values and
-// the lock guarding them.
-type cacheStore struct {
+// cacheShardCount is the number of lock stripes in a cache store. Power of
+// two so shard selection is a mask of the coalition hash; 64 stripes keep
+// the probability of two of the paper's 48 threads colliding on one lock
+// low without bloating small caches.
+const cacheShardCount = 64
+
+// cacheEntry holds one memoised coalition. Entries are bucketed by the
+// 64-bit coalition hash; the full key bytes are kept only to confirm
+// membership on the (rare) hash collision.
+type cacheEntry struct {
+	key string
+	v   float64
+}
+
+// cacheShard is one lock stripe of the store. The trailing padding keeps
+// adjacent shards' mutexes on distinct cache lines so uncontended stripes
+// do not false-share.
+type cacheShard struct {
 	mu     sync.RWMutex
-	values map[string]float64
-	hits   atomic.Int64
-	misses atomic.Int64
+	values map[uint64][]cacheEntry
+	_      [24]byte
+}
+
+// cacheStore is the shareable state behind Cached: the memoised values,
+// lock-striped by coalition hash so parallel samplers do not serialise on a
+// single RWMutex, and the shared statistics.
+type cacheStore struct {
+	shards     [cacheShardCount]cacheShard
+	hits       atomic.Int64
+	misses     atomic.Int64
+	prefixAdds atomic.Int64
+}
+
+func newCacheStore() *cacheStore {
+	st := &cacheStore{}
+	for i := range st.shards {
+		st.shards[i].values = make(map[uint64][]cacheEntry)
+	}
+	return st
+}
+
+// lookup returns the memoised value for (hash, key) if present.
+func (st *cacheStore) lookup(h uint64, key []byte) (float64, bool) {
+	sh := &st.shards[h%cacheShardCount]
+	sh.mu.RLock()
+	for _, e := range sh.values[h] {
+		if e.key == string(key) {
+			sh.mu.RUnlock()
+			return e.v, true
+		}
+	}
+	sh.mu.RUnlock()
+	return 0, false
+}
+
+// insert memoises v under (hash, key), tolerating concurrent duplicate
+// computation: a racing insert of the same coalition overwrites rather than
+// duplicating the entry.
+func (st *cacheStore) insert(h uint64, key []byte, v float64) {
+	sh := &st.shards[h%cacheShardCount]
+	sh.mu.Lock()
+	entries := sh.values[h]
+	for i := range entries {
+		if entries[i].key == string(key) {
+			entries[i].v = v
+			sh.mu.Unlock()
+			return
+		}
+	}
+	sh.values[h] = append(entries, cacheEntry{key: string(key), v: v})
+	sh.mu.Unlock()
 }
 
 // Cached wraps a game with a memoising coalition→utility cache. Model
@@ -100,7 +165,7 @@ type Cached struct {
 
 // NewCached returns a caching wrapper around g.
 func NewCached(g Game) *Cached {
-	return &Cached{inner: g, store: &cacheStore{values: make(map[string]float64)}}
+	return &Cached{inner: g, store: newCacheStore()}
 }
 
 // NewCachedShared returns a caching wrapper around g that shares prev's
@@ -121,32 +186,35 @@ func NewCachedShared(g Game, prev *Cached) *Cached {
 // harness uses it to hand every contender the same starting cache without
 // letting them warm each other's.
 func (c *Cached) Fork(inner Game) *Cached {
-	c.store.mu.RLock()
-	values := make(map[string]float64, len(c.store.values))
-	for k, v := range c.store.values {
-		values[k] = v
+	st := newCacheStore()
+	for i := range c.store.shards {
+		src := &c.store.shards[i]
+		dst := &st.shards[i]
+		src.mu.RLock()
+		for h, entries := range src.values {
+			dst.values[h] = append([]cacheEntry(nil), entries...)
+		}
+		src.mu.RUnlock()
 	}
-	c.store.mu.RUnlock()
-	return &Cached{inner: inner, store: &cacheStore{values: values}}
+	return &Cached{inner: inner, store: st}
 }
 
 // N implements Game.
 func (c *Cached) N() int { return c.inner.N() }
 
-// Value implements Game, consulting the cache first.
+// Value implements Game, consulting the cache first. The key bytes are
+// built into a stack buffer via bitset.AppendKey, so a cache hit performs
+// no allocation (games above 512 players spill the buffer to the heap).
 func (c *Cached) Value(s bitset.Set) float64 {
-	k := s.Key()
-	c.store.mu.RLock()
-	v, ok := c.store.values[k]
-	c.store.mu.RUnlock()
-	if ok {
+	var buf [64]byte
+	key := s.AppendKey(buf[:0])
+	h := s.Hash()
+	if v, ok := c.store.lookup(h, key); ok {
 		c.store.hits.Add(1)
 		return v
 	}
-	v = c.inner.Value(s)
-	c.store.mu.Lock()
-	c.store.values[k] = v
-	c.store.mu.Unlock()
+	v := c.inner.Value(s)
+	c.store.insert(h, key, v)
 	c.store.misses.Add(1)
 	return v
 }
@@ -158,16 +226,26 @@ func (c *Cached) Stats() (hits, misses int64) {
 
 // Len returns the number of cached coalitions.
 func (c *Cached) Len() int {
-	c.store.mu.RLock()
-	defer c.store.mu.RUnlock()
-	return len(c.store.values)
+	total := 0
+	for i := range c.store.shards {
+		sh := &c.store.shards[i]
+		sh.mu.RLock()
+		for _, entries := range sh.values {
+			total += len(entries)
+		}
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // Purge drops all cached entries.
 func (c *Cached) Purge() {
-	c.store.mu.Lock()
-	c.store.values = make(map[string]float64)
-	c.store.mu.Unlock()
+	for i := range c.store.shards {
+		sh := &c.store.shards[i]
+		sh.mu.Lock()
+		sh.values = make(map[uint64][]cacheEntry)
+		sh.mu.Unlock()
+	}
 }
 
 // Restrict presents a sub-game over the players NOT in `removed`, with

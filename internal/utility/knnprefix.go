@@ -1,0 +1,152 @@
+package utility
+
+import (
+	"dynshap/internal/dataset"
+	"dynshap/internal/game"
+	"dynshap/internal/ml"
+)
+
+// knnPrefix incrementally maintains the KNN utility U(S) = test accuracy of
+// a k-NN classifier trained on the coalition S, as points join S one at a
+// time (the structure Jia et al. exploit for exact k-NN Shapley values).
+//
+// For every test point it keeps the candidate list of the k nearest
+// coalition members ordered by (distance, original index) — exactly the
+// selection rule of dataset.Nearest scanning a coalition subset in
+// increasing index order, so the maintained windows, votes, and accuracy
+// are bit-identical to a scratch ModelUtility.Value call on the same
+// coalition. One Add costs O(m·(d + k)) for m test points in d dimensions,
+// versus O(|S|·m·d) plus a dataset clone for a scratch evaluation.
+type knnPrefix struct {
+	u *ModelUtility
+	k int
+	m int // number of test points
+
+	// Per-test-point candidate windows, row-major m×k. Window j holds the
+	// min(|S|, k) nearest coalition members of test point j; row length is
+	// uniform because every training point is a candidate for every test
+	// point.
+	dists []float64
+	idxs  []int32
+
+	// predCorrect[j] reports whether the current vote for test point j
+	// matches its label; correct is the running total.
+	predCorrect []bool
+	correct     int
+
+	size   int   // members added since Reset
+	counts []int // vote-counting scratch, one slot per class
+}
+
+// Prefix implements game.Prefixer. The capability is available only for the
+// KNN trainer, whose lazy model admits exact incremental maintenance;
+// other trainers return nil, sending estimators down the scratch-Value
+// fallback. Evaluations through the evaluator train no model: they do not
+// count as Fits, and the simulated training latency (WithSimulatedLatency)
+// does not apply. Prefix is safe for concurrent calls; each returned
+// evaluator must stay on one goroutine.
+func (u *ModelUtility) Prefix() game.PrefixEvaluator {
+	tr, ok := u.trainer.(ml.KNN)
+	if !ok {
+		return nil
+	}
+	k := tr.K
+	if k == 0 {
+		k = 5
+	}
+	m := u.test.Len()
+	return &knnPrefix{
+		u:           u,
+		k:           k,
+		m:           m,
+		dists:       make([]float64, m*k),
+		idxs:        make([]int32, m*k),
+		predCorrect: make([]bool, m),
+		counts:      make([]int, u.train.Classes),
+	}
+}
+
+// PrefixAdds returns the number of incremental prefix evaluations served by
+// evaluators handed out by Prefix (the trainings avoided, roughly).
+func (u *ModelUtility) PrefixAdds() int64 { return u.prefixAdds.Load() }
+
+// Reset implements game.PrefixEvaluator.
+func (e *knnPrefix) Reset() {
+	e.size = 0
+	e.correct = 0
+}
+
+// Add implements game.PrefixEvaluator: training point p joins the
+// coalition; the new utility is returned.
+func (e *knnPrefix) Add(p int) float64 {
+	e.u.prefixAdds.Add(1)
+	e.size++
+	wlen := e.size - 1 // window length before this Add
+	if wlen > e.k {
+		wlen = e.k
+	}
+	px := e.u.train.Points[p].X
+	for j := 0; j < e.m; j++ {
+		tp := &e.u.test.Points[j]
+		d := dataset.Euclidean(tp.X, px)
+		if !e.insert(j, wlen, d, int32(p)) {
+			continue
+		}
+		// Window changed: recount the vote among its members. Ties break
+		// toward the smaller label, as in the scratch classifier.
+		for c := range e.counts {
+			e.counts[c] = 0
+		}
+		row := j * e.k
+		n := wlen + 1
+		if n > e.k {
+			n = e.k
+		}
+		for w := 0; w < n; w++ {
+			e.counts[e.u.train.Points[e.idxs[row+w]].Y]++
+		}
+		best := 0
+		for c, cnt := range e.counts {
+			if cnt > e.counts[best] {
+				best = c
+			}
+		}
+		ok := best == tp.Y
+		if e.size > 1 && e.predCorrect[j] {
+			e.correct--
+		}
+		if ok {
+			e.correct++
+		}
+		e.predCorrect[j] = ok
+	}
+	if e.m == 0 {
+		return 0 // matches ml.Accuracy on an empty test set
+	}
+	return float64(e.correct) / float64(e.m)
+}
+
+// insert places candidate (d, idx) into test point j's window of current
+// length wlen if it ranks among the k nearest under the (distance, index)
+// order, reporting whether the window changed. Equal distances prefer the
+// smaller original index — the rule dataset.Nearest's index-order scan
+// implements implicitly.
+func (e *knnPrefix) insert(j, wlen int, d float64, idx int32) bool {
+	row := j * e.k
+	pos := wlen
+	if wlen == e.k {
+		last := row + e.k - 1
+		if d > e.dists[last] || (d == e.dists[last] && idx > e.idxs[last]) {
+			return false
+		}
+		pos = e.k - 1
+	}
+	for pos > 0 && (e.dists[row+pos-1] > d || (e.dists[row+pos-1] == d && e.idxs[row+pos-1] > idx)) {
+		e.dists[row+pos] = e.dists[row+pos-1]
+		e.idxs[row+pos] = e.idxs[row+pos-1]
+		pos--
+	}
+	e.dists[row+pos] = d
+	e.idxs[row+pos] = idx
+	return true
+}

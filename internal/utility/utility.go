@@ -38,6 +38,10 @@ type ModelUtility struct {
 	// paper's expensive models (T in Theorems 1–4).
 	delay time.Duration
 	fits  atomic.Int64
+	// prefixAdds counts incremental prefix evaluations (see Prefix); they
+	// avoid a training each, so the two counters together describe how the
+	// utility's work splits between scratch and incremental paths.
+	prefixAdds atomic.Int64
 }
 
 // Option configures a ModelUtility.
@@ -118,11 +122,12 @@ func (u *ModelUtility) Test() *dataset.Dataset { return u.test.Clone() }
 
 // Append returns a new ModelUtility over the training set extended with the
 // given points (the N⁺ view of the addition algorithms). The receiver is
-// unchanged; the test set, trainer, and options carry over.
+// unchanged; the test set is cloned — matching NewModelUtility's isolation
+// guarantee — and the trainer and options carry over.
 func (u *ModelUtility) Append(points ...dataset.Point) *ModelUtility {
 	nu := &ModelUtility{
 		train:      u.train.Append(points...),
-		test:       u.test,
+		test:       u.test.Clone(),
 		trainer:    u.trainer,
 		emptyValue: u.emptyValue,
 		delay:      u.delay,
@@ -132,10 +137,12 @@ func (u *ModelUtility) Append(points ...dataset.Point) *ModelUtility {
 
 // Remove returns a new ModelUtility over the training set without the
 // points at the given indices (the N⁻ view of the deletion algorithms).
+// Like Append, the test set is cloned so the derived utility shares no
+// mutable state with the receiver.
 func (u *ModelUtility) Remove(indices ...int) *ModelUtility {
 	nu := &ModelUtility{
 		train:      u.train.Remove(indices...),
-		test:       u.test,
+		test:       u.test.Clone(),
 		trainer:    u.trainer,
 		emptyValue: u.emptyValue,
 		delay:      u.delay,

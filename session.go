@@ -44,6 +44,8 @@ type Session struct {
 	// pastFits accumulates training counts of utilities replaced by updates,
 	// so ModelTrainings is cumulative over the session's lifetime.
 	pastFits int64
+	// pastPrefixAdds does the same for incremental prefix evaluations.
+	pastPrefixAdds int64
 }
 
 type config struct {
@@ -145,6 +147,7 @@ func NewSession(train, test *Dataset, trainer Trainer, opts ...Option) *Session 
 func (s *Session) rebuildUtility() {
 	if s.util != nil {
 		s.pastFits += s.util.Fits()
+		s.pastPrefixAdds += s.util.PrefixAdds()
 	}
 	s.util = utility.NewModelUtility(s.train, s.test, s.trainer)
 	s.cache = game.NewCached(s.util)
@@ -203,6 +206,17 @@ func (s *Session) ModelTrainings() int64 {
 
 // CacheStats returns the utility cache's hit/miss counts.
 func (s *Session) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// PrefixAdds returns how many incremental prefix evaluations the session
+// has served over its lifetime (see the Prefixer capability in
+// internal/game). For models that support exact incremental maintenance —
+// currently k-NN — permutation walks use these in place of model
+// trainings, so ModelTrainings stays near zero while PrefixAdds grows.
+func (s *Session) PrefixAdds() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pastPrefixAdds + s.util.PrefixAdds()
+}
 
 // ErrNotInitialized is returned by updates before Init has run.
 var ErrNotInitialized = errors.New("dynshap: session not initialized; call Init first")
@@ -307,6 +321,7 @@ func (s *Session) knnPlusCfg() core.KNNPlusConfig {
 func (s *Session) applyAppend(points []Point) {
 	s.train = s.train.Append(points...)
 	s.pastFits += s.util.Fits()
+	s.pastPrefixAdds += s.util.PrefixAdds()
 	s.util = s.util.Append(points...)
 	// The cache survives: coalitions over the original points keep their
 	// keys, and new coalitions simply miss. (Capacity growth across a
@@ -355,6 +370,7 @@ func (s *Session) addPivot(points []Point, algo Algorithm) error {
 func (s *Session) applyAppendSingle(p Point, uPlus *utility.ModelUtility) {
 	s.train = s.train.Append(p)
 	s.pastFits += s.util.Fits()
+	s.pastPrefixAdds += s.util.PrefixAdds()
 	s.util = uPlus
 	if s.cfg.cacheEnabled {
 		s.cache = game.NewCachedShared(s.util, s.cache)

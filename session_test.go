@@ -61,8 +61,13 @@ func TestSessionInitValues(t *testing.T) {
 	if s.N() != 12 {
 		t.Fatalf("N = %d", s.N())
 	}
-	if s.ModelTrainings() == 0 {
-		t.Fatal("no model trainings recorded")
+	// The k-NN utility supports incremental prefix evaluation, so the walk
+	// trains no models at all — the work shows up as prefix adds instead.
+	if s.ModelTrainings()+s.PrefixAdds() == 0 {
+		t.Fatal("no utility work recorded")
+	}
+	if s.PrefixAdds() == 0 {
+		t.Fatal("k-NN session did not use the incremental prefix path")
 	}
 }
 
@@ -349,12 +354,14 @@ func TestSessionDeterminism(t *testing.T) {
 }
 
 func TestSessionCacheSavesTrainings(t *testing.T) {
+	// Naive Bayes has no incremental prefix path, so every coalition
+	// evaluation trains a model unless the cache intercepts it.
 	train, test := fixture(t, 10)
-	cached := NewSession(train, test, KNNClassifier{K: 3}, WithSamples(200), WithSeed(5))
+	cached := NewSession(train, test, NaiveBayes{}, WithSamples(200), WithSeed(5))
 	if err := cached.Init(); err != nil {
 		t.Fatal(err)
 	}
-	uncached := NewSession(train, test, KNNClassifier{K: 3}, WithSamples(200), WithSeed(5), WithoutCache())
+	uncached := NewSession(train, test, NaiveBayes{}, WithSamples(200), WithSeed(5), WithoutCache())
 	if err := uncached.Init(); err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +376,11 @@ func TestSessionCacheSavesTrainings(t *testing.T) {
 }
 
 func TestSessionPivotAddReusesCache(t *testing.T) {
-	s := newTestSession(t, 10, WithKeepPermutations(), WithSamples(150))
+	// Uses naive Bayes: with the k-NN trainer the incremental prefix path
+	// sidesteps both trainings and the cache, leaving nothing to compare.
+	train, test := fixture(t, 10)
+	s := NewSession(train, test, NaiveBayes{},
+		WithSamples(150), WithSeed(3), WithHeuristicK(3), WithKeepPermutations())
 	if err := s.Init(); err != nil {
 		t.Fatal(err)
 	}
