@@ -23,8 +23,10 @@ cover:
 	$(GO) test ./... -cover
 
 # One testing.B target per paper table/figure plus micro-benchmarks.
+# Streams results and records a dated BENCH_<YYYY-MM-DD>.json snapshot
+# (ns/op, allocations, engine fill throughput) for regression diffing.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) run ./cmd/benchsnap
 
 # Regenerate the paper's tables and figures at laptop scale.
 experiments:

@@ -1,0 +1,141 @@
+// Command benchsnap runs the full benchmark suite once and records a
+// dated JSON snapshot of every metric — ns/op, allocations, the engine's
+// fill throughput, cache and prefix-add counters — so perf regressions
+// between PRs show up as a diff between two BENCH_<date>.json files.
+//
+// Usage:
+//
+//	go run ./cmd/benchsnap            # writes BENCH_YYYY-MM-DD.json
+//	go run ./cmd/benchsnap -o out.json
+//
+// The benchmark output is also streamed to stdout as it arrives, so the
+// command doubles as a plain `make bench` run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// entry is one benchmark result: the iteration count and every reported
+// metric keyed by its unit (ns/op, B/op, allocs/op, plus custom units
+// such as cellups/s from ReportMetric).
+type entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// snapshot is the file layout of BENCH_<date>.json.
+type snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	BenchTime  string  `json:"benchtime"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
+	benchtime := flag.String("benchtime", "1x", "value passed to -benchtime")
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+
+	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchmem",
+		"-benchtime="+*benchtime, "./...")
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+
+	snap := snapshot{
+		Date:       date,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
+	}
+	sc := bufio.NewScanner(pipe)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if e, ok := parseBenchLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("benchmark run failed: %w", err))
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results parsed"))
+	}
+
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(snap.Benchmarks), path)
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   3   123456 ns/op   789 B/op   2 allocs/op   1.5e+07 cellups/s
+//
+// i.e. the name, the iteration count, then (value, unit) pairs — which is
+// exactly how custom testing.B.ReportMetric units are printed too.
+func parseBenchLine(line string) (entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return entry{}, false
+	}
+	e := entry{
+		// Strip the -GOMAXPROCS suffix so names are stable across machines.
+		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	if len(e.Metrics) == 0 {
+		return entry{}, false
+	}
+	return e, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

@@ -227,6 +227,41 @@ func PreprocessMultiDeletion(g Game, d int, candidates []int, tau int, seed uint
 	return core.PreprocessMultiDeletion(g, d, candidates, tau, rng.New(seed))
 }
 
+// EngineStats describes a permutation-engine pass: permutations issued
+// versus budgeted, adaptive early-stop status and certified bound, worker
+// count, and array-fill throughput.
+type EngineStats = core.EngineStats
+
+// PreprocessDeletionParallel is PreprocessDeletion with the YN-NN array
+// fill striped over the given number of accumulator workers (≤0 selects
+// GOMAXPROCS). One producer samples permutations and computes prefix
+// utilities; each worker owns a contiguous block of the arrays' player
+// rows, so the result is bit-identical to the serial fill for the same
+// seed at every worker count.
+func PreprocessDeletionParallel(g Game, tau, workers int, seed uint64) *DeletionArrays {
+	e := core.NewEngine(core.WithWorkers(workers))
+	return e.PreprocessDeletion(g, tau, rng.New(seed))
+}
+
+// PreprocessMultiDeletionParallel is PreprocessMultiDeletion with the
+// YNN-NNN fill striped over workers accumulators; bit-identical to the
+// serial fill for the same seed.
+func PreprocessMultiDeletionParallel(g Game, d int, candidates []int, tau, workers int, seed uint64) (*MultiDeletionArrays, error) {
+	e := core.NewEngine(core.WithWorkers(workers))
+	return e.PreprocessMultiDeletion(g, d, candidates, tau, rng.New(seed))
+}
+
+// MonteCarloShapleyAdaptive is Monte Carlo estimation with adaptive early
+// termination: sampling stops as soon as an empirical-Bernstein bound
+// certifies every player's estimate within eps at confidence 1−delta, or
+// when the tau budget is exhausted. The returned stats report the τ
+// actually spent.
+func MonteCarloShapleyAdaptive(g Game, tau int, eps, delta float64, seed uint64) ([]float64, EngineStats) {
+	e := core.NewEngine(core.WithTargetError(eps, delta))
+	sv := e.MonteCarlo(g, tau, rng.New(seed))
+	return sv, e.Stats()
+}
+
 // DeltaAddShapley runs Algorithm 5 over a general game: gPlus is the
 // (n+1)-player game whose last player is new, oldSV the n precomputed
 // values. It returns n+1 updated values.

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"dynshap/internal/core"
 )
 
 // Config scales the experiments. The paper's full settings (τ = 20n
@@ -197,6 +199,10 @@ type Runner struct {
 	// benchMemo caches benchmark Shapley runs, the dominant cost of the
 	// τ_LSV sweep tables (several configurations, one benchmark).
 	benchMemo map[string][]float64
+	// lastFill records the permutation-engine stats of the most recent
+	// shared initialisation pass (permutations issued vs budget, worker
+	// count, fill throughput), surfaced in table notes.
+	lastFill core.EngineStats
 }
 
 // NewRunner returns a Runner with the given configuration.

@@ -126,11 +126,26 @@ func (r *Runner) deleteMSETable(numDel int, algos []string) (*Table, error) {
 	t.Rows = [][]string{row}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("n=%d, τ=%d·n, benchmark τ=%d·n, %d trial(s)", r.cfg.N, r.cfg.TauFactor, r.cfg.BenchTauFactor, r.cfg.Trials),
-		"YN-NN recovers values from precomputed arrays; its residual MSE is the benchmark's own sampling noise")
+		"YN-NN recovers values from precomputed arrays; its residual MSE is the benchmark's own sampling noise",
+		fillStatsNote(r.lastFill))
 	if note := pValueNote(ms); note != "" {
 		t.Notes = append(t.Notes, note)
 	}
 	return t, nil
+}
+
+// fillStatsNote renders the permutation-engine stats of the last shared
+// initialisation pass (the array fill behind YN-NN / YNN-NNN recovery).
+func fillStatsNote(st core.EngineStats) string {
+	note := fmt.Sprintf("array fill: %d/%d permutations on %d worker(s)",
+		st.Issued, st.Budget, st.Workers)
+	if st.EarlyStop {
+		note += fmt.Sprintf(", stopped early at bound %.3g", st.Bound)
+	}
+	if tp := st.Throughput(); tp > 0 {
+		note += fmt.Sprintf(", %.3g cell updates/s", tp)
+	}
+	return note
 }
 
 // tableMemory reproduces Table IX: memory consumption of the YN-NN arrays

@@ -115,13 +115,19 @@ type initProducts struct {
 	cache *game.Cached
 }
 
-// initialize runs the shared preprocessing pass with the given τ.
+// initialize runs the shared preprocessing pass with the given τ, routed
+// through the stripe-parallel permutation engine under the configured
+// worker budget. The engine is bit-identical to the serial pass for a
+// fixed seed, so all downstream numbers are unchanged; its stats for the
+// pass are kept on the Runner for the table notes.
 func (r *Runner) initialize(sc *scenario, opt core.InitOptions, tau int, seed uint64) (*initProducts, error) {
 	cache := game.NewCached(sc.util)
-	res, err := core.Initialize(cache, tau, opt, rng.New(seed))
+	engine := core.NewEngine(core.WithWorkers(r.cfg.Workers))
+	res, err := engine.Initialize(cache, tau, opt, rng.New(seed))
 	if err != nil {
 		return nil, err
 	}
+	r.lastFill = engine.Stats()
 	return &initProducts{res: res, cache: cache}, nil
 }
 

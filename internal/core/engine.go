@@ -1,0 +1,850 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// This file implements the shared permutation engine behind the sampled
+// estimators and the YN-NN / YNN-NNN preprocessing fills.
+//
+// Two ideas, composable and both deterministic:
+//
+//   - Stripe parallelism. The preprocessing fills pay almost their entire
+//     cost in O(n²) array updates per permutation over O(n³) memory. The
+//     engine runs a single producer that samples permutations and computes
+//     prefix utilities once (through prefixWalker, so incremental
+//     evaluators and the utility cache stay single-goroutine), then fans
+//     each chunk of (perm, utilities) out to accumulator workers. Worker w
+//     owns the contiguous stripe lo ≤ i < hi of the arrays' first axis and
+//     folds only rows in its stripe — no per-worker array clones (the
+//     naive approach costs workers × n³ floats), no locks. Every array
+//     entry (i, ·, ·) is written by exactly one worker, which processes
+//     chunks in issue order and permutations in order within a chunk, so
+//     each entry receives float additions in exactly the serial order: the
+//     result is bit-identical to the serial fill for a fixed seed, at any
+//     worker count.
+//
+//   - Adaptive early termination. Work is issued in chunks; between chunks
+//     the engine checks an empirical-Bernstein bound over the per-player
+//     contributions observed so far (producer-side, so the decision is
+//     independent of the worker count) and stops as soon as every player's
+//     estimate is certified within eps at confidence 1−delta, recording
+//     the τ actually spent instead of always burning the full budget.
+//
+// See DESIGN.md §9 for the determinism contract and the bound's failure
+// modes.
+
+// defaultChunkSize is the permutation batch issued between stripe
+// dispatches and adaptive-bound checks: large enough to amortise channel
+// and barrier overhead, small enough that early termination overshoots the
+// certified τ by at most one in-flight batch.
+const defaultChunkSize = 64
+
+// adaptiveMinTau is the fewest permutations accumulated before the engine
+// trusts the empirical bound; variance estimates below this are too noisy
+// to certify anything.
+const adaptiveMinTau = 32
+
+// Engine runs permutation-sampling passes with stripe-parallel array fills
+// and optional adaptive early termination. The zero value is not usable;
+// construct with NewEngine. An Engine is not safe for concurrent use: it
+// records per-pass statistics, and its fills mutate the target stores.
+type Engine struct {
+	workers int
+	chunk   int
+	eps     float64
+	delta   float64
+
+	stats EngineStats
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithWorkers sets the number of accumulator workers for striped fills
+// (≤0 selects GOMAXPROCS). Fill results are bit-identical at every worker
+// count — the producer consumes all randomness and each worker owns a
+// disjoint stripe of the arrays — so this is purely a throughput knob.
+func WithWorkers(k int) EngineOption { return func(e *Engine) { e.workers = k } }
+
+// WithChunkSize sets how many permutations are issued between stripe
+// dispatches and adaptive-bound checks (default 64). The issued τ under
+// adaptive stopping is always a chunk multiple (or the full budget), so
+// the chunk size decides where early termination can land.
+func WithChunkSize(c int) EngineOption { return func(e *Engine) { e.chunk = c } }
+
+// WithTargetError enables adaptive early termination: a pass stops at the
+// first chunk boundary where an empirical-Bernstein bound certifies every
+// player's estimate within eps at confidence 1−delta, instead of spending
+// the full τ budget. Stats().Issued reports the τ actually used. It
+// panics if eps ≤ 0 or delta lies outside (0, 1).
+func WithTargetError(eps, delta float64) EngineOption {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		panic("core: WithTargetError needs eps > 0 and delta in (0, 1)")
+	}
+	return func(e *Engine) { e.eps, e.delta = eps, delta }
+}
+
+// NewEngine returns an Engine with the given options.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{chunk: defaultChunkSize}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.chunk <= 0 {
+		e.chunk = defaultChunkSize
+	}
+	return e
+}
+
+// EngineStats describes the engine's most recent pass.
+type EngineStats struct {
+	// Budget is the τ requested; Issued is the τ actually accumulated —
+	// smaller than Budget when adaptive stopping fired.
+	Budget, Issued int
+	// Workers is the accumulator goroutine count the pass used (1 for
+	// purely producer-side passes such as plain Monte Carlo estimation).
+	Workers int
+	// EarlyStop reports whether the adaptive bound ended the pass before
+	// the budget; Bound is the certified half-width at the last check
+	// (+Inf before enough samples, 0 when adaptive mode was off).
+	EarlyStop bool
+	Bound     float64
+	// Updates counts array-fill updates performed and Seconds the wall
+	// time of the pass, together giving the fill throughput.
+	Updates int64
+	Seconds float64
+}
+
+// Throughput returns the fill rate in array updates per second (0 for
+// passes without striped fills).
+func (s EngineStats) Throughput() float64 {
+	if s.Seconds <= 0 {
+		return 0
+	}
+	return float64(s.Updates) / s.Seconds
+}
+
+// Stats returns the statistics of the engine's most recent pass.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+func (e *Engine) adaptive() bool { return e.eps > 0 }
+
+// effectiveWorkers resolves the worker option against the row count.
+func (e *Engine) effectiveWorkers(n int) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// stripeTarget is a structure whose per-permutation accumulation
+// partitions by the first array axis (the player row). Both deletion
+// stores implement it.
+type stripeTarget interface {
+	// newAux allocates one permutation's worth of producer-side metadata
+	// (nil when the target needs none).
+	newAux() []int
+	// prepare fills aux for the permutation and returns how many array
+	// updates the permutation costs, for throughput accounting. It runs
+	// in the producer and consumes no randomness.
+	prepare(perm []int, aux []int) int64
+	// accumulateStripe folds one permutation into rows lo ≤ i < hi.
+	// utilities[pos] holds U({perm[0..pos]}); uEmpty is U(∅). Rows
+	// outside [lo, hi) must not be touched, and neither may SV or τ —
+	// the producer owns those.
+	accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi int)
+}
+
+// fillRun describes one engine pass over sampled permutations.
+type fillRun struct {
+	g       game.Game
+	tau     int
+	r       *rng.Source
+	targets []stripeTarget
+	// perPerm runs in the producer after each permutation's utilities are
+	// filled; it may consume randomness (it runs in sample order) and
+	// owns all non-striped bookkeeping (Shapley sums, pivot LSV, kept
+	// permutations).
+	perPerm func(perm []int, utilities []float64, uEmpty float64)
+	// freshPerms allocates a new permutation slice per sample so perPerm
+	// may retain it (KeepPerms); otherwise one buffer is reused.
+	freshPerms bool
+}
+
+// run executes the pass and returns the number of permutations issued.
+// Callers guarantee n ≥ 1 and tau ≥ 1.
+func (e *Engine) run(fr fillRun) int {
+	n := fr.g.N()
+	workers := 1
+	if len(fr.targets) > 0 {
+		workers = e.effectiveWorkers(n)
+	}
+	e.stats = EngineStats{Budget: fr.tau, Workers: workers}
+
+	w := newPrefixWalker(fr.g)
+	uEmpty := fr.g.Value(bitset.New(n))
+	var trk *adaptiveTracker
+	if e.adaptive() {
+		trk = newAdaptiveTracker(n, e.eps, e.delta)
+	}
+
+	start := time.Now()
+	var issued int
+	if workers == 1 {
+		issued = e.runSerial(fr, w, uEmpty, trk)
+	} else {
+		issued = e.runStriped(fr, w, uEmpty, trk, workers)
+	}
+	e.stats.Seconds = time.Since(start).Seconds()
+	e.stats.Issued = issued
+	e.stats.EarlyStop = issued < fr.tau
+	if trk != nil {
+		e.stats.Bound = trk.lastBound
+	}
+	return issued
+}
+
+// runSerial is the single-goroutine path: produce and accumulate inline.
+// It performs exactly the accumulation sequence of the historic serial
+// fills, so delegating the serial entry points here changes nothing.
+func (e *Engine) runSerial(fr fillRun, w *prefixWalker, uEmpty float64, trk *adaptiveTracker) int {
+	n := fr.g.N()
+	perm := make([]int, n)
+	utilities := make([]float64, n)
+	auxes := make([][]int, len(fr.targets))
+	for ti, t := range fr.targets {
+		auxes[ti] = t.newAux()
+	}
+	issued := 0
+	for issued < fr.tau {
+		if fr.freshPerms {
+			perm = make([]int, n)
+		}
+		fr.r.Perm(perm)
+		w.reset()
+		for pos, p := range perm {
+			utilities[pos] = w.add(p)
+		}
+		if fr.perPerm != nil {
+			fr.perPerm(perm, utilities, uEmpty)
+		}
+		for ti, t := range fr.targets {
+			e.stats.Updates += t.prepare(perm, auxes[ti])
+			t.accumulateStripe(perm, utilities, uEmpty, auxes[ti], 0, n)
+		}
+		if trk != nil {
+			trk.observeWalk(perm, utilities, uEmpty)
+		}
+		issued++
+		if trk != nil && issued%e.chunk == 0 && issued >= adaptiveMinTau &&
+			issued < fr.tau && trk.met() {
+			break
+		}
+	}
+	return issued
+}
+
+// fillChunk is one batch of sampled permutations in flight between the
+// producer and the stripe workers.
+type fillChunk struct {
+	count int
+	perms [][]int
+	utils [][]float64
+	aux   [][][]int // [perm][target]
+	wg    sync.WaitGroup
+}
+
+// runStriped is the parallel path: the producer fills double-buffered
+// chunks and broadcasts each to every worker; worker w folds only its
+// stripe. The producer overlaps sampling chunk c+1 with the accumulation
+// of chunk c; the adaptive bound is producer-side, so the stop decision
+// never waits on workers and is identical at every worker count.
+func (e *Engine) runStriped(fr fillRun, w *prefixWalker, uEmpty float64, trk *adaptiveTracker, workers int) int {
+	n := fr.g.N()
+	const depth = 2
+	slots := make([]*fillChunk, depth)
+	for s := range slots {
+		c := &fillChunk{
+			perms: make([][]int, e.chunk),
+			utils: make([][]float64, e.chunk),
+			aux:   make([][][]int, e.chunk),
+		}
+		for p := 0; p < e.chunk; p++ {
+			if !fr.freshPerms {
+				c.perms[p] = make([]int, n)
+			}
+			c.utils[p] = make([]float64, n)
+			c.aux[p] = make([][]int, len(fr.targets))
+			for ti, t := range fr.targets {
+				c.aux[p][ti] = t.newAux()
+			}
+		}
+		slots[s] = c
+	}
+
+	chans := make([]chan *fillChunk, workers)
+	var wwg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		chans[wk] = make(chan *fillChunk, depth)
+		lo, hi := wk*n/workers, (wk+1)*n/workers
+		wwg.Add(1)
+		go func(lo, hi int, ch chan *fillChunk) {
+			defer wwg.Done()
+			for c := range ch {
+				for p := 0; p < c.count; p++ {
+					for ti, t := range fr.targets {
+						t.accumulateStripe(c.perms[p], c.utils[p], uEmpty, c.aux[p][ti], lo, hi)
+					}
+				}
+				c.wg.Done()
+			}
+		}(lo, hi, chans[wk])
+	}
+
+	issued := 0
+	for si := 0; issued < fr.tau; si++ {
+		c := slots[si%depth]
+		c.wg.Wait() // previous dispatch of this buffer fully drained
+		count := e.chunk
+		if rem := fr.tau - issued; rem < count {
+			count = rem
+		}
+		c.count = count
+		for p := 0; p < count; p++ {
+			if fr.freshPerms {
+				c.perms[p] = make([]int, n)
+			}
+			perm := c.perms[p]
+			fr.r.Perm(perm)
+			w.reset()
+			u := c.utils[p]
+			for pos, q := range perm {
+				u[pos] = w.add(q)
+			}
+			if fr.perPerm != nil {
+				fr.perPerm(perm, u, uEmpty)
+			}
+			for ti, t := range fr.targets {
+				e.stats.Updates += t.prepare(perm, c.aux[p][ti])
+			}
+			if trk != nil {
+				trk.observeWalk(perm, u, uEmpty)
+			}
+		}
+		c.wg.Add(workers)
+		for _, ch := range chans {
+			ch <- c
+		}
+		issued += count
+		if trk != nil && issued%e.chunk == 0 && issued >= adaptiveMinTau &&
+			issued < fr.tau && trk.met() {
+			break
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wwg.Wait()
+	return issued
+}
+
+// PreprocessDeletion is Algorithm 6 through the engine: the Monte Carlo
+// fill of the YN-NN arrays with stripe-parallel accumulation and, when
+// configured, adaptive early termination. Bit-identical to the serial
+// PreprocessDeletion for a fixed seed at every worker count.
+func (e *Engine) PreprocessDeletion(g game.Game, tau int, r *rng.Source) *DeletionStore {
+	n := g.N()
+	ds := NewDeletionStore(n)
+	e.stats = EngineStats{Budget: tau}
+	if n == 0 || tau <= 0 {
+		return ds
+	}
+	issued := e.run(fillRun{
+		g: g, tau: tau, r: r,
+		targets: []stripeTarget{ds},
+		// The producer owns the Shapley sums; the store's striped
+		// accumulation covers only the arrays.
+		perPerm: func(perm []int, utilities []float64, uEmpty float64) {
+			accumulateMarginals(perm, utilities, uEmpty, ds.SV)
+		},
+	})
+	ds.tau = issued
+	ds.finishSampled()
+	return ds
+}
+
+// PreprocessMultiDeletion is the YNN-NNN fill through the engine.
+func (e *Engine) PreprocessMultiDeletion(g game.Game, d int, candidates []int, tau int, r *rng.Source) (*MultiDeletionStore, error) {
+	n := g.N()
+	ms, err := NewMultiDeletionStore(n, d, candidates)
+	if err != nil {
+		return nil, err
+	}
+	e.stats = EngineStats{Budget: tau}
+	if n == 0 || tau <= 0 {
+		return ms, nil
+	}
+	issued := e.run(fillRun{
+		g: g, tau: tau, r: r,
+		targets: []stripeTarget{ms},
+		perPerm: func(perm []int, utilities []float64, uEmpty float64) {
+			accumulateMarginals(perm, utilities, uEmpty, ms.SV)
+		},
+	})
+	ms.tau = issued
+	ms.finishSampled()
+	return ms, nil
+}
+
+// Initialize is the combined initialisation pass (Shapley estimates,
+// pivot LSV, and any requested deletion stores) through the engine:
+// identical sampling to the package-level Initialize, with the store
+// fills striped across workers and optional adaptive early termination.
+func (e *Engine) Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source) (*InitResult, error) {
+	n := g.N()
+	res := &InitResult{
+		Pivot: &PivotState{
+			SV:  make([]float64, n),
+			LSV: make([]float64, n),
+			Tau: tau,
+		},
+	}
+	if opt.KeepPerms {
+		res.Pivot.perms = make([][]int, 0, tau)
+		res.Pivot.slots = make([]int, 0, tau)
+	}
+	if opt.TrackDeletions {
+		res.Deletion = NewDeletionStore(n)
+	}
+	if opt.MultiDelete >= 1 {
+		ms, err := NewMultiDeletionStore(n, opt.MultiDelete, opt.Candidates)
+		if err != nil {
+			return nil, err
+		}
+		res.Multi = ms
+	}
+	e.stats = EngineStats{Budget: tau}
+	if n == 0 || tau <= 0 {
+		return res, nil
+	}
+
+	var targets []stripeTarget
+	if res.Deletion != nil {
+		targets = append(targets, res.Deletion)
+	}
+	if res.Multi != nil {
+		targets = append(targets, res.Multi)
+	}
+	st := res.Pivot
+	issued := e.run(fillRun{
+		g: g, tau: tau, r: r,
+		targets:    targets,
+		freshPerms: opt.KeepPerms,
+		perPerm: func(perm []int, utilities []float64, uEmpty float64) {
+			// Same randomness order as the historic loop: the slot draw
+			// follows the permutation draw (the walker consumes none).
+			t := r.Intn(n + 1)
+			prev := uEmpty
+			for pos, p := range perm {
+				cur := utilities[pos]
+				m := cur - prev
+				st.SV[p] += m
+				if pos < t {
+					st.LSV[p] += m
+				}
+				prev = cur
+			}
+			if opt.KeepPerms {
+				st.perms = append(st.perms, perm)
+				st.slots = append(st.slots, t)
+			}
+		},
+	})
+	st.Tau = issued
+	// The stores' SV sums equal the pivot's (same marginals, same order);
+	// install them before the pivot divides, then let each store apply
+	// its own historic normalisation (multiply by 1/τ).
+	if res.Deletion != nil {
+		copy(res.Deletion.SV, st.SV)
+		res.Deletion.tau = issued
+		res.Deletion.finishSampled()
+	}
+	if res.Multi != nil {
+		copy(res.Multi.SV, st.SV)
+		res.Multi.tau = issued
+		res.Multi.finishSampled()
+	}
+	for i := 0; i < n; i++ {
+		st.SV[i] /= float64(issued)
+		st.LSV[i] /= float64(issued)
+	}
+	return res, nil
+}
+
+// MonteCarlo is Algorithm 1 through the engine: permutation sampling in
+// chunks with optional adaptive early termination. With adaptive mode off
+// it is bit-identical to the package-level MonteCarlo for the same seed.
+func (e *Engine) MonteCarlo(g game.Game, tau int, r *rng.Source) []float64 {
+	n := g.N()
+	sv := make([]float64, n)
+	e.stats = EngineStats{Budget: tau}
+	if n == 0 || tau <= 0 {
+		return sv
+	}
+	issued := e.run(fillRun{
+		g: g, tau: tau, r: r,
+		perPerm: func(perm []int, utilities []float64, uEmpty float64) {
+			accumulateMarginals(perm, utilities, uEmpty, sv)
+		},
+	})
+	for i := range sv {
+		sv[i] /= float64(issued)
+	}
+	return sv
+}
+
+// accumulateMarginals folds one walked permutation's marginal
+// contributions into sv.
+func accumulateMarginals(perm []int, utilities []float64, uEmpty float64, sv []float64) {
+	prev := uEmpty
+	for pos, p := range perm {
+		cur := utilities[pos]
+		sv[p] += cur - prev
+		prev = cur
+	}
+}
+
+// TruncatedMonteCarlo is TMC through the engine. Truncation skips the
+// tail's utility evaluations, so this pass cannot share run()'s full-walk
+// producer; the chunked adaptive loop is inlined instead. Truncated
+// players observe a zero contribution — exactly what the estimator
+// credits them. With adaptive mode off it is bit-identical to the
+// package-level TruncatedMonteCarlo.
+func (e *Engine) TruncatedMonteCarlo(g game.Game, tau int, tol float64, r *rng.Source) []float64 {
+	n := g.N()
+	sv := make([]float64, n)
+	e.stats = EngineStats{Budget: tau, Workers: 1}
+	if n == 0 || tau <= 0 {
+		return sv
+	}
+	perm := make([]int, n)
+	w := newPrefixWalker(g)
+	empty := g.Value(bitset.New(n))
+	full := g.Value(bitset.Full(n))
+	minPos := (n + 1) / 2
+	var trk *adaptiveTracker
+	if e.adaptive() {
+		trk = newAdaptiveTracker(n, e.eps, e.delta)
+	}
+	start := time.Now()
+	issued := 0
+	for issued < tau {
+		r.Perm(perm)
+		w.reset()
+		prev := empty
+		for pos, p := range perm {
+			if pos >= minPos && abs(full-prev) < tol {
+				if trk != nil {
+					for _, q := range perm[pos:] {
+						trk.observe(q, 0)
+					}
+				}
+				break
+			}
+			cur := w.add(p)
+			sv[p] += cur - prev
+			if trk != nil {
+				trk.observe(p, cur-prev)
+			}
+			prev = cur
+		}
+		if trk != nil {
+			trk.endSample()
+		}
+		issued++
+		if trk != nil && issued%e.chunk == 0 && issued >= adaptiveMinTau &&
+			issued < tau && trk.met() {
+			break
+		}
+	}
+	e.stats.Seconds = time.Since(start).Seconds()
+	e.stats.Issued = issued
+	e.stats.EarlyStop = issued < tau
+	if trk != nil {
+		e.stats.Bound = trk.lastBound
+	}
+	for i := range sv {
+		sv[i] /= float64(issued)
+	}
+	return sv
+}
+
+// DeltaAdd is Algorithm 5 through the engine: differential marginal
+// contributions sampled in chunks, stopping early when the bound
+// certifies every player's CHANGE estimate within eps. With adaptive mode
+// off it is bit-identical to the package-level DeltaAdd.
+func (e *Engine) DeltaAdd(gPlus game.Game, oldSV []float64, tau int, r *rng.Source) ([]float64, error) {
+	n := len(oldSV)
+	if gPlus.N() != n+1 {
+		return nil, fmt.Errorf("core: DeltaAdd game has %d players, want %d", gPlus.N(), n+1)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("core: DeltaAdd requires tau > 0, got %d", tau)
+	}
+	e.stats = EngineStats{Budget: tau, Workers: 1}
+	pivot := n
+	m := n + 1
+	dsv := make([]float64, n)
+	newSV := 0.0
+
+	perm := make([]int, n)
+	wNo := newPrefixWalker(gPlus)
+	wWith := newPrefixWalker(gPlus)
+	uEmpty := gPlus.Value(bitset.New(m))
+	uPivot := gPlus.Value(bitset.FromIndices(m, pivot))
+	var trk *adaptiveTracker
+	if e.adaptive() {
+		trk = newAdaptiveTracker(m, e.eps, e.delta)
+	}
+
+	start := time.Now()
+	issued := 0
+	for issued < tau {
+		r.Perm(perm)
+		wNo.reset()
+		wWith.reset()
+		prevNo := uEmpty
+		prevWith := wWith.seed(pivot, uPivot)
+		d0 := prevWith - prevNo
+		newSV += d0 // S=∅ stratum of the new point's value
+		permNew := d0
+		for pos, p := range perm {
+			curNo := wNo.add(p)
+			curWith := wWith.add(p)
+			dmc := (curWith - curNo) - (prevWith - prevNo)
+			x := dmc * float64(pos+1) / float64(n+1)
+			dsv[p] += x
+			if trk != nil {
+				trk.observe(p, x)
+			}
+			dd := curWith - curNo
+			newSV += dd
+			permNew += dd
+			prevNo, prevWith = curNo, curWith
+		}
+		if trk != nil {
+			// One observation per permutation whose mean is the new
+			// point's value: the stratified sum scaled by 1/(n+1).
+			trk.observe(pivot, permNew/float64(n+1))
+			trk.endSample()
+		}
+		issued++
+		if trk != nil && issued%e.chunk == 0 && issued >= adaptiveMinTau &&
+			issued < tau && trk.met() {
+			break
+		}
+	}
+	e.stats.Seconds = time.Since(start).Seconds()
+	e.stats.Issued = issued
+	e.stats.EarlyStop = issued < tau
+	if trk != nil {
+		e.stats.Bound = trk.lastBound
+	}
+
+	out := make([]float64, m)
+	for i := 0; i < n; i++ {
+		out[i] = oldSV[i] + dsv[i]/float64(issued)
+	}
+	out[pivot] = newSV / float64(issued) / float64(n+1)
+	return out, nil
+}
+
+// DeltaDelete is Algorithm 8 through the engine, with chunked adaptive
+// early termination. With adaptive mode off it is bit-identical to the
+// package-level DeltaDelete.
+func (e *Engine) DeltaDelete(g game.Game, oldSV []float64, p, tau int, r *rng.Source) ([]float64, error) {
+	n := g.N()
+	if len(oldSV) != n {
+		return nil, fmt.Errorf("core: DeltaDelete oldSV has %d entries, want %d", len(oldSV), n)
+	}
+	if p < 0 || p >= n {
+		return nil, fmt.Errorf("core: DeltaDelete point %d out of range [0,%d)", p, n)
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("core: DeltaDelete requires tau > 0, got %d", tau)
+	}
+	e.stats = EngineStats{Budget: tau, Workers: 1}
+	if n == 1 {
+		return []float64{0}, nil
+	}
+	survivors := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != p {
+			survivors = append(survivors, i)
+		}
+	}
+	dsv := make([]float64, n)
+	perm := make([]int, n-1)
+	wNo := newPrefixWalker(g)
+	wWith := newPrefixWalker(g)
+	uEmpty := g.Value(bitset.New(n))
+	uP := g.Value(bitset.FromIndices(n, p))
+	var trk *adaptiveTracker
+	if e.adaptive() {
+		trk = newAdaptiveTracker(n, e.eps, e.delta)
+	}
+
+	start := time.Now()
+	issued := 0
+	for issued < tau {
+		r.Perm(perm)
+		wNo.reset()
+		wWith.reset()
+		prevNo := uEmpty
+		prevWith := wWith.seed(p, uP)
+		for pos, idx := range perm {
+			q := survivors[idx]
+			curNo := wNo.add(q)
+			curWith := wWith.add(q)
+			dmc := (curWith - curNo) - (prevWith - prevNo)
+			x := dmc * float64(pos+1) / float64(n)
+			dsv[q] -= x
+			if trk != nil {
+				trk.observe(q, -x)
+			}
+			prevNo, prevWith = curNo, curWith
+		}
+		if trk != nil {
+			trk.endSample()
+		}
+		issued++
+		if trk != nil && issued%e.chunk == 0 && issued >= adaptiveMinTau &&
+			issued < tau && trk.met() {
+			break
+		}
+	}
+	e.stats.Seconds = time.Since(start).Seconds()
+	e.stats.Issued = issued
+	e.stats.EarlyStop = issued < tau
+	if trk != nil {
+		e.stats.Bound = trk.lastBound
+	}
+
+	out := make([]float64, n)
+	for _, q := range survivors {
+		out[q] = oldSV[q] + dsv[q]/float64(issued)
+	}
+	return out, nil
+}
+
+// adaptiveTracker maintains the per-player moments behind the stopping
+// rule. One observation per player per sample (a per-permutation marginal
+// or differential contribution); the half-width certified for player i
+// after t samples is the Maurer–Pontil empirical-Bernstein bound
+//
+//	h_i = sqrt(2·V_i·L/t) + 3·R_i·L/t,  L = ln(3n/δ),
+//
+// with V_i the empirical variance, R_i the OBSERVED range standing in for
+// the true range (the documented approximation: a later sample landing
+// outside the range seen so far voids the certificate — DESIGN.md §9),
+// and the union bound over the n players folded into L.
+type adaptiveTracker struct {
+	eps, delta float64
+	n          int
+	t          int
+	sum        []float64
+	sumsq      []float64
+	min, max   []float64
+	lastBound  float64
+}
+
+func newAdaptiveTracker(n int, eps, delta float64) *adaptiveTracker {
+	a := &adaptiveTracker{
+		eps: eps, delta: delta, n: n,
+		sum:       make([]float64, n),
+		sumsq:     make([]float64, n),
+		min:       make([]float64, n),
+		max:       make([]float64, n),
+		lastBound: math.Inf(1),
+	}
+	for i := 0; i < n; i++ {
+		a.min[i] = math.Inf(1)
+		a.max[i] = math.Inf(-1)
+	}
+	return a
+}
+
+// observe records one observation for player i.
+func (a *adaptiveTracker) observe(i int, x float64) {
+	a.sum[i] += x
+	a.sumsq[i] += x * x
+	if x < a.min[i] {
+		a.min[i] = x
+	}
+	if x > a.max[i] {
+		a.max[i] = x
+	}
+}
+
+// observeWalk records every player's marginal from one walked permutation
+// and closes the sample.
+func (a *adaptiveTracker) observeWalk(perm []int, utilities []float64, uEmpty float64) {
+	prev := uEmpty
+	for pos, p := range perm {
+		cur := utilities[pos]
+		a.observe(p, cur-prev)
+		prev = cur
+	}
+	a.t++
+}
+
+// endSample closes one sample for trackers fed via observe.
+func (a *adaptiveTracker) endSample() { a.t++ }
+
+// bound returns the widest per-player half-width certified so far.
+func (a *adaptiveTracker) bound() float64 {
+	if a.t < 2 {
+		return math.Inf(1)
+	}
+	t := float64(a.t)
+	l := math.Log(3 * float64(a.n) / a.delta)
+	worst := 0.0
+	for i := 0; i < a.n; i++ {
+		v := (a.sumsq[i] - a.sum[i]*a.sum[i]/t) / (t - 1)
+		if v < 0 {
+			v = 0 // guard FP cancellation
+		}
+		r := a.max[i] - a.min[i]
+		if r < 0 {
+			r = 0 // player never observed (e.g. the deleted point)
+		}
+		h := math.Sqrt(2*v*l/t) + 3*r*l/t
+		if h > worst {
+			worst = h
+		}
+	}
+	return worst
+}
+
+// met reports whether the bound satisfies the target, caching the value
+// for the pass's stats.
+func (a *adaptiveTracker) met() bool {
+	a.lastBound = a.bound()
+	return a.lastBound <= a.eps
+}

@@ -2,9 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
-	"strconv"
-	"strings"
+	"sync"
 
 	"dynshap/internal/bitset"
 	"dynshap/internal/game"
@@ -83,15 +83,42 @@ func (ds *DeletionStore) AccumulatePermutation(perm []int, utilities []float64, 
 	for pos, pt := range perm {
 		cur := utilities[pos]
 		ds.SV[pt] += cur - prev
-		// Every player at a later position is absent from both prefixes.
-		for j := pos; j < n; j++ {
-			q := perm[j]
-			ds.add(ds.yn, pt, q, pos+1, cur)
-			ds.add(ds.nn, pt, q, pos, prev)
+		prev = cur
+	}
+	ds.accumulateStripe(perm, utilities, uEmpty, nil, 0, n)
+	ds.tau++
+}
+
+// newAux implements stripeTarget; the YN-NN fill needs no per-permutation
+// metadata.
+func (ds *DeletionStore) newAux() []int { return nil }
+
+// prepare implements stripeTarget: each permutation costs n(n+1) array
+// updates (Σ_pos 2·(n−pos)).
+func (ds *DeletionStore) prepare(perm []int, aux []int) int64 {
+	return int64(ds.n) * int64(ds.n+1)
+}
+
+// accumulateStripe folds one permutation into the rows lo ≤ i < hi of the
+// arrays — the stripe owned by one engine worker. Row i receives its
+// additions in permutation-walk order regardless of how [0, n) is split
+// into stripes, so the striped fill is bit-identical to the serial one.
+// SV and τ are left to the producer.
+func (ds *DeletionStore) accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi int) {
+	n := ds.n
+	prev := uEmpty
+	for pos, pt := range perm {
+		cur := utilities[pos]
+		if pt >= lo && pt < hi {
+			// Every player at a later position is absent from both prefixes.
+			for j := pos; j < n; j++ {
+				q := perm[j]
+				ds.add(ds.yn, pt, q, pos+1, cur)
+				ds.add(ds.nn, pt, q, pos, prev)
+			}
 		}
 		prev = cur
 	}
-	ds.tau++
 }
 
 // PreprocessDeletion runs Algorithm 6: Monte Carlo Shapley computation over
@@ -170,10 +197,53 @@ func PreprocessDeletionExact(g game.Game) *DeletionStore {
 	return ds
 }
 
+// mergeParallelWork is the row-sweep size (entries read) below which a
+// parallel Merge is not worth the goroutine fan-out.
+const mergeParallelWork = 1 << 15
+
+// mergeWorkers picks the recovery parallelism for a sweep over `work`
+// array entries.
+func mergeWorkers(work int) int {
+	if work < mergeParallelWork {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRows splits [0, n) into `workers` contiguous stripes and runs f
+// on each concurrently. f(lo, hi) must touch only rows in its stripe.
+func parallelRows(n, workers int, f func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // Merge runs Algorithm 7: it derives the post-deletion Shapley values of
 // every surviving player after removing player p, purely from the stored
-// arrays. The returned slice has n entries with out[p] = 0.
+// arrays. The returned slice has n entries with out[p] = 0. The row sweep
+// is parallelised over i for large stores; each out[i] is accumulated in
+// ascending-k order by exactly one goroutine, so the result is
+// bit-identical at every worker count.
 func (ds *DeletionStore) Merge(p int) ([]float64, error) {
+	return ds.mergeWith(p, mergeWorkers(ds.n*ds.n))
+}
+
+// mergeWith is Merge with an explicit worker count (exposed for tests).
+func (ds *DeletionStore) mergeWith(p, workers int) ([]float64, error) {
 	n := ds.n
 	if p < 0 || p >= n {
 		return nil, fmt.Errorf("core: Merge point %d out of range [0,%d)", p, n)
@@ -182,33 +252,44 @@ func (ds *DeletionStore) Merge(p int) ([]float64, error) {
 	if n == 1 {
 		return out, nil
 	}
+	// Per-k coefficients, shared across rows; computed by the same
+	// recurrences — and applied with the same operations (divide for
+	// exact, multiply for sampled) — as the historic k-outer loop, so each
+	// out[i] sees bit-identical arithmetic in the same ascending-k order.
+	coef := make([]float64, n)
 	if ds.exact {
 		// Lemma 3: SV⁻_i = 1/(n−1) Σ_k (YN[i][p][k] − NN[i][p][k−1]) / C(n−2, k−1).
 		binom := 1.0 // C(n−2, 0)
 		for k := 1; k <= n-1; k++ {
-			for i := 0; i < n; i++ {
-				if i == p {
-					continue
-				}
-				out[i] += (ds.at(ds.yn, i, p, k) - ds.at(ds.nn, i, p, k-1)) / binom
-			}
+			coef[k] = binom
 			binom = binom * float64(n-1-k) / float64(k) // C(n−2, k)
 		}
-		for i := range out {
-			out[i] /= float64(n - 1)
+	} else {
+		// Sampled semantics: coefficient n/(n−k) (see type comment).
+		for k := 1; k <= n-1; k++ {
+			coef[k] = float64(n) / float64(n-k)
 		}
-		return out, nil
 	}
-	// Sampled semantics: coefficient n/(n−k) (see type comment).
-	for k := 1; k <= n-1; k++ {
-		coef := float64(n) / float64(n-k)
-		for i := 0; i < n; i++ {
+	parallelRows(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			if i == p {
 				continue
 			}
-			out[i] += (ds.at(ds.yn, i, p, k) - ds.at(ds.nn, i, p, k-1)) * coef
+			acc := 0.0
+			for k := 1; k <= n-1; k++ {
+				d := ds.at(ds.yn, i, p, k) - ds.at(ds.nn, i, p, k-1)
+				if ds.exact {
+					acc += d / coef[k]
+				} else {
+					acc += d * coef[k]
+				}
+			}
+			if ds.exact {
+				acc /= float64(n - 1)
+			}
+			out[i] = acc
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -227,23 +308,49 @@ type MultiDeletionStore struct {
 	tau        int
 	exact      bool
 	candidates []int
-	candIndex  map[int]int // player -> position in candidates
-	tupleRank  map[string]int
+	candSlot   []int // player -> position in candidates, -1 if not a candidate
 	tuples     [][]int
 	// y[i][t][k], nn[i][t][k] flat: (i*len(tuples)+t)*(n+1)+k
 	y, nn []float64
+	// aux is the per-permutation scratch of AccumulatePermutation, reused
+	// across calls (layout of newAux); lazily allocated, never serialised.
+	aux []int
 }
 
-// tupleKey canonicalises a sorted tuple of player indices.
-func tupleKey(sorted []int) string {
-	var b strings.Builder
-	for i, v := range sorted {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(v))
+// tupleIndex locates a sorted tuple of player indices by binary search
+// over the lexicographically ordered tuple table (the enumeration order of
+// NewMultiDeletionStore). Allocation-free, unlike the string keys it
+// replaced. Returns -1 when the tuple is not covered.
+func (ms *MultiDeletionStore) tupleIndex(sorted []int) int {
+	lo := sort.Search(len(ms.tuples), func(t int) bool {
+		return !lessIntSlice(ms.tuples[t], sorted)
+	})
+	if lo < len(ms.tuples) && equalIntSlice(ms.tuples[lo], sorted) {
+		return lo
 	}
-	return b.String()
+	return -1
+}
+
+// lessIntSlice is lexicographic < over equal-length int slices.
+func lessIntSlice(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func equalIntSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NewMultiDeletionStore allocates a store for deleting exactly d of the
@@ -271,14 +378,17 @@ func NewMultiDeletionStore(n, d int, candidates []int) (*MultiDeletionStore, err
 		n:          n,
 		d:          d,
 		candidates: cands,
-		candIndex:  make(map[int]int, len(cands)),
-		tupleRank:  make(map[string]int),
+		candSlot:   make([]int, n),
 		SV:         make([]float64, n),
 	}
-	for i, c := range cands {
-		ms.candIndex[c] = i
+	for i := range ms.candSlot {
+		ms.candSlot[i] = -1
 	}
-	// Enumerate all d-subsets of the candidates.
+	for i, c := range cands {
+		ms.candSlot[c] = i
+	}
+	// Enumerate all d-subsets of the candidates, in lexicographic order —
+	// the sort invariant tupleIndex's binary search relies on.
 	comb := make([]int, d)
 	var rec func(start, depth int)
 	rec = func(start, depth int) {
@@ -287,7 +397,6 @@ func NewMultiDeletionStore(n, d int, candidates []int) (*MultiDeletionStore, err
 			for i, ci := range comb {
 				t[i] = cands[ci]
 			}
-			ms.tupleRank[tupleKey(t)] = len(ms.tuples)
 			ms.tuples = append(ms.tuples, t)
 			return
 		}
@@ -323,45 +432,96 @@ func (ms *MultiDeletionStore) idx(i, t, k int) int {
 }
 
 // AccumulatePermutation folds one permutation into the sampled-mode arrays.
-// utilities[pos] must hold U({perm[0..pos]}); uEmpty is U(∅).
+// utilities[pos] must hold U({perm[0..pos]}); uEmpty is U(∅). The
+// per-permutation scratch (candidate positions and tuple minima) is reused
+// across calls instead of reallocated each iteration.
 func (ms *MultiDeletionStore) AccumulatePermutation(perm []int, utilities []float64, uEmpty float64) {
 	n := ms.n
 	if len(perm) != n || len(utilities) != n {
 		panic("core: AccumulatePermutation length mismatch")
 	}
-	// minPos[t] = earliest position of any member of tuple t.
-	minPos := make([]int, len(ms.tuples))
-	for i := range minPos {
-		minPos[i] = n
+	if ms.aux == nil {
+		ms.aux = ms.newAux()
 	}
-	pos := make(map[int]int, len(ms.candidates))
-	for p, pt := range perm {
-		if _, ok := ms.candIndex[pt]; ok {
-			pos[pt] = p
-		}
-	}
-	for t, tuple := range ms.tuples {
-		for _, member := range tuple {
-			if pos[member] < minPos[t] {
-				minPos[t] = pos[member]
-			}
-		}
-	}
+	ms.prepare(perm, ms.aux)
 	prev := uEmpty
 	for p, pt := range perm {
 		cur := utilities[p]
 		ms.SV[pt] += cur - prev
-		for t := range ms.tuples {
-			// All tuple members strictly after position p ⇒ the prefix
-			// excludes the whole tuple (and pt ∉ tuple, since pt is at p).
-			if minPos[t] > p {
-				ms.y[ms.idx(pt, t, p+1)] += cur
-				ms.nn[ms.idx(pt, t, p)] += prev
+		prev = cur
+	}
+	ms.accumulateStripe(perm, utilities, uEmpty, ms.aux, 0, n)
+	ms.tau++
+}
+
+// newAux implements stripeTarget: one permutation's metadata is the
+// position of every candidate followed by the earliest position of every
+// tuple.
+func (ms *MultiDeletionStore) newAux() []int {
+	return make([]int, len(ms.candidates)+len(ms.tuples))
+}
+
+// prepare implements stripeTarget: it fills aux with candidate positions
+// and per-tuple minima and returns the permutation's update count
+// (2·Σ_t minPos[t], one y and one nn write for every position preceding
+// each tuple's first member).
+func (ms *MultiDeletionStore) prepare(perm []int, aux []int) int64 {
+	nc := len(ms.candidates)
+	candPos := aux[:nc]
+	minPos := aux[nc:]
+	for p, pt := range perm {
+		if s := ms.candSlot[pt]; s >= 0 {
+			candPos[s] = p
+		}
+	}
+	var updates int64
+	for t, tuple := range ms.tuples {
+		// minPos[t] = earliest position of any member of tuple t.
+		m := ms.n
+		for _, member := range tuple {
+			if p := candPos[ms.candSlot[member]]; p < m {
+				m = p
+			}
+		}
+		minPos[t] = m
+		updates += int64(m)
+	}
+	return 2 * updates
+}
+
+// accumulateStripe folds one permutation into the rows lo ≤ i < hi of the
+// arrays (SV and τ are left to the producer). Row i receives its additions
+// in permutation-walk order regardless of striping, so the striped fill is
+// bit-identical to the serial one.
+func (ms *MultiDeletionStore) accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi int) {
+	minPos := aux[len(ms.candidates):]
+	prev := uEmpty
+	for p, pt := range perm {
+		cur := utilities[p]
+		if pt >= lo && pt < hi {
+			for t := range ms.tuples {
+				// All tuple members strictly after position p ⇒ the prefix
+				// excludes the whole tuple (and pt ∉ tuple, since pt is at p).
+				if minPos[t] > p {
+					ms.y[ms.idx(pt, t, p+1)] += cur
+					ms.nn[ms.idx(pt, t, p)] += prev
+				}
 			}
 		}
 		prev = cur
 	}
-	ms.tau++
+}
+
+// finishSampled converts accumulated sums into averages.
+func (ms *MultiDeletionStore) finishSampled() {
+	inv := 1 / float64(ms.tau)
+	for i := range ms.y {
+		ms.y[i] *= inv
+		ms.nn[i] *= inv
+	}
+	for i := range ms.SV {
+		ms.SV[i] *= inv
+	}
 }
 
 // PreprocessMultiDeletion runs the YNN-NNN fill: Monte Carlo Shapley
@@ -388,14 +548,7 @@ func PreprocessMultiDeletion(g game.Game, d int, candidates []int, tau int, r *r
 		}
 		ms.AccumulatePermutation(perm, utilities, uEmpty)
 	}
-	inv := 1 / float64(ms.tau)
-	for i := range ms.y {
-		ms.y[i] *= inv
-		ms.nn[i] *= inv
-	}
-	for i := range ms.SV {
-		ms.SV[i] *= inv
-	}
+	ms.finishSampled()
 	return ms, nil
 }
 
@@ -458,46 +611,65 @@ func contains(xs []int, v int) bool {
 // Merge derives the post-deletion Shapley values after removing exactly the
 // given points, which must form one of the prepared d-subsets of the
 // candidate set. The returned slice has n entries, zero at deleted points.
+// The row sweep is parallelised over i for large stores; each out[i] is
+// accumulated in ascending-k order by exactly one goroutine, so the result
+// is bit-identical at every worker count.
 func (ms *MultiDeletionStore) Merge(points ...int) ([]float64, error) {
+	return ms.mergeWith(mergeWorkers(ms.n*(ms.n-ms.d+1)), points...)
+}
+
+// mergeWith is Merge with an explicit worker count (exposed for tests).
+func (ms *MultiDeletionStore) mergeWith(workers int, points ...int) ([]float64, error) {
 	if len(points) != ms.d {
 		return nil, fmt.Errorf("core: Merge got %d points, store prepared for d = %d", len(points), ms.d)
 	}
 	sorted := append([]int(nil), points...)
 	sort.Ints(sorted)
-	t, ok := ms.tupleRank[tupleKey(sorted)]
-	if !ok {
+	t := ms.tupleIndex(sorted)
+	if t < 0 {
 		return nil, fmt.Errorf("core: tuple %v not covered by candidate set %v", sorted, ms.candidates)
 	}
 	n, d := ms.n, ms.d
 	out := make([]float64, n)
+	// Per-k coefficients shared across rows, computed by the historic
+	// recurrences and applied with the historic operations (divide for
+	// exact, multiply for sampled).
+	coef := make([]float64, n-d+1)
 	if ms.exact {
 		// Lemma 4: SV⁻_i = 1/(n−d) Σ_k (Y[i][t][k] − N[i][t][k−1]) / C(n−d−1, k−1).
 		binom := 1.0
 		for k := 1; k <= n-d; k++ {
-			for i := 0; i < n; i++ {
-				if contains(sorted, i) {
-					continue
-				}
-				out[i] += (ms.y[ms.idx(i, t, k)] - ms.nn[ms.idx(i, t, k-1)]) / binom
-			}
+			coef[k] = binom
 			binom = binom * float64(n-d-k) / float64(k)
 		}
-		for i := range out {
-			out[i] /= float64(n - d)
+	} else {
+		// Sampled semantics: coef(k) = Π_{j<k} (n−j)/(n−d−j), the d-point
+		// generalisation of the n/(n−k) coefficient (see DESIGN.md §3).
+		c := 1.0
+		for k := 1; k <= n-d; k++ {
+			c *= float64(n-k+1) / float64(n-d-k+1)
+			coef[k] = c
 		}
-		return out, nil
 	}
-	// Sampled semantics: coef(k) = Π_{j<k} (n−j)/(n−d−j), the d-point
-	// generalisation of the n/(n−k) coefficient (see DESIGN.md §3).
-	coef := 1.0
-	for k := 1; k <= n-d; k++ {
-		coef *= float64(n-k+1) / float64(n-d-k+1)
-		for i := 0; i < n; i++ {
+	parallelRows(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			if contains(sorted, i) {
 				continue
 			}
-			out[i] += (ms.y[ms.idx(i, t, k)] - ms.nn[ms.idx(i, t, k-1)]) * coef
+			acc := 0.0
+			for k := 1; k <= n-d; k++ {
+				dv := ms.y[ms.idx(i, t, k)] - ms.nn[ms.idx(i, t, k-1)]
+				if ms.exact {
+					acc += dv / coef[k]
+				} else {
+					acc += dv * coef[k]
+				}
+			}
+			if ms.exact {
+				acc /= float64(n - d)
+			}
+			out[i] = acc
 		}
-	}
+	})
 	return out, nil
 }

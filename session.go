@@ -31,11 +31,12 @@ type Session struct {
 	util  *utility.ModelUtility
 	cache *game.Cached
 
-	sv    []float64
-	pivot *core.PivotState
-	del   *core.DeletionStore
-	multi *core.MultiDeletionStore
-	r     *rng.Source
+	sv     []float64
+	pivot  *core.PivotState
+	del    *core.DeletionStore
+	multi  *core.MultiDeletionStore
+	r      *rng.Source
+	engine *core.Engine
 
 	initialized bool
 	// storesFresh is true while del/multi match the current training set
@@ -60,6 +61,9 @@ type config struct {
 	knnK           int
 	knnPlus        core.KNNPlusConfig
 	cacheEnabled   bool
+	workers        int
+	targetEps      float64
+	targetDelta    float64
 }
 
 // Option configures a Session.
@@ -114,6 +118,21 @@ func WithKNNPlusConfig(cfg KNNPlusConfig) Option {
 // claims assume the cache.
 func WithoutCache() Option { return func(c *config) { c.cacheEnabled = false } }
 
+// WithWorkers sets the number of accumulator workers the session's
+// permutation engine uses for stripe-parallel YN-NN / YNN-NNN fills
+// (≤0 selects GOMAXPROCS). Results are bit-identical at every worker
+// count — this is purely a throughput knob.
+func WithWorkers(k int) Option { return func(c *config) { c.workers = k } }
+
+// WithTargetError enables adaptive early termination for the sampled
+// passes (initialisation fills and the MC/TMC/Delta updates): each pass
+// stops as soon as an empirical-Bernstein bound certifies every player's
+// estimate within eps at confidence 1−delta, instead of always spending
+// the full τ budget. EngineStats reports the τ actually used.
+func WithTargetError(eps, delta float64) Option {
+	return func(c *config) { c.targetEps, c.targetDelta = eps, delta }
+}
+
 // NewSession creates a valuation session for the given training points,
 // scored against test with models produced by trainer.
 func NewSession(train, test *Dataset, trainer Trainer, opts ...Option) *Session {
@@ -130,12 +149,17 @@ func NewSession(train, test *Dataset, trainer Trainer, opts ...Option) *Session 
 	if cfg.updateTau == 0 {
 		cfg.updateTau = cfg.tau
 	}
+	engineOpts := []core.EngineOption{core.WithWorkers(cfg.workers)}
+	if cfg.targetEps > 0 {
+		engineOpts = append(engineOpts, core.WithTargetError(cfg.targetEps, cfg.targetDelta))
+	}
 	s := &Session{
 		train:   train.Clone(),
 		test:    test.Clone(),
 		trainer: trainer,
 		cfg:     cfg,
 		r:       rng.New(cfg.seed),
+		engine:  core.NewEngine(engineOpts...),
 	}
 	s.rebuildUtility()
 	return s
@@ -218,6 +242,16 @@ func (s *Session) PrefixAdds() int64 {
 	return s.pastPrefixAdds + s.util.PrefixAdds()
 }
 
+// EngineStats returns the permutation engine's statistics for the most
+// recent engine-driven pass (Init, or an MC/TMC/Delta update): permutations
+// issued versus budgeted, whether the adaptive bound stopped the pass
+// early, the worker count, and the array-fill throughput.
+func (s *Session) EngineStats() core.EngineStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Stats()
+}
+
 // ErrNotInitialized is returned by updates before Init has run.
 var ErrNotInitialized = errors.New("dynshap: session not initialized; call Init first")
 
@@ -232,7 +266,7 @@ var ErrStaleStores = errors.New("dynshap: deletion arrays are stale after a prev
 func (s *Session) Init() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, err := core.Initialize(s.game(), s.cfg.tau, core.InitOptions{
+	res, err := s.engine.Initialize(s.game(), s.cfg.tau, core.InitOptions{
 		KeepPerms:      s.cfg.keepPerms,
 		TrackDeletions: s.cfg.trackDeletions,
 		MultiDelete:    s.cfg.multiDelete,
@@ -334,9 +368,9 @@ func (s *Session) applyAppend(points []Point) {
 func (s *Session) addRecompute(points []Point, algo Algorithm) error {
 	s.applyAppend(points)
 	if algo == AlgoTruncatedMC {
-		s.sv = core.TruncatedMonteCarlo(s.game(), s.cfg.updateTau, s.cfg.truncationTol, s.r.Split())
+		s.sv = s.engine.TruncatedMonteCarlo(s.game(), s.cfg.updateTau, s.cfg.truncationTol, s.r.Split())
 	} else {
-		s.sv = core.MonteCarlo(s.game(), s.cfg.updateTau, s.r.Split())
+		s.sv = s.engine.MonteCarlo(s.game(), s.cfg.updateTau, s.r.Split())
 	}
 	return nil
 }
@@ -381,7 +415,7 @@ func (s *Session) addDelta(points []Point) error {
 	for _, p := range points {
 		uPlus := s.util.Append(p)
 		gPlus := s.gameFor(uPlus)
-		sv, err := core.DeltaAdd(gPlus, s.sv, s.cfg.updateTau, s.r.Split())
+		sv, err := s.engine.DeltaAdd(gPlus, s.sv, s.cfg.updateTau, s.r.Split())
 		if err != nil {
 			return err
 		}
@@ -439,9 +473,9 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 		restricted := game.NewRestrict(s.game(), indices...)
 		var sub []float64
 		if algo == AlgoTruncatedMC {
-			sub = core.TruncatedMonteCarlo(restricted, s.cfg.updateTau, s.cfg.truncationTol, s.r.Split())
+			sub = s.engine.TruncatedMonteCarlo(restricted, s.cfg.updateTau, s.cfg.truncationTol, s.r.Split())
 		} else {
-			sub = core.MonteCarlo(restricted, s.cfg.updateTau, s.r.Split())
+			sub = s.engine.MonteCarlo(restricted, s.cfg.updateTau, s.r.Split())
 		}
 		expanded = make([]float64, n)
 		for ri, orig := range restricted.Keep() {
@@ -511,7 +545,7 @@ func (s *Session) deleteDelta(indices []int) ([]float64, error) {
 		if ri == -1 {
 			return nil, fmt.Errorf("dynshap: internal: point %d already deleted", orig)
 		}
-		sub, err := core.DeltaDelete(rg, cur, ri, s.cfg.updateTau, s.r.Split())
+		sub, err := s.engine.DeltaDelete(rg, cur, ri, s.cfg.updateTau, s.r.Split())
 		if err != nil {
 			return nil, err
 		}
