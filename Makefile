@@ -2,19 +2,35 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench examples experiments clean
+.PHONY: all build test lint vet cover bench examples experiments clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
-# vet first, then the full suite, then a race pass over the packages with
-# concurrent internals (parallel estimators, the sharded coalition cache).
-test:
-	$(GO) vet ./...
+# lint first, then the full suite, then a race pass over the packages with
+# concurrent internals: the parallel estimators, the sharded coalition
+# cache, and the root package's versioned session store (non-blocking
+# reads racing live updates).
+test: lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/... ./internal/game/...
+	$(GO) test -race . ./internal/core/... ./internal/game/...
+
+# go vet always runs; staticcheck and govulncheck run when installed (the
+# build stays tool-download-free, so they are optional extras, not gates).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo govulncheck ./...; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +38,8 @@ vet:
 cover:
 	$(GO) test ./... -cover
 
-# One testing.B target per paper table/figure plus micro-benchmarks.
+# One testing.B target per paper table/figure plus micro-benchmarks,
+# including the session update-path latencies (Add/Delete per algorithm).
 # Streams results and records a dated BENCH_<YYYY-MM-DD>.json snapshot
 # (ns/op, allocations, engine fill throughput) for regression diffing.
 bench:

@@ -279,6 +279,148 @@ func TestStripedFillSpeedup(t *testing.T) {
 	}
 }
 
+// Update-path latencies: one Session.Add or Session.Delete per iteration
+// at n = 100 under a KNN utility, one benchmark per algorithm family, so
+// benchsnap snapshots record what a live update actually costs end to end
+// (planning, estimation, state publication, journaling). State restoration
+// between iterations (re-adding deleted points, refreshing consumed
+// artifacts) happens off the timer.
+
+func benchUpdateSession(b *testing.B, opts ...dynshap.Option) *dynshap.Session {
+	b.Helper()
+	pool := dataset.IrisLike(rng.New(2026), 140)
+	pool.Standardize()
+	train, test := pool.Split(100.0 / 140)
+	base := []dynshap.Option{
+		dynshap.WithSamples(200), dynshap.WithUpdateSamples(100), dynshap.WithSeed(9),
+	}
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 5}, append(base, opts...)...)
+	if err := s.Init(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+var benchUpdatePoint = []dynshap.Point{{X: []float64{0.1, 0.2, -0.3, 0.4}, Y: 1}}
+
+// benchRestoreDelete drops the appended point off the timer.
+func benchRestoreDelete(b *testing.B, s *dynshap.Session, refresh bool) {
+	b.Helper()
+	b.StopTimer()
+	if _, err := s.Delete([]int{100}, dynshap.AlgoKNN); err != nil {
+		b.Fatal(err)
+	}
+	if refresh {
+		if err := s.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StartTimer()
+}
+
+// benchRestoreAdd re-grows the session to n = 100 off the timer.
+func benchRestoreAdd(b *testing.B, s *dynshap.Session, refresh bool) {
+	b.Helper()
+	b.StopTimer()
+	if _, err := s.Add(benchUpdatePoint, dynshap.AlgoBase); err != nil {
+		b.Fatal(err)
+	}
+	if refresh {
+		if err := s.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StartTimer()
+}
+
+func BenchmarkSessionAddDeltaN100(b *testing.B) {
+	s := benchUpdateSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(benchUpdatePoint, dynshap.AlgoDelta); err != nil {
+			b.Fatal(err)
+		}
+		benchRestoreDelete(b, s, false)
+	}
+}
+
+func BenchmarkSessionAddPivotSameN100(b *testing.B) {
+	s := benchUpdateSession(b, dynshap.WithKeepPermutations())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(benchUpdatePoint, dynshap.AlgoPivotSame); err != nil {
+			b.Fatal(err)
+		}
+		benchRestoreDelete(b, s, true) // deletion dropped the pivot state
+	}
+}
+
+func BenchmarkSessionAddKNNN100(b *testing.B) {
+	s := benchUpdateSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(benchUpdatePoint, dynshap.AlgoKNN); err != nil {
+			b.Fatal(err)
+		}
+		benchRestoreDelete(b, s, false)
+	}
+}
+
+func BenchmarkSessionAddMonteCarloN100(b *testing.B) {
+	s := benchUpdateSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(benchUpdatePoint, dynshap.AlgoMonteCarlo); err != nil {
+			b.Fatal(err)
+		}
+		benchRestoreDelete(b, s, false)
+	}
+}
+
+func BenchmarkSessionDeleteDeltaN100(b *testing.B) {
+	s := benchUpdateSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Delete([]int{i % 100}, dynshap.AlgoDelta); err != nil {
+			b.Fatal(err)
+		}
+		benchRestoreAdd(b, s, false)
+	}
+}
+
+func BenchmarkSessionDeleteYNNNMergeN100(b *testing.B) {
+	s := benchUpdateSession(b, dynshap.WithTrackDeletions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Delete([]int{i % 100}, dynshap.AlgoYNNN); err != nil {
+			b.Fatal(err)
+		}
+		benchRestoreAdd(b, s, true) // the merge consumed the fresh arrays
+	}
+}
+
+func BenchmarkSessionDeleteKNNN100(b *testing.B) {
+	s := benchUpdateSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Delete([]int{i % 100}, dynshap.AlgoKNN); err != nil {
+			b.Fatal(err)
+		}
+		benchRestoreAdd(b, s, false)
+	}
+}
+
+func BenchmarkSessionDeleteMonteCarloN100(b *testing.B) {
+	s := benchUpdateSession(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Delete([]int{i % 100}, dynshap.AlgoMonteCarlo); err != nil {
+			b.Fatal(err)
+		}
+		benchRestoreAdd(b, s, false)
+	}
+}
+
 // Cache contention: a warmed sharded cache replayed by parallel Monte
 // Carlo. The same seed re-samples the same permutations, so every lookup
 // hits; with the old single-RWMutex cache the workers serialised on the one

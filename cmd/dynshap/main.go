@@ -9,6 +9,8 @@
 //	add        append points from a CSV to a snapshot's valuation
 //	delete     remove points (by index) from a snapshot's valuation
 //	show       print a snapshot's values
+//	history    print the snapshot's update journal (algorithms, costs, planner traces)
+//	undo       roll the snapshot back one version by deterministic replay
 //	samplesize print the (ϵ, δ) sample-size bounds of Theorems 1, 2 and 4
 //
 // Run `dynshap <subcommand> -h` for flags.
@@ -42,6 +44,10 @@ func main() {
 		err = cmdDelete(os.Args[2:])
 	case "show":
 		err = cmdShow(os.Args[2:])
+	case "history":
+		err = cmdHistory(os.Args[2:])
+	case "undo":
+		err = cmdUndo(os.Args[2:])
 	case "samplesize":
 		err = cmdSampleSize(os.Args[2:])
 	case "-h", "--help", "help":
@@ -58,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dynshap <gen|compute|add|delete|show|samplesize> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: dynshap <gen|compute|add|delete|show|history|undo|samplesize> [flags]`)
 }
 
 func trainerFor(model string) (dynshap.Trainer, error) {
@@ -96,6 +102,8 @@ func algoFor(name string) (dynshap.Algorithm, error) {
 		return dynshap.AlgoKNN, nil
 	case "knn+", "knnplus":
 		return dynshap.AlgoKNNPlus, nil
+	case "auto":
+		return dynshap.AlgoAuto, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", name)
 	}
@@ -327,6 +335,89 @@ func cmdShow(args []string) error {
 	for _, e := range entries {
 		fmt.Printf("  point %4d  label %d  SV %+.6f\n", e.idx, sn.Train[e.idx].Y, e.sv)
 	}
+	return nil
+}
+
+func cmdHistory(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "snapshot path (required)")
+	verbose := fs.Bool("v", false, "print the planner's decision trace for each update")
+	fs.Parse(args)
+	if *snapPath == "" {
+		return fmt.Errorf("history: -snapshot is required")
+	}
+	sn, err := dynshap.LoadSnapshot(*snapPath)
+	if err != nil {
+		return err
+	}
+	if sn.Journal == nil || len(sn.Journal.Entries) == 0 {
+		fmt.Println("(no recorded history — snapshot predates format 2 or has no updates)")
+		return nil
+	}
+	fmt.Printf("version %d, %d recorded update(s)\n", sn.Version, len(sn.Journal.Entries))
+	for _, u := range sn.Journal.Entries {
+		algo := u.Algo
+		if u.Requested != "" {
+			algo = fmt.Sprintf("%s→%s", u.Requested, u.Algo)
+		}
+		detail := ""
+		switch u.Op {
+		case "add":
+			detail = fmt.Sprintf(", %d point(s)", len(u.Points))
+		case "delete":
+			detail = fmt.Sprintf(", indices %v", u.Indices)
+		}
+		// Wall time is stripped from persisted snapshots (determinism), so
+		// only show it when a journal actually carries one.
+		secs := ""
+		if u.Seconds > 0 {
+			secs = fmt.Sprintf(", %.3fs", u.Seconds)
+		}
+		fmt.Printf("  v%-3d %-8s %-14s%s  (%d trainings, %d prefix adds, %d perms%s)\n",
+			u.Version, u.Op, algo, detail, u.Trainings, u.PrefixAdds, u.Permutations, secs)
+		if *verbose {
+			for _, line := range u.Decision {
+				fmt.Printf("        · %s\n", line)
+			}
+		}
+	}
+	return nil
+}
+
+func cmdUndo(args []string) error {
+	fs := flag.NewFlagSet("undo", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "", "snapshot path (rolled back in place; required)")
+	model := fs.String("model", "svm", "utility model: svm, knn, logreg, nb")
+	fs.Parse(args)
+	if *snapPath == "" {
+		return fmt.Errorf("undo: -snapshot is required")
+	}
+	sn, err := dynshap.LoadSnapshot(*snapPath)
+	if err != nil {
+		return err
+	}
+	trainer, err := trainerFor(*model)
+	if err != nil {
+		return err
+	}
+	// Resume with the snapshot's own persisted configuration (seed
+	// included) — replay is only bit-faithful under the original config.
+	s, err := sn.Resume(trainer)
+	if err != nil {
+		return err
+	}
+	if s.Version() == 0 || len(s.History()) == 0 {
+		return fmt.Errorf("undo: no recorded update to undo (version %d)", s.Version())
+	}
+	undone, err := s.ReplayTo(s.Version() - 1)
+	if err != nil {
+		return err
+	}
+	if err := undone.Snapshot().Save(*snapPath); err != nil {
+		return err
+	}
+	printValues(undone.Values())
+	fmt.Printf("rolled back to version %d (%d point(s)); snapshot updated\n", undone.Version(), undone.N())
 	return nil
 }
 

@@ -32,6 +32,7 @@ func TestAlgoFor(t *testing.T) {
 		"YN-NN":   dynshap.AlgoYNNN,
 		"knn":     dynshap.AlgoKNN,
 		"knn+":    dynshap.AlgoKNNPlus,
+		"auto":    dynshap.AlgoAuto,
 	}
 	for name, want := range cases {
 		got, err := algoFor(name)
@@ -101,6 +102,71 @@ func TestEndToEndWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := cmdSampleSize([]string{"-n", "50", "-eps", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoryAndUndoViaCLI drives compute → add → history → undo and checks
+// the journal is printed and the rollback restores the pre-add point count.
+func TestHistoryAndUndoViaCLI(t *testing.T) {
+	dir := t.TempDir()
+	trainCSV := filepath.Join(dir, "train.csv")
+	testCSV := filepath.Join(dir, "test.csv")
+	addCSV := filepath.Join(dir, "new.csv")
+	snap := filepath.Join(dir, "ledger.json")
+	for _, args := range [][]string{
+		{"-dataset", "iris", "-n", "12", "-seed", "1", "-o", trainCSV},
+		{"-dataset", "iris", "-n", "10", "-seed", "2", "-o", testCSV},
+		{"-dataset", "iris", "-n", "1", "-seed", "3", "-o", addCSV},
+	} {
+		if err := cmdGen(args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cmdCompute([]string{"-train", trainCSV, "-test", testCSV, "-model", "knn", "-tau", "100", "-o", snap}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAdd([]string{"-snapshot", snap, "-points", addCSV, "-model", "knn", "-algo", "auto", "-tau", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := dynshap.LoadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Version != 2 || sn.Journal == nil || len(sn.Journal.Entries) != 2 {
+		t.Fatalf("after add: version %d, journal %+v", sn.Version, sn.Journal)
+	}
+	last := sn.Journal.Entries[1]
+	if last.Requested != "Auto" || len(last.Decision) == 0 {
+		t.Fatalf("auto add journaled as %+v", last)
+	}
+
+	if err := cmdHistory([]string{"-snapshot", snap, "-v"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmdUndo([]string{"-snapshot", snap, "-model", "knn"}); err != nil {
+		t.Fatal(err)
+	}
+	sn, err = dynshap.LoadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Train) != 12 || sn.Version != 1 {
+		t.Fatalf("after undo: %d points at version %d, want 12 at 1", len(sn.Train), sn.Version)
+	}
+	if len(sn.Journal.Entries) != 1 {
+		t.Fatalf("after undo: %d journal entries, want 1", len(sn.Journal.Entries))
+	}
+
+	// Undoing the init itself leaves nothing to undo afterwards.
+	if err := cmdUndo([]string{"-snapshot", snap, "-model", "knn"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdUndo([]string{"-snapshot", snap, "-model", "knn"}); err == nil {
+		t.Fatal("undo at version 0 should fail")
+	}
+	if err := cmdHistory([]string{"-snapshot", snap}); err != nil {
 		t.Fatal(err)
 	}
 }

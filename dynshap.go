@@ -39,12 +39,14 @@
 package dynshap
 
 import (
+	"fmt"
 	"io"
 
 	"dynshap/internal/bitset"
 	"dynshap/internal/core"
 	"dynshap/internal/dataset"
 	"dynshap/internal/game"
+	"dynshap/internal/journal"
 	"dynshap/internal/ml"
 	"dynshap/internal/rng"
 	"dynshap/internal/stat"
@@ -141,6 +143,13 @@ const (
 	// AlgoKNNPlus additionally shifts original values along fitted
 	// similarity→change curves (Algorithm 10).
 	AlgoKNNPlus
+	// AlgoAuto lets the session's planner pick the cheapest valid algorithm
+	// for each update from the artifacts it actually holds: exact YN-NN /
+	// YNN-NNN merges when the arrays are fresh and cover the request,
+	// pivot replay when permutations were retained, delta otherwise, with a
+	// Monte Carlo fallback for bulk updates. The decision and its rationale
+	// are recorded in the session journal (see Session.History).
+	AlgoAuto
 )
 
 // String returns the paper's name for the algorithm.
@@ -164,9 +173,24 @@ func (a Algorithm) String() string {
 		return "KNN"
 	case AlgoKNNPlus:
 		return "KNN+"
+	case AlgoAuto:
+		return "Auto"
 	default:
 		return "unknown"
 	}
+}
+
+// ParseAlgorithm is the inverse of Algorithm.String: it resolves a paper
+// name ("MC", "Delta", "YN-NN", …) to the Algorithm constant. The journal
+// records algorithms by name, so replay and the CLI round-trip through
+// this.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for a := AlgoMonteCarlo; a <= AlgoAuto; a++ {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("dynshap: unknown algorithm %q", name)
 }
 
 // ExactShapley returns exact Shapley values by complete enumeration
@@ -231,6 +255,15 @@ func PreprocessMultiDeletion(g Game, d int, candidates []int, tau int, seed uint
 // versus budgeted, adaptive early-stop status and certified bound, worker
 // count, and array-fill throughput.
 type EngineStats = core.EngineStats
+
+// UpdateRecord is one journaled session mutation: the operation, its
+// inputs, the algorithm that ran (and the planner's trace when AlgoAuto
+// chose it), and what the update cost. Session.History returns these.
+type UpdateRecord = journal.Update
+
+// JournalState is the serialisable form of a session's journal, embedded
+// in snapshot format 2.
+type JournalState = journal.State
 
 // PreprocessDeletionParallel is PreprocessDeletion with the YN-NN array
 // fill striped over the given number of accumulator workers (≤0 selects

@@ -13,7 +13,8 @@ import (
 func FuzzReadSnapshot(f *testing.F) {
 	f.Add([]byte(`{"format":1,"train":[],"test":[],"classes":0,"samples":10}`))
 	f.Add([]byte(`{"format":1,"train":[{"X":[1,2],"Y":0}],"test":[{"X":[0,0],"Y":0}],"classes":1,"values":[0.5],"samples":5}`))
-	f.Add([]byte(`{"format":2}`))
+	f.Add([]byte(`{"format":3}`))
+	f.Add([]byte(`{"format":2,"train":[],"test":[],"classes":0,"samples":10}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`{"format":1,"train":[],"values":[1]}`))
 	f.Add([]byte(`{"format":1,"train":[{"X":null,"Y":-3}],"test":[],"samples":-1}`))

@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// This file attaches cost hints to the dynamic-update artifacts. The
+// planner (internal/plan) compares them to pick the cheapest valid update
+// path for a session; they are estimates of *work shape*, not wall-clock
+// predictions — the point is that a YN-NN merge costs zero utility
+// evaluations while a delta pass costs O(τ·n) of them, a gap of many
+// orders of magnitude whenever a utility evaluation trains a model.
+
+// Cost predicts what an update path spends, split into the two currencies
+// that matter for valuation workloads.
+type Cost struct {
+	// Evaluations is the number of coalition-utility evaluations the path
+	// performs. Each one trains a model unless the coalition cache or an
+	// incremental prefix evaluator absorbs it, so this is the dominant
+	// term for ML utilities.
+	Evaluations int64
+	// ArrayOps is the auxiliary floating-point work (array reads/writes,
+	// merge recurrences) — cheap per unit, but the only cost of the exact
+	// merge paths.
+	ArrayOps int64
+}
+
+// Plus returns the component-wise sum of two costs.
+func (c Cost) Plus(o Cost) Cost {
+	return Cost{Evaluations: c.Evaluations + o.Evaluations, ArrayOps: c.ArrayOps + o.ArrayOps}
+}
+
+// Times returns the cost scaled by k (a per-point cost applied k times).
+func (c Cost) Times(k int) Cost {
+	return Cost{Evaluations: c.Evaluations * int64(k), ArrayOps: c.ArrayOps * int64(k)}
+}
+
+// String renders the cost for planner traces.
+func (c Cost) String() string {
+	return fmt.Sprintf("%d evals + %d array ops", c.Evaluations, c.ArrayOps)
+}
+
+// MergeCost is the cost of recovering post-deletion values from the YN-NN
+// arrays: no utility evaluations at all, one O(n²) coefficient sweep.
+func (ds *DeletionStore) MergeCost() Cost {
+	n := int64(ds.n)
+	return Cost{ArrayOps: n * (n + 1)}
+}
+
+// MergeCost is the cost of a YNN-NNN merge: zero evaluations, one
+// O(n·(n−d+1)) sweep over the tuple's arrays.
+func (ms *MultiDeletionStore) MergeCost() Cost {
+	n, d := int64(ms.n), int64(ms.d)
+	return Cost{ArrayOps: n * (n - d + 1)}
+}
+
+// Covers reports whether the store can merge out exactly the given points
+// — len(points) must equal the prepared d and the set must be one of the
+// candidate d-subsets. It is the planner's validity probe; Merge repeats
+// the check and returns an error.
+func (ms *MultiDeletionStore) Covers(points ...int) bool {
+	if len(points) != ms.d {
+		return false
+	}
+	sorted := append([]int(nil), points...)
+	insertionSortInts(sorted)
+	return ms.tupleIndex(sorted) >= 0
+}
+
+// insertionSortInts sorts tiny index tuples without pulling package sort
+// into the hot planner path (d is single digits in every realistic store).
+func insertionSortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+			xs[k], xs[k-1] = xs[k-1], xs[k]
+		}
+	}
+}
+
+// AddSameCost is the per-point cost of Pivot-s (Algorithm 3): each stored
+// permutation re-evaluates only the suffix from the pivot slot, half the
+// walk in expectation.
+func (st *PivotState) AddSameCost() Cost {
+	n := int64(st.N())
+	return Cost{Evaluations: int64(st.Tau) * (n + 2) / 2}
+}
+
+// PivotAddDifferentCost is the per-point cost of Pivot-d (Algorithm 4)
+// with tau fresh permutations over an n-player original set.
+func PivotAddDifferentCost(n, tau int) Cost {
+	return Cost{Evaluations: int64(tau) * (int64(n) + 2) / 2}
+}
+
+// DeltaAddCost is the per-point cost of the delta addition (Algorithm 5):
+// two interleaved prefix walks of the (n+1)-player game per permutation.
+func DeltaAddCost(n, tau int) Cost {
+	return Cost{Evaluations: 2 * int64(tau) * int64(n+1)}
+}
+
+// DeltaDeleteCost is the per-point cost of the delta deletion
+// (Algorithm 8): two interleaved walks over the n−1 survivors.
+func DeltaDeleteCost(n, tau int) Cost {
+	if n < 1 {
+		n = 1
+	}
+	return Cost{Evaluations: 2 * int64(tau) * int64(n-1)}
+}
+
+// MonteCarloCost is the cost of recomputing from scratch over n players
+// with tau permutations (Algorithm 1).
+func MonteCarloCost(n, tau int) Cost {
+	return Cost{Evaluations: int64(tau) * int64(n)}
+}

@@ -1,0 +1,119 @@
+package journal
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dynshap/internal/dataset"
+)
+
+func pts(n int) []dataset.Point {
+	out := make([]dataset.Point, n)
+	for i := range out {
+		out[i] = dataset.Point{X: []float64{float64(i)}, Y: i % 2}
+	}
+	return out
+}
+
+func TestJournalAppendAndVersions(t *testing.T) {
+	j := New(pts(3), 2, nil)
+	if j.Len() != 0 || j.LastVersion() != 0 || j.BaseVersion() != 0 {
+		t.Fatalf("fresh journal: len=%d last=%d base=%d", j.Len(), j.LastVersion(), j.BaseVersion())
+	}
+	j.Append(Update{Version: 1, Op: "init", Algo: "MC"})
+	j.Append(Update{Version: 2, Op: "add", Algo: "Delta", Points: pts(1)})
+	j.Append(Update{Version: 3, Op: "delete", Algo: "YN-NN", Indices: []int{2}})
+	if j.Len() != 3 || j.LastVersion() != 3 {
+		t.Fatalf("len=%d last=%d", j.Len(), j.LastVersion())
+	}
+	u, ok := j.At(2)
+	if !ok || u.Op != "add" || len(u.Points) != 1 {
+		t.Fatalf("At(2) = %+v, %v", u, ok)
+	}
+	if _, ok := j.At(0); ok {
+		t.Fatal("At(base version) should not resolve to an entry")
+	}
+	if _, ok := j.At(4); ok {
+		t.Fatal("At beyond last version should fail")
+	}
+	if got := j.Through(2); len(got) != 2 || got[1].Version != 2 {
+		t.Fatalf("Through(2) = %+v", got)
+	}
+	if got := j.Through(0); len(got) != 0 {
+		t.Fatalf("Through(0) = %+v", got)
+	}
+}
+
+func TestJournalAppendGapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-contiguous append should panic")
+		}
+	}()
+	j := New(pts(1), 1, nil)
+	j.Append(Update{Version: 2, Op: "init"})
+}
+
+func TestJournalStateRoundTrip(t *testing.T) {
+	j := New(pts(2), 2, []float64{0.1, 0.2})
+	j.Append(Update{Version: 1, Op: "init", Algo: "MC", Trainings: 7, Decision: []string{"why"}})
+	st := j.State()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	j2 := Restore(back)
+	if j2.Len() != 1 || j2.LastVersion() != 1 {
+		t.Fatalf("restored len=%d last=%d", j2.Len(), j2.LastVersion())
+	}
+	base, classes, vals := j2.Base()
+	if len(base) != 2 || classes != 2 || len(vals) != 2 || vals[1] != 0.2 {
+		t.Fatalf("restored base %d/%d/%v", len(base), classes, vals)
+	}
+	u, ok := j2.At(1)
+	if !ok || u.Trainings != 7 || len(u.Decision) != 1 {
+		t.Fatalf("restored entry %+v", u)
+	}
+}
+
+// TestJournalResumedBase covers a journal whose base is a mid-life state:
+// entries continue from a non-zero base version.
+func TestJournalResumedBase(t *testing.T) {
+	st := State{
+		Base:    pts(4),
+		Classes: 2,
+		Entries: []Update{
+			{Version: 1, Op: "init"},
+			{Version: 2, Op: "add"},
+		},
+	}
+	j := Restore(st)
+	if j.BaseVersion() != 0 || j.LastVersion() != 2 {
+		t.Fatalf("base=%d last=%d", j.BaseVersion(), j.LastVersion())
+	}
+	j.Append(Update{Version: 3, Op: "delete"})
+	if j.LastVersion() != 3 {
+		t.Fatalf("last=%d", j.LastVersion())
+	}
+}
+
+func TestJournalIsolation(t *testing.T) {
+	base := pts(1)
+	j := New(base, 2, nil)
+	base[0].X[0] = 99
+	got, _, _ := j.Base()
+	if got[0].X[0] == 99 {
+		t.Fatal("journal shares base point storage with caller")
+	}
+	u := Update{Version: 1, Op: "add", Points: pts(1)}
+	j.Append(u)
+	u.Points[0].X[0] = 99
+	h := j.History()
+	if h[0].Points[0].X[0] == 99 {
+		t.Fatal("journal shares entry point storage with caller")
+	}
+}

@@ -1,0 +1,204 @@
+// Package plan picks the cheapest valid update algorithm for a valuation
+// session, replacing hand-selection and ErrStaleStores-style failures with
+// an automatic decision.
+//
+// The decision logic follows the economics the paper establishes and the
+// cost hints internal/core attaches to each artifact:
+//
+//   - The YN-NN / YNN-NNN arrays (Algorithms 6–7) recover exact
+//     post-deletion values with ZERO utility evaluations — when they are
+//     fresh and cover the request, nothing can beat them.
+//   - Retained pivot permutations (Algorithm 3) reuse the initialisation
+//     pass's prefix evaluations for additions, halving the work per added
+//     point relative to a fresh pass.
+//   - The delta estimators (Algorithms 5, 8) need no retained artifacts
+//     and converge with far fewer samples than recomputation (Theorems
+//     2–4), so they are the default incremental path.
+//   - When an update replaces more than half the player set, the
+//     differential framing loses its advantage and per-point sequential
+//     application costs more than one from-scratch pass: fall back to
+//     Monte Carlo recomputation.
+//
+// Every decision carries a human-readable trace — which artifacts were
+// considered, the predicted costs, and why the losers lost — which the
+// session records in its journal.
+package plan
+
+import (
+	"fmt"
+
+	"dynshap/internal/core"
+)
+
+// Op is the kind of update being planned.
+type Op int
+
+const (
+	// OpAdd appends points to the valued set.
+	OpAdd Op = iota
+	// OpDelete removes points from the valued set.
+	OpDelete
+)
+
+// String returns the operation's journal name.
+func (o Op) String() string {
+	if o == OpAdd {
+		return "add"
+	}
+	return "delete"
+}
+
+// Choice is the planner's selected algorithm family. The session maps it
+// onto its public Algorithm enum; keeping the planner's vocabulary
+// separate avoids an import cycle with the facade.
+type Choice int
+
+const (
+	// ChoiceExact is the YN-NN / YNN-NNN merge (deletions only).
+	ChoiceExact Choice = iota
+	// ChoicePivotSame replays the retained permutations (additions only).
+	ChoicePivotSame
+	// ChoiceDelta estimates the change from differential contributions.
+	ChoiceDelta
+	// ChoiceMonteCarlo recomputes from scratch.
+	ChoiceMonteCarlo
+)
+
+// String returns the paper's name for the chosen family.
+func (c Choice) String() string {
+	switch c {
+	case ChoiceExact:
+		return "YN-NN"
+	case ChoicePivotSame:
+		return "Pivot-s"
+	case ChoiceDelta:
+		return "Delta"
+	default:
+		return "MC"
+	}
+}
+
+// Request describes the update to plan.
+type Request struct {
+	// Op is the update kind.
+	Op Op
+	// Count is the number of points being added or deleted.
+	Count int
+	// Indices holds the deletion indices (OpDelete only), in the current
+	// numbering.
+	Indices []int
+}
+
+// Artifacts describes the dynamic-update state the session retained. Nil
+// fields mean the artifact was never built or has been invalidated.
+type Artifacts struct {
+	// N is the current player count.
+	N int
+	// StoresFresh reports whether the deletion arrays still match the
+	// current player set (any update since the last fill stales them).
+	StoresFresh bool
+	// Pivot is the maintained pivot state (survives additions, dies on
+	// deletion).
+	Pivot *core.PivotState
+	// Deletion is the YN-NN store, when WithTrackDeletions built one.
+	Deletion *core.DeletionStore
+	// Multi is the YNN-NNN store, when WithMultiDelete built one.
+	Multi *core.MultiDeletionStore
+}
+
+// Budget is the sampling budget the session grants an update.
+type Budget struct {
+	// UpdateTau is the per-pass permutation budget.
+	UpdateTau int
+	// TargetEps and TargetDelta are the adaptive early-termination
+	// parameters (0 when disabled); they shrink the effective τ but not
+	// the relative ordering of the paths, so the planner only reports
+	// them in its trace.
+	TargetEps, TargetDelta float64
+}
+
+// Decision is the planner's answer.
+type Decision struct {
+	// Choice is the selected algorithm family.
+	Choice Choice
+	// Cost is the predicted cost of the selected path.
+	Cost core.Cost
+	// Trace explains the decision: artifacts seen, costs predicted,
+	// rejections reasoned. Recorded verbatim in the session journal.
+	Trace []string
+}
+
+// Plan selects the cheapest valid algorithm for the request. It assumes
+// the session is initialised and the request validated (non-empty, indices
+// in range).
+func Plan(req Request, art Artifacts, b Budget) Decision {
+	var trace []string
+	note := func(format string, args ...any) {
+		trace = append(trace, fmt.Sprintf(format, args...))
+	}
+	if b.TargetEps > 0 {
+		note("adaptive budget: τ≤%d with (ε=%g, δ=%g) early stop", b.UpdateTau, b.TargetEps, b.TargetDelta)
+	}
+
+	done := func(c Choice, cost core.Cost, why string) Decision {
+		note("chose %s (%s): %s", c, cost, why)
+		return Decision{Choice: c, Cost: cost, Trace: trace}
+	}
+
+	switch req.Op {
+	case OpDelete:
+		if req.Count == 1 && art.Deletion != nil {
+			if art.StoresFresh {
+				return done(ChoiceExact, art.Deletion.MergeCost(),
+					"YN-NN arrays fresh; exact recovery with zero model trainings")
+			}
+			note("YN-NN arrays present but stale (an update ran since the fill); exact merge unavailable")
+		}
+		if req.Count > 1 && art.Multi != nil {
+			if !art.StoresFresh {
+				note("YNN-NNN arrays present but stale; exact merge unavailable")
+			} else if !art.Multi.Covers(req.Indices...) {
+				note("YNN-NNN arrays fresh but tuple %v outside the prepared d=%d candidate subsets",
+					req.Indices, art.Multi.D())
+			} else {
+				return done(ChoiceExact, art.Multi.MergeCost(),
+					"YNN-NNN arrays fresh and cover the tuple; exact recovery with zero model trainings")
+			}
+		}
+		if bulk(req.Count, art.N) {
+			return done(ChoiceMonteCarlo, core.MonteCarloCost(art.N-req.Count, b.UpdateTau),
+				fmt.Sprintf("deleting %d of %d players; differential updates lose their edge past half the set", req.Count, art.N))
+		}
+		cost := core.DeltaDeleteCost(art.N, b.UpdateTau).Times(req.Count)
+		return done(ChoiceDelta, cost,
+			"no exact artifact applies; delta deletion (Algorithm 8) converges at small τ (Theorem 4)")
+
+	default: // OpAdd
+		if art.Pivot != nil && art.Pivot.N() == art.N {
+			if art.Pivot.HasPermutations() {
+				return done(ChoicePivotSame, art.Pivot.AddSameCost().Times(req.Count),
+					"retained permutations; Pivot-s reuses every pre-pivot prefix evaluation (Algorithm 3)")
+			}
+			note("pivot LSV present without retained permutations; preferring Delta over Pivot-d's decaying LSV reuse")
+		} else if art.Pivot != nil {
+			note("pivot state sized for %d players, set has %d; unusable", art.Pivot.N(), art.N)
+		}
+		if bulk(req.Count, art.N) {
+			return done(ChoiceMonteCarlo, core.MonteCarloCost(art.N+req.Count, b.UpdateTau),
+				fmt.Sprintf("adding %d to %d players; recomputation beats %d sequential delta passes", req.Count, art.N, req.Count))
+		}
+		cost := core.DeltaAddCost(art.N, b.UpdateTau).Times(req.Count)
+		return done(ChoiceDelta, cost,
+			"no reusable addition artifact; delta addition (Algorithm 5) converges at small τ (Theorem 2)")
+	}
+}
+
+// bulk reports whether the update touches more than half the player set —
+// the regime where sequential incremental application stops paying for
+// itself.
+func bulk(count, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	return 2*count > n
+}

@@ -1,0 +1,138 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/core"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+func planGame(n int) game.Game {
+	return game.Func{Players: n, U: func(s bitset.Set) float64 {
+		return float64(s.Len()) / float64(n+1)
+	}}
+}
+
+func artifacts(t *testing.T, n int, keepPerms, trackDel bool, multiD int, cands []int) Artifacts {
+	t.Helper()
+	art := Artifacts{N: n, StoresFresh: true}
+	art.Pivot = core.PivotInit(planGame(n), 50, keepPerms, rng.New(1))
+	if trackDel {
+		art.Deletion = core.PreprocessDeletion(planGame(n), 50, rng.New(1))
+	}
+	if multiD > 0 {
+		ms, err := core.PreprocessMultiDeletion(planGame(n), multiD, cands, 50, rng.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		art.Multi = ms
+	}
+	return art
+}
+
+func TestPlanDeleteExactWhenFresh(t *testing.T) {
+	art := artifacts(t, 10, false, true, 0, nil)
+	d := Plan(Request{Op: OpDelete, Count: 1, Indices: []int{3}}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceExact {
+		t.Fatalf("choice = %v, want exact", d.Choice)
+	}
+	if d.Cost.Evaluations != 0 {
+		t.Fatalf("exact path predicts %d evaluations", d.Cost.Evaluations)
+	}
+	if len(d.Trace) == 0 || !strings.Contains(strings.Join(d.Trace, " "), "YN-NN") {
+		t.Fatalf("trace missing rationale: %v", d.Trace)
+	}
+}
+
+func TestPlanDeleteDeltaWhenStale(t *testing.T) {
+	art := artifacts(t, 10, false, true, 0, nil)
+	art.StoresFresh = false
+	d := Plan(Request{Op: OpDelete, Count: 1, Indices: []int{3}}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("choice = %v, want delta", d.Choice)
+	}
+	if !strings.Contains(strings.Join(d.Trace, " "), "stale") {
+		t.Fatalf("trace should mention staleness: %v", d.Trace)
+	}
+}
+
+func TestPlanDeleteDeltaWithoutArrays(t *testing.T) {
+	art := Artifacts{N: 10, StoresFresh: true}
+	d := Plan(Request{Op: OpDelete, Count: 1, Indices: []int{0}}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("choice = %v, want delta", d.Choice)
+	}
+}
+
+func TestPlanMultiDelete(t *testing.T) {
+	art := artifacts(t, 10, false, true, 2, []int{1, 3, 5})
+	covered := Plan(Request{Op: OpDelete, Count: 2, Indices: []int{5, 1}}, art, Budget{UpdateTau: 100})
+	if covered.Choice != ChoiceExact {
+		t.Fatalf("covered tuple: choice = %v, want exact", covered.Choice)
+	}
+	uncovered := Plan(Request{Op: OpDelete, Count: 2, Indices: []int{0, 2}}, art, Budget{UpdateTau: 100})
+	if uncovered.Choice != ChoiceDelta {
+		t.Fatalf("uncovered tuple: choice = %v, want delta", uncovered.Choice)
+	}
+	if !strings.Contains(strings.Join(uncovered.Trace, " "), "candidate") {
+		t.Fatalf("trace should explain coverage miss: %v", uncovered.Trace)
+	}
+}
+
+func TestPlanBulkFallsBackToMC(t *testing.T) {
+	art := Artifacts{N: 10, StoresFresh: true}
+	del := Plan(Request{Op: OpDelete, Count: 6, Indices: []int{0, 1, 2, 3, 4, 5}}, art, Budget{UpdateTau: 100})
+	if del.Choice != ChoiceMonteCarlo {
+		t.Fatalf("bulk delete: choice = %v, want MC", del.Choice)
+	}
+	add := Plan(Request{Op: OpAdd, Count: 6}, art, Budget{UpdateTau: 100})
+	if add.Choice != ChoiceMonteCarlo {
+		t.Fatalf("bulk add: choice = %v, want MC", add.Choice)
+	}
+}
+
+func TestPlanAddPivotFamily(t *testing.T) {
+	withPerms := artifacts(t, 10, true, false, 0, nil)
+	d := Plan(Request{Op: OpAdd, Count: 1}, withPerms, Budget{UpdateTau: 100})
+	if d.Choice != ChoicePivotSame {
+		t.Fatalf("choice = %v, want Pivot-s", d.Choice)
+	}
+	noPerms := artifacts(t, 10, false, false, 0, nil)
+	d = Plan(Request{Op: OpAdd, Count: 1}, noPerms, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("without perms: choice = %v, want delta", d.Choice)
+	}
+	// A pivot sized for a different player count is unusable.
+	resized := artifacts(t, 10, true, false, 0, nil)
+	resized.N = 12
+	d = Plan(Request{Op: OpAdd, Count: 1}, resized, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("mis-sized pivot: choice = %v, want delta", d.Choice)
+	}
+}
+
+func TestPlanTraceMentionsAdaptiveBudget(t *testing.T) {
+	art := Artifacts{N: 10}
+	d := Plan(Request{Op: OpAdd, Count: 1}, art, Budget{UpdateTau: 100, TargetEps: 0.01, TargetDelta: 0.05})
+	if !strings.Contains(strings.Join(d.Trace, " "), "adaptive") {
+		t.Fatalf("trace should mention the adaptive budget: %v", d.Trace)
+	}
+}
+
+func TestOpAndChoiceStrings(t *testing.T) {
+	if OpAdd.String() != "add" || OpDelete.String() != "delete" {
+		t.Fatal("Op names wrong")
+	}
+	names := map[Choice]string{
+		ChoiceExact: "YN-NN", ChoicePivotSame: "Pivot-s",
+		ChoiceDelta: "Delta", ChoiceMonteCarlo: "MC",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

@@ -45,6 +45,19 @@ func New(seed uint64) *Source {
 	return &s
 }
 
+// NewStream returns a Source for the given (seed, stream) pair. Distinct
+// streams of one seed are statistically independent — the pair is folded
+// through two splitmix64 steps before seeding — and the mapping is pure:
+// any party holding the seed can re-derive stream k without replaying
+// streams 0..k−1. Versioned session state uses this to give every journal
+// version its own reproducible randomness.
+func NewStream(seed, stream uint64) *Source {
+	x := seed
+	s0 := splitmix64(&x)
+	x = s0 ^ stream
+	return New(splitmix64(&x))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

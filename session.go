@@ -4,11 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dynshap/internal/core"
 	"dynshap/internal/dataset"
 	"dynshap/internal/game"
+	"dynshap/internal/journal"
 	"dynshap/internal/ml"
+	"dynshap/internal/plan"
 	"dynshap/internal/rng"
 	"dynshap/internal/utility"
 )
@@ -19,24 +23,49 @@ import (
 // structures (pivot LSV, stored permutations, YN-NN arrays) the selected
 // options maintain to make dynamic updates cheap.
 //
-// A Session is safe for concurrent use; updates serialise internally.
+// A Session is a versioned store. Every mutation (Init, Add, Delete,
+// Refresh) builds the next immutable state off-lock and publishes it with
+// one atomic pointer swap, so reads — Values, Data, Rank, TopK, Snapshot,
+// EngineStats, and the rest — never block behind a running update: they
+// observe the last published version, however long the in-flight model
+// trainings take. Updates serialise among themselves.
+//
+// Each successful mutation appends an Update record to the session's
+// journal (see History) carrying the operation's inputs, the algorithm
+// that ran, its cost, and — for AlgoAuto — the planner's decision trace.
+// Because every operation draws its randomness from a stream keyed by
+// (seed, version), ReplayTo can reproduce any recorded version bit for
+// bit from the journal alone.
 type Session struct {
-	mu sync.Mutex
+	// updateMu serialises writers; readers never take it.
+	updateMu sync.Mutex
+	// state is the current published version. Readers Load it; writers
+	// Store the successor after building it off the readers' path.
+	state atomic.Pointer[sessionState]
 
-	train   *dataset.Dataset
 	test    *dataset.Dataset
 	trainer ml.Trainer
 	cfg     config
+	// engine is the writers' permutation engine; guarded by updateMu.
+	engine *core.Engine
+	// journal records every successful mutation; safe for concurrent use.
+	journal *journal.Journal
+}
 
+// sessionState is one immutable version of the session's valuation state.
+// A published state is never mutated: updates derive a successor, replace
+// whatever fields change (fresh slices, fresh utilities), and swap it in.
+type sessionState struct {
+	version int
+
+	train *dataset.Dataset
 	util  *utility.ModelUtility
 	cache *game.Cached
 
-	sv     []float64
-	pivot  *core.PivotState
-	del    *core.DeletionStore
-	multi  *core.MultiDeletionStore
-	r      *rng.Source
-	engine *core.Engine
+	sv    []float64
+	pivot *core.PivotState
+	del   *core.DeletionStore
+	multi *core.MultiDeletionStore
 
 	initialized bool
 	// storesFresh is true while del/multi match the current training set
@@ -47,7 +76,24 @@ type Session struct {
 	pastFits int64
 	// pastPrefixAdds does the same for incremental prefix evaluations.
 	pastPrefixAdds int64
+	// engineStats is the engine's report for the most recent engine-driven
+	// pass, captured at publish time so readers need not touch the engine.
+	engineStats core.EngineStats
 }
+
+// next derives the successor state: same artifacts, next version. The
+// update then replaces whatever it changes.
+func (st *sessionState) next() *sessionState {
+	c := *st
+	c.version++
+	return &c
+}
+
+// totalFits is the session-lifetime training count as of this state.
+func (st *sessionState) totalFits() int64 { return st.pastFits + st.util.Fits() }
+
+// totalPrefixAdds is the lifetime incremental-prefix count.
+func (st *sessionState) totalPrefixAdds() int64 { return st.pastPrefixAdds + st.util.PrefixAdds() }
 
 type config struct {
 	tau            int
@@ -136,16 +182,28 @@ func WithTargetError(eps, delta float64) Option {
 // NewSession creates a valuation session for the given training points,
 // scored against test with models produced by trainer.
 func NewSession(train, test *Dataset, trainer Trainer, opts ...Option) *Session {
-	cfg := config{
-		tau:           20 * train.Len(),
+	cfg := defaultConfig(train.Len())
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newSessionFromConfig(train, test, trainer, cfg)
+}
+
+// defaultConfig is the option-free configuration for an n-point session.
+func defaultConfig(n int) config {
+	return config{
+		tau:           20 * n,
 		seed:          1,
 		truncationTol: 1e-12,
 		knnK:          5,
 		cacheEnabled:  true,
 	}
-	for _, o := range opts {
-		o(&cfg)
-	}
+}
+
+// newSessionFromConfig builds a session from a fully resolved config —
+// the constructor NewSession, Resume, and ReplayTo share, so a replayed
+// or resumed session is configured identically to its origin.
+func newSessionFromConfig(train, test *dataset.Dataset, trainer ml.Trainer, cfg config) *Session {
 	if cfg.updateTau == 0 {
 		cfg.updateTau = cfg.tau
 	}
@@ -154,184 +212,266 @@ func NewSession(train, test *Dataset, trainer Trainer, opts ...Option) *Session 
 		engineOpts = append(engineOpts, core.WithTargetError(cfg.targetEps, cfg.targetDelta))
 	}
 	s := &Session{
-		train:   train.Clone(),
 		test:    test.Clone(),
 		trainer: trainer,
 		cfg:     cfg,
-		r:       rng.New(cfg.seed),
 		engine:  core.NewEngine(engineOpts...),
 	}
-	s.rebuildUtility()
+	st := &sessionState{train: train.Clone()}
+	rebuildUtility(s, st)
+	s.state.Store(st)
+	s.journal = journal.New(st.train.Points, st.train.Classes, nil)
 	return s
 }
 
-// rebuildUtility reconstructs the utility (and cache) for the current
-// training set. Caches survive additions (old coalitions keep their keys)
-// but must be dropped after deletions, where player indices shift.
-func (s *Session) rebuildUtility() {
-	if s.util != nil {
-		s.pastFits += s.util.Fits()
-		s.pastPrefixAdds += s.util.PrefixAdds()
-	}
-	s.util = utility.NewModelUtility(s.train, s.test, s.trainer)
-	s.cache = game.NewCached(s.util)
+// opSource returns the RNG for the operation producing the given version.
+// Streams are keyed by (seed, version), so replaying an operation at the
+// same version consumes identical randomness regardless of what happened
+// in between — including failed attempts, which consume nothing durable.
+func (s *Session) opSource(version int) *rng.Source {
+	return rng.NewStream(s.cfg.seed, uint64(version))
 }
 
-// game returns the Game view the estimators should use.
-func (s *Session) game() game.Game {
-	if s.cfg.cacheEnabled {
-		return s.cache
+// rebuildUtility reconstructs the utility (and cache) for the state's
+// training set. Caches survive additions (old coalitions keep their keys)
+// but must be dropped after deletions, where player indices shift.
+func rebuildUtility(s *Session, st *sessionState) {
+	if st.util != nil {
+		st.pastFits += st.util.Fits()
+		st.pastPrefixAdds += st.util.PrefixAdds()
 	}
-	return s.util
+	st.util = utility.NewModelUtility(st.train, s.test, s.trainer)
+	st.cache = game.NewCached(st.util)
+}
+
+// gameOf returns the Game view estimators should use over a state.
+func (s *Session) gameOf(st *sessionState) game.Game {
+	if s.cfg.cacheEnabled {
+		return st.cache
+	}
+	return st.util
 }
 
 // gameFor returns a Game view over an updated utility, sharing the
-// session's cache when enabled (coalitions of the original points keep
+// state's cache when enabled (coalitions of the original points keep
 // identical cache keys after an append, which is what makes pivot reuse
 // effective).
-func (s *Session) gameFor(u *utility.ModelUtility) game.Game {
+func (s *Session) gameFor(st *sessionState, u *utility.ModelUtility) game.Game {
 	if s.cfg.cacheEnabled {
-		return game.NewCachedShared(u, s.cache)
+		return game.NewCachedShared(u, st.cache)
 	}
 	return u
 }
 
 // N returns the number of training points currently under valuation.
-func (s *Session) N() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.train.Len()
-}
+func (s *Session) N() int { return s.state.Load().train.Len() }
+
+// Version returns the current state version: 0 at creation (or at the
+// base of a resumed snapshot), incremented by every successful Init, Add,
+// Delete and Refresh.
+func (s *Session) Version() int { return s.state.Load().version }
 
 // Data returns a copy of the training points currently under valuation,
 // index-aligned with Values.
-func (s *Session) Data() *Dataset {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.train.Clone()
-}
+func (s *Session) Data() *Dataset { return s.state.Load().train.Clone() }
 
 // Values returns a copy of the current Shapley estimates, or nil before
 // Init.
 func (s *Session) Values() []float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]float64(nil), s.sv...)
+	return append([]float64(nil), s.state.Load().sv...)
 }
 
 // ModelTrainings returns how many model trainings the session has performed
 // over its lifetime — the dominant cost every dynamic algorithm tries to
-// minimise.
-func (s *Session) ModelTrainings() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pastFits + s.util.Fits()
-}
+// minimise. The count includes work done by an in-flight update.
+func (s *Session) ModelTrainings() int64 { return s.state.Load().totalFits() }
 
 // CacheStats returns the utility cache's hit/miss counts.
-func (s *Session) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+func (s *Session) CacheStats() (hits, misses int64) { return s.state.Load().cache.Stats() }
 
 // PrefixAdds returns how many incremental prefix evaluations the session
 // has served over its lifetime (see the Prefixer capability in
 // internal/game). For models that support exact incremental maintenance —
 // currently k-NN — permutation walks use these in place of model
 // trainings, so ModelTrainings stays near zero while PrefixAdds grows.
-func (s *Session) PrefixAdds() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pastPrefixAdds + s.util.PrefixAdds()
-}
+func (s *Session) PrefixAdds() int64 { return s.state.Load().totalPrefixAdds() }
 
 // EngineStats returns the permutation engine's statistics for the most
-// recent engine-driven pass (Init, or an MC/TMC/Delta update): permutations
-// issued versus budgeted, whether the adaptive bound stopped the pass
-// early, the worker count, and the array-fill throughput.
-func (s *Session) EngineStats() core.EngineStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.engine.Stats()
+// recent engine-driven pass published by an update (Init, or an
+// MC/TMC/Delta update): permutations issued versus budgeted, whether the
+// adaptive bound stopped the pass early, the worker count, and the
+// array-fill throughput.
+func (s *Session) EngineStats() core.EngineStats { return s.state.Load().engineStats }
+
+// History returns the session's journal: one Update record per successful
+// mutation, versions ascending. See ReplayTo for reproducing any of them.
+func (s *Session) History() []UpdateRecord { return s.journal.History() }
+
+// At returns the journal record of the update that produced the given
+// version.
+func (s *Session) At(version int) (UpdateRecord, error) {
+	u, ok := s.journal.At(version)
+	if !ok {
+		return UpdateRecord{}, fmt.Errorf("dynshap: no journaled update produced version %d", version)
+	}
+	return u, nil
 }
 
 // ErrNotInitialized is returned by updates before Init has run.
 var ErrNotInitialized = errors.New("dynshap: session not initialized; call Init first")
 
-// ErrStaleStores is returned when AlgoYNNN is requested after the arrays
-// have gone stale (any prior update invalidates them); call Refresh.
+// ErrStaleStores is returned when AlgoYNNN is explicitly requested after
+// the arrays have gone stale (any prior update invalidates them); call
+// Refresh — or use AlgoAuto, which routes around stale artifacts instead
+// of failing.
 var ErrStaleStores = errors.New("dynshap: deletion arrays are stale after a previous update; call Refresh")
+
+// publish installs the successor state and journals the update that
+// produced it.
+func (s *Session) publish(st *sessionState, u journal.Update) {
+	st.engineStats = s.engine.Stats()
+	s.journal.Append(u)
+	s.state.Store(st)
+}
+
+// opMetrics accumulates an update's audit numbers across its sub-passes.
+type opMetrics struct {
+	perms int
+}
 
 // Init computes the initial Shapley values with one Monte Carlo pass of τ
 // permutations, simultaneously building every structure the options
 // request (Algorithm 2's LSV, Algorithm 6's YN-NN arrays, Lemma 4's
 // YNN-NNN arrays).
 func (s *Session) Init() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res, err := s.engine.Initialize(s.game(), s.cfg.tau, core.InitOptions{
-		KeepPerms:      s.cfg.keepPerms,
-		TrackDeletions: s.cfg.trackDeletions,
-		MultiDelete:    s.cfg.multiDelete,
-		Candidates:     s.cfg.candidates,
-	}, s.r.Split())
-	if err != nil {
-		return fmt.Errorf("dynshap: init: %w", err)
-	}
-	s.pivot = res.Pivot
-	s.del = res.Deletion
-	s.multi = res.Multi
-	s.sv = res.SV()
-	s.initialized = true
-	s.storesFresh = true
-	return nil
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	return s.initLocked("init")
 }
 
 // Refresh recomputes values and rebuilds the dynamic structures for the
 // current training set — a full (expensive) pass, used after updates have
 // degraded the maintained state or invalidated the deletion arrays.
 func (s *Session) Refresh() error {
-	s.mu.Lock()
-	s.initialized = false
-	s.mu.Unlock()
-	return s.Init()
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	return s.initLocked("refresh")
+}
+
+func (s *Session) initLocked(op string) error {
+	cur := s.state.Load()
+	st := cur.next()
+	r := s.opSource(st.version)
+	startFits, startPrefix := cur.totalFits(), cur.totalPrefixAdds()
+	begin := time.Now()
+	res, err := s.engine.Initialize(s.gameOf(st), s.cfg.tau, core.InitOptions{
+		KeepPerms:      s.cfg.keepPerms,
+		TrackDeletions: s.cfg.trackDeletions,
+		MultiDelete:    s.cfg.multiDelete,
+		Candidates:     s.cfg.candidates,
+	}, r.Split())
+	if err != nil {
+		return fmt.Errorf("dynshap: init: %w", err)
+	}
+	st.pivot = res.Pivot
+	st.del = res.Deletion
+	st.multi = res.Multi
+	st.sv = res.SV()
+	st.initialized = true
+	st.storesFresh = true
+	s.publish(st, journal.Update{
+		Version:      st.version,
+		Op:           op,
+		Algo:         AlgoMonteCarlo.String(),
+		Trainings:    st.totalFits() - startFits,
+		PrefixAdds:   st.totalPrefixAdds() - startPrefix,
+		Permutations: s.engine.Stats().Issued,
+		Seconds:      time.Since(begin).Seconds(),
+	})
+	return nil
+}
+
+// planUpdate resolves AlgoAuto against the state's artifacts and budget.
+func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []int) (Algorithm, []string) {
+	dec := plan.Plan(
+		plan.Request{Op: op, Count: count, Indices: indices},
+		plan.Artifacts{
+			N:           st.train.Len(),
+			StoresFresh: st.storesFresh,
+			Pivot:       st.pivot,
+			Deletion:    st.del,
+			Multi:       st.multi,
+		},
+		plan.Budget{
+			UpdateTau:   s.cfg.updateTau,
+			TargetEps:   s.cfg.targetEps,
+			TargetDelta: s.cfg.targetDelta,
+		},
+	)
+	var algo Algorithm
+	switch dec.Choice {
+	case plan.ChoiceExact:
+		algo = AlgoYNNN
+	case plan.ChoicePivotSame:
+		algo = AlgoPivotSame
+	case plan.ChoiceDelta:
+		algo = AlgoDelta
+	default:
+		algo = AlgoMonteCarlo
+	}
+	return algo, dec.Trace
 }
 
 // Add appends the given points to the training set and returns the updated
 // Shapley values (index-aligned with Data; new points at the end). The
 // algorithm decides cost and accuracy:
 //
+//   - AlgoAuto: let the planner pick the cheapest valid path below.
 //   - AlgoPivotSame / AlgoPivotDifferent / AlgoDelta: incremental, applied
 //     per point in sequence.
 //   - AlgoKNN / AlgoKNNPlus: instant heuristics.
 //   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
 //   - AlgoBase: keep old values; new points get the average old value.
 func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.initialized {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	cur := s.state.Load()
+	if !cur.initialized {
 		return nil, ErrNotInitialized
 	}
 	if len(points) == 0 {
-		return append([]float64(nil), s.sv...), nil
+		return append([]float64(nil), cur.sv...), nil
 	}
+	st := cur.next()
+	r := s.opSource(st.version)
+	startFits, startPrefix := cur.totalFits(), cur.totalPrefixAdds()
+	requested := algo
+	var trace []string
+	if algo == AlgoAuto {
+		algo, trace = s.planUpdate(st, plan.OpAdd, len(points), nil)
+	}
+	var ops opMetrics
+	begin := time.Now()
 	var err error
 	switch algo {
 	case AlgoMonteCarlo, AlgoTruncatedMC:
-		err = s.addRecompute(points, algo)
+		err = s.addRecompute(st, points, algo, r, &ops)
 	case AlgoBase:
-		s.sv = core.BaseAdd(s.sv, len(points))
-		s.applyAppend(points)
+		st.sv = core.BaseAdd(st.sv, len(points))
+		s.applyAppend(st, points)
 	case AlgoPivotSame, AlgoPivotDifferent:
-		err = s.addPivot(points, algo)
+		err = s.addPivot(st, points, algo, r, &ops)
 	case AlgoDelta:
-		err = s.addDelta(points)
+		err = s.addDelta(st, points, r, &ops)
 	case AlgoKNN:
-		s.sv, err = core.KNNAdd(s.sv, s.train, points, s.cfg.knnK)
+		st.sv, err = core.KNNAdd(st.sv, st.train, points, s.cfg.knnK)
 		if err == nil {
-			s.applyAppend(points)
+			s.applyAppend(st, points)
 		}
 	case AlgoKNNPlus:
-		s.sv, err = core.KNNPlusAdd(s.game(), s.train, s.sv, points, nil, s.knnPlusCfg(), s.r.Split())
+		st.sv, err = core.KNNPlusAdd(s.gameOf(st), st.train, st.sv, points, nil, s.knnPlusCfg(), r.Split())
 		if err == nil {
-			s.applyAppend(points)
+			s.applyAppend(st, points)
 		}
 	default:
 		err = fmt.Errorf("dynshap: algorithm %v does not support additions", algo)
@@ -339,8 +479,29 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.storesFresh = false
-	return append([]float64(nil), s.sv...), nil
+	st.storesFresh = false
+	s.publish(st, journal.Update{
+		Version:      st.version,
+		Op:           "add",
+		Requested:    requestedName(requested, algo),
+		Algo:         algo.String(),
+		Points:       points,
+		Trainings:    st.totalFits() - startFits,
+		PrefixAdds:   st.totalPrefixAdds() - startPrefix,
+		Permutations: ops.perms,
+		Seconds:      time.Since(begin).Seconds(),
+		Decision:     trace,
+	})
+	return append([]float64(nil), st.sv...), nil
+}
+
+// requestedName records the caller's algorithm only when the planner
+// translated it — otherwise the journal's Algo field already says it all.
+func requestedName(requested, resolved Algorithm) string {
+	if requested == resolved {
+		return ""
+	}
+	return requested.String()
 }
 
 func (s *Session) knnPlusCfg() core.KNNPlusConfig {
@@ -351,76 +512,83 @@ func (s *Session) knnPlusCfg() core.KNNPlusConfig {
 	return cfg
 }
 
-// applyAppend extends the training set and utility without touching sv.
-func (s *Session) applyAppend(points []Point) {
-	s.train = s.train.Append(points...)
-	s.pastFits += s.util.Fits()
-	s.pastPrefixAdds += s.util.PrefixAdds()
-	s.util = s.util.Append(points...)
+// applyAppend extends the state's training set and utility without
+// touching sv.
+func (s *Session) applyAppend(st *sessionState, points []Point) {
+	st.train = st.train.Append(points...)
+	st.pastFits += st.util.Fits()
+	st.pastPrefixAdds += st.util.PrefixAdds()
+	st.util = st.util.Append(points...)
 	// The cache survives: coalitions over the original points keep their
 	// keys, and new coalitions simply miss. (Capacity growth across a
 	// 64-player word boundary changes keys, costing misses, not errors.)
 	if s.cfg.cacheEnabled {
-		s.cache = game.NewCachedShared(s.util, s.cache)
+		st.cache = game.NewCachedShared(st.util, st.cache)
 	}
 }
 
-func (s *Session) addRecompute(points []Point, algo Algorithm) error {
-	s.applyAppend(points)
+func (s *Session) addRecompute(st *sessionState, points []Point, algo Algorithm, r *rng.Source, ops *opMetrics) error {
+	s.applyAppend(st, points)
 	if algo == AlgoTruncatedMC {
-		s.sv = s.engine.TruncatedMonteCarlo(s.game(), s.cfg.updateTau, s.cfg.truncationTol, s.r.Split())
+		st.sv = s.engine.TruncatedMonteCarlo(s.gameOf(st), s.cfg.updateTau, s.cfg.truncationTol, r.Split())
 	} else {
-		s.sv = s.engine.MonteCarlo(s.game(), s.cfg.updateTau, s.r.Split())
+		st.sv = s.engine.MonteCarlo(s.gameOf(st), s.cfg.updateTau, r.Split())
 	}
+	ops.perms += s.engine.Stats().Issued
 	return nil
 }
 
-func (s *Session) addPivot(points []Point, algo Algorithm) error {
-	if s.pivot == nil {
+func (s *Session) addPivot(st *sessionState, points []Point, algo Algorithm, r *rng.Source, ops *opMetrics) error {
+	if st.pivot == nil {
 		return ErrNotInitialized
 	}
+	// Clone before mutating: the published predecessor shares this pivot,
+	// and a half-applied failure must not corrupt it.
+	st.pivot = st.pivot.Clone()
 	for _, p := range points {
-		uPlus := s.util.Append(p)
-		gPlus := s.gameFor(uPlus)
+		uPlus := st.util.Append(p)
+		gPlus := s.gameFor(st, uPlus)
 		var (
 			sv  []float64
 			err error
 		)
 		if algo == AlgoPivotSame {
-			sv, err = s.pivot.AddSame(gPlus, s.r.Split())
+			sv, err = st.pivot.AddSame(gPlus, r.Split())
 		} else {
-			sv, err = s.pivot.AddDifferent(gPlus, s.cfg.updateTau, s.r.Split())
+			sv, err = st.pivot.AddDifferent(gPlus, s.cfg.updateTau, r.Split())
 		}
 		if err != nil {
 			return err
 		}
-		s.sv = sv
-		s.applyAppendSingle(p, uPlus)
+		ops.perms += st.pivot.Tau
+		st.sv = sv
+		s.applyAppendSingle(st, p, uPlus)
 	}
 	return nil
 }
 
 // applyAppendSingle installs an already-built utility for one added point.
-func (s *Session) applyAppendSingle(p Point, uPlus *utility.ModelUtility) {
-	s.train = s.train.Append(p)
-	s.pastFits += s.util.Fits()
-	s.pastPrefixAdds += s.util.PrefixAdds()
-	s.util = uPlus
+func (s *Session) applyAppendSingle(st *sessionState, p Point, uPlus *utility.ModelUtility) {
+	st.train = st.train.Append(p)
+	st.pastFits += st.util.Fits()
+	st.pastPrefixAdds += st.util.PrefixAdds()
+	st.util = uPlus
 	if s.cfg.cacheEnabled {
-		s.cache = game.NewCachedShared(s.util, s.cache)
+		st.cache = game.NewCachedShared(st.util, st.cache)
 	}
 }
 
-func (s *Session) addDelta(points []Point) error {
+func (s *Session) addDelta(st *sessionState, points []Point, r *rng.Source, ops *opMetrics) error {
 	for _, p := range points {
-		uPlus := s.util.Append(p)
-		gPlus := s.gameFor(uPlus)
-		sv, err := s.engine.DeltaAdd(gPlus, s.sv, s.cfg.updateTau, s.r.Split())
+		uPlus := st.util.Append(p)
+		gPlus := s.gameFor(st, uPlus)
+		sv, err := s.engine.DeltaAdd(gPlus, st.sv, s.cfg.updateTau, r.Split())
 		if err != nil {
 			return err
 		}
-		s.sv = sv
-		s.applyAppendSingle(p, uPlus)
+		ops.perms += s.engine.Stats().Issued
+		st.sv = sv
+		s.applyAppendSingle(st, p, uPlus)
 	}
 	return nil
 }
@@ -428,23 +596,28 @@ func (s *Session) addDelta(points []Point) error {
 // Delete removes the points at the given indices (in the current Data
 // numbering) and returns the updated values, compacted to the surviving
 // points' order. Deletions invalidate the session's precomputed arrays and
-// stored permutations; subsequent AlgoYNNN calls need a Refresh first.
+// stored permutations; subsequent explicit AlgoYNNN calls need a Refresh
+// first (AlgoAuto falls back to delta instead).
 //
+//   - AlgoAuto: exact YN-NN / YNN-NNN merge when the arrays are fresh and
+//     cover the request, otherwise delta, with a Monte Carlo fallback for
+//     bulk deletions; the decision is journaled.
 //   - AlgoYNNN: exact recovery from the YN-NN (single point) or YNN-NNN
 //     (multiple points, if prepared) arrays; no model trainings.
 //   - AlgoDelta: incremental, applied per point in sequence.
 //   - AlgoKNN / AlgoKNNPlus: instant heuristics.
 //   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
 func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.initialized {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	cur := s.state.Load()
+	if !cur.initialized {
 		return nil, ErrNotInitialized
 	}
 	if len(indices) == 0 {
-		return append([]float64(nil), s.sv...), nil
+		return append([]float64(nil), cur.sv...), nil
 	}
-	n := s.train.Len()
+	n := cur.train.Len()
 	seen := make(map[int]bool, len(indices))
 	for _, p := range indices {
 		if p < 0 || p >= n {
@@ -455,28 +628,39 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 		}
 		seen[p] = true
 	}
+	st := cur.next()
+	r := s.opSource(st.version)
+	startFits, startPrefix := cur.totalFits(), cur.totalPrefixAdds()
+	requested := algo
+	var trace []string
+	if algo == AlgoAuto {
+		algo, trace = s.planUpdate(st, plan.OpDelete, len(indices), indices)
+	}
 
+	var ops opMetrics
+	begin := time.Now()
 	var (
 		expanded []float64 // old indexing, zeros at deleted points
 		err      error
 	)
 	switch algo {
 	case AlgoYNNN:
-		expanded, err = s.deleteYNNN(indices)
+		expanded, err = s.deleteYNNN(st, indices)
 	case AlgoDelta:
-		expanded, err = s.deleteDelta(indices)
+		expanded, err = s.deleteDelta(st, indices, r, &ops)
 	case AlgoKNN:
-		expanded, err = core.KNNDelete(s.sv, s.train, indices, s.cfg.knnK)
+		expanded, err = core.KNNDelete(st.sv, st.train, indices, s.cfg.knnK)
 	case AlgoKNNPlus:
-		expanded, err = core.KNNPlusDelete(s.game(), s.train, s.sv, indices, nil, s.knnPlusCfg(), s.r.Split())
+		expanded, err = core.KNNPlusDelete(s.gameOf(st), st.train, st.sv, indices, nil, s.knnPlusCfg(), r.Split())
 	case AlgoMonteCarlo, AlgoTruncatedMC:
-		restricted := game.NewRestrict(s.game(), indices...)
+		restricted := game.NewRestrict(s.gameOf(st), indices...)
 		var sub []float64
 		if algo == AlgoTruncatedMC {
-			sub = s.engine.TruncatedMonteCarlo(restricted, s.cfg.updateTau, s.cfg.truncationTol, s.r.Split())
+			sub = s.engine.TruncatedMonteCarlo(restricted, s.cfg.updateTau, s.cfg.truncationTol, r.Split())
 		} else {
-			sub = s.engine.MonteCarlo(restricted, s.cfg.updateTau, s.r.Split())
+			sub = s.engine.MonteCarlo(restricted, s.cfg.updateTau, r.Split())
 		}
+		ops.perms += s.engine.Stats().Issued
 		expanded = make([]float64, n)
 		for ri, orig := range restricted.Keep() {
 			expanded[orig] = sub[ri]
@@ -495,39 +679,51 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 			compact = append(compact, expanded[i])
 		}
 	}
-	s.sv = compact
-	s.train = s.train.Remove(indices...)
-	s.rebuildUtility() // indices shifted: the old cache keys are invalid
-	s.pivot = nil
-	s.del = nil
-	s.multi = nil
-	s.storesFresh = false
-	return append([]float64(nil), s.sv...), nil
+	st.sv = compact
+	st.train = st.train.Remove(indices...)
+	rebuildUtility(s, st) // indices shifted: the old cache keys are invalid
+	st.pivot = nil
+	st.del = nil
+	st.multi = nil
+	st.storesFresh = false
+	s.publish(st, journal.Update{
+		Version:      st.version,
+		Op:           "delete",
+		Requested:    requestedName(requested, algo),
+		Algo:         algo.String(),
+		Indices:      indices,
+		Trainings:    st.totalFits() - startFits,
+		PrefixAdds:   st.totalPrefixAdds() - startPrefix,
+		Permutations: ops.perms,
+		Seconds:      time.Since(begin).Seconds(),
+		Decision:     trace,
+	})
+	return append([]float64(nil), st.sv...), nil
 }
 
-func (s *Session) deleteYNNN(indices []int) ([]float64, error) {
-	if !s.storesFresh {
+func (s *Session) deleteYNNN(st *sessionState, indices []int) ([]float64, error) {
+	if !st.storesFresh {
 		return nil, ErrStaleStores
 	}
 	if len(indices) == 1 {
-		if s.del == nil {
+		if st.del == nil {
 			return nil, errors.New("dynshap: AlgoYNNN needs WithTrackDeletions")
 		}
-		return s.del.Merge(indices[0])
+		return st.del.Merge(indices[0])
 	}
-	if s.multi == nil {
+	if st.multi == nil {
 		return nil, errors.New("dynshap: multi-point AlgoYNNN needs WithMultiDelete")
 	}
-	return s.multi.Merge(indices...)
+	return st.multi.Merge(indices...)
 }
 
-func (s *Session) deleteDelta(indices []int) ([]float64, error) {
+func (s *Session) deleteDelta(st *sessionState, indices []int, r *rng.Source, ops *opMetrics) ([]float64, error) {
 	// Apply sequentially; between steps, work in the shrinking restricted
 	// game but keep original indexing via an index map.
-	cur := append([]float64(nil), s.sv...)
-	g := s.game()
+	cur := append([]float64(nil), st.sv...)
+	g := s.gameOf(st)
 	// alive maps restricted index -> original index.
-	alive := make([]int, s.train.Len())
+	alive := make([]int, st.train.Len())
 	for i := range alive {
 		alive[i] = i
 	}
@@ -545,10 +741,11 @@ func (s *Session) deleteDelta(indices []int) ([]float64, error) {
 		if ri == -1 {
 			return nil, fmt.Errorf("dynshap: internal: point %d already deleted", orig)
 		}
-		sub, err := s.engine.DeltaDelete(rg, cur, ri, s.cfg.updateTau, s.r.Split())
+		sub, err := s.engine.DeltaDelete(rg, cur, ri, s.cfg.updateTau, r.Split())
 		if err != nil {
 			return nil, err
 		}
+		ops.perms += s.engine.Stats().Issued
 		// Drop the deleted slot.
 		cur = append(sub[:ri:ri], sub[ri+1:]...)
 		alive = append(alive[:ri:ri], alive[ri+1:]...)
@@ -559,9 +756,90 @@ func (s *Session) deleteDelta(indices []int) ([]float64, error) {
 		}
 		rg = game.NewRestrict(g, removed...)
 	}
-	expanded := make([]float64, s.train.Len())
+	expanded := make([]float64, st.train.Len())
 	for i, orig := range alive {
 		expanded[orig] = cur[i]
 	}
 	return expanded, nil
+}
+
+// installBase publishes a state holding externally supplied values at the
+// given version — how Resume and ReplayTo install history instead of
+// recomputing it. An empty sv leaves the session uninitialised.
+func (s *Session) installBase(sv []float64, version int) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	st := s.state.Load().next()
+	st.version = version
+	st.sv = append([]float64(nil), sv...)
+	st.initialized = len(sv) > 0
+	st.storesFresh = false
+	s.state.Store(st)
+}
+
+// ReplayTo deterministically reconstructs the session as of the given
+// version: a fresh session is built over the journal's base dataset with
+// this session's exact configuration, and every journaled update with
+// Version ≤ version is re-applied with its recorded (resolved) algorithm.
+// Operation randomness is keyed by (seed, version), so the returned
+// session's values are bit-identical to the ones this session published
+// at that version. The receiver is not modified — undo is
+// ReplayTo(Version()−1) followed by adopting the result.
+func (s *Session) ReplayTo(version int) (*Session, error) {
+	jst := s.journal.State()
+	base := 0
+	if len(jst.Entries) > 0 {
+		base = jst.Entries[0].Version - 1
+	}
+	last := base + len(jst.Entries)
+	if version < base || version > last {
+		return nil, fmt.Errorf("dynshap: version %d outside journal range [%d, %d]", version, base, last)
+	}
+	train := dataset.New(jst.Base)
+	if jst.Classes > train.Classes {
+		train.Classes = jst.Classes
+	}
+	s2 := newSessionFromConfig(train, s.test, s.trainer, s.cfg)
+	s2.journal = journal.New(jst.Base, jst.Classes, jst.BaseValues)
+	if len(jst.BaseValues) > 0 || base != 0 {
+		s2.installBase(jst.BaseValues, base)
+	}
+	for _, u := range jst.Entries {
+		if u.Version > version {
+			break
+		}
+		if err := s2.applyRecord(u); err != nil {
+			return nil, fmt.Errorf("dynshap: replay of version %d (%s/%s): %w", u.Version, u.Op, u.Algo, err)
+		}
+		if got := s2.Version(); got != u.Version {
+			return nil, fmt.Errorf("dynshap: replay drift: journal version %d produced state version %d", u.Version, got)
+		}
+	}
+	return s2, nil
+}
+
+// applyRecord re-executes one journaled update.
+func (s *Session) applyRecord(u UpdateRecord) error {
+	switch u.Op {
+	case "init":
+		return s.Init()
+	case "refresh":
+		return s.Refresh()
+	case "add":
+		algo, err := ParseAlgorithm(u.Algo)
+		if err != nil {
+			return err
+		}
+		_, err = s.Add(u.Points, algo)
+		return err
+	case "delete":
+		algo, err := ParseAlgorithm(u.Algo)
+		if err != nil {
+			return err
+		}
+		_, err = s.Delete(u.Indices, algo)
+		return err
+	default:
+		return fmt.Errorf("unknown journal op %q", u.Op)
+	}
 }

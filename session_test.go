@@ -476,7 +476,7 @@ func TestSnapshotValidation(t *testing.T) {
 	if _, err := ReadSnapshot(bytes.NewBufferString("{")); err == nil {
 		t.Fatal("truncated JSON should fail")
 	}
-	if _, err := ReadSnapshot(bytes.NewBufferString(`{"format":2}`)); err == nil {
+	if _, err := ReadSnapshot(bytes.NewBufferString(`{"format":3}`)); err == nil {
 		t.Fatal("unknown format should fail")
 	}
 	if _, err := ReadSnapshot(bytes.NewBufferString(`{"format":1,"train":[],"values":[1]}`)); err == nil {

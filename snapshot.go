@@ -7,18 +7,25 @@ import (
 	"os"
 
 	"dynshap/internal/dataset"
+	"dynshap/internal/journal"
 )
 
 // Snapshot is a serialisable record of a valuation session: the points, the
-// test set defining the utility, and the current Shapley estimates. It lets
-// a broker persist what it owes to whom and resume after a restart.
+// test set defining the utility, the current Shapley estimates, and — since
+// format 2 — the session configuration and the update journal. It lets a
+// broker persist what it owes to whom, resume after a restart, and replay
+// or audit the update history that produced the current values.
 //
-// Sampling state and the dynamic-update structures (LSV, stored
-// permutations, YN-NN arrays) are deliberately excluded: they are caches,
-// recomputed by Refresh, while the snapshot is the durable record.
+// The dynamic-update structures (LSV, stored permutations, YN-NN arrays)
+// are deliberately excluded: they are caches, recomputed by Refresh, while
+// the snapshot is the durable record.
 type Snapshot struct {
-	// Format identifies the snapshot schema; currently 1.
+	// Format identifies the snapshot schema. Format 2 adds Version, Config
+	// and Journal; format 1 files are still read (their missing fields
+	// resume to a history-less session with default options).
 	Format int `json:"format"`
+	// Version is the state version the snapshot captured (format ≥ 2).
+	Version int `json:"version,omitempty"`
 	// Train holds the valued points, index-aligned with Values.
 	Train []Point `json:"train"`
 	// Test holds the held-out points defining the utility.
@@ -27,23 +34,106 @@ type Snapshot struct {
 	Classes int `json:"classes"`
 	// Values holds the Shapley estimates (nil before Init).
 	Values []float64 `json:"values,omitempty"`
-	// Samples is the τ the estimates were computed with.
+	// Samples is the initialisation τ the estimates were computed with.
 	Samples int `json:"samples"`
+	// Config carries the session options format 1 silently dropped —
+	// multi-delete candidates, workers, target error, seed, … (format ≥ 2).
+	Config *SnapshotConfig `json:"config,omitempty"`
+	// Journal is the session's update log over its base dataset (format ≥ 2).
+	Journal *JournalState `json:"journal,omitempty"`
 }
 
-// Snapshot captures the session's durable state.
+// SnapshotConfig is the serialised session configuration. Zero values mean
+// "the session default", so a config round-trips through JSON omitempty
+// without drift.
+type SnapshotConfig struct {
+	UpdateSamples  int     `json:"update_samples,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+	KeepPerms      bool    `json:"keep_permutations,omitempty"`
+	TrackDeletions bool    `json:"track_deletions,omitempty"`
+	MultiDelete    int     `json:"multi_delete,omitempty"`
+	Candidates     []int   `json:"candidates,omitempty"`
+	TruncationTol  float64 `json:"truncation_tolerance,omitempty"`
+	HeuristicK     int     `json:"heuristic_k,omitempty"`
+	CacheDisabled  bool    `json:"cache_disabled,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+	TargetEps      float64 `json:"target_eps,omitempty"`
+	TargetDelta    float64 `json:"target_delta,omitempty"`
+}
+
+// snapshotConfig serialises a session config. Fields matching the
+// option-free defaults are zeroed so they omit from the JSON.
+func snapshotConfig(cfg config, n int) *SnapshotConfig {
+	def := defaultConfig(n)
+	sc := &SnapshotConfig{
+		Seed:           cfg.seed,
+		KeepPerms:      cfg.keepPerms,
+		TrackDeletions: cfg.trackDeletions,
+		MultiDelete:    cfg.multiDelete,
+		Candidates:     append([]int(nil), cfg.candidates...),
+		CacheDisabled:  !cfg.cacheEnabled,
+		Workers:        cfg.workers,
+		TargetEps:      cfg.targetEps,
+		TargetDelta:    cfg.targetDelta,
+	}
+	if cfg.updateTau != cfg.tau {
+		sc.UpdateSamples = cfg.updateTau
+	}
+	if cfg.truncationTol != def.truncationTol {
+		sc.TruncationTol = cfg.truncationTol
+	}
+	if cfg.knnK != def.knnK {
+		sc.HeuristicK = cfg.knnK
+	}
+	return sc
+}
+
+// apply overlays the persisted configuration onto cfg.
+func (sc *SnapshotConfig) apply(cfg *config) {
+	if sc.UpdateSamples > 0 {
+		cfg.updateTau = sc.UpdateSamples
+	}
+	if sc.Seed != 0 {
+		cfg.seed = sc.Seed
+	}
+	cfg.keepPerms = sc.KeepPerms
+	cfg.trackDeletions = sc.TrackDeletions
+	cfg.multiDelete = sc.MultiDelete
+	cfg.candidates = append([]int(nil), sc.Candidates...)
+	if sc.TruncationTol > 0 {
+		cfg.truncationTol = sc.TruncationTol
+	}
+	if sc.HeuristicK > 0 {
+		cfg.knnK = sc.HeuristicK
+	}
+	cfg.cacheEnabled = !sc.CacheDisabled
+	cfg.workers = sc.Workers
+	cfg.targetEps = sc.TargetEps
+	cfg.targetDelta = sc.TargetDelta
+}
+
+// Snapshot captures the session's durable state — a non-blocking read of
+// the latest published version, even while an update is in flight.
 func (s *Session) Snapshot() *Snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	train := s.train.Clone()
+	st := s.state.Load()
+	train := st.train.Clone()
 	test := s.test.Clone()
+	jst := s.journal.State()
+	// Wall time is run metadata, not replayable state: dropping it keeps
+	// snapshots byte-identical across runs with identical flags and seeds.
+	for i := range jst.Entries {
+		jst.Entries[i].Seconds = 0
+	}
 	return &Snapshot{
-		Format:  1,
+		Format:  2,
+		Version: st.version,
 		Train:   train.Points,
 		Test:    test.Points,
 		Classes: train.Classes,
-		Values:  append([]float64(nil), s.sv...),
+		Values:  append([]float64(nil), st.sv...),
 		Samples: s.cfg.tau,
+		Config:  snapshotConfig(s.cfg, train.Len()),
+		Journal: &jst,
 	}
 }
 
@@ -70,14 +160,14 @@ func (sn *Snapshot) Save(path string) error {
 	return f.Close()
 }
 
-// ReadSnapshot parses a JSON snapshot.
+// ReadSnapshot parses a JSON snapshot in format 1 or 2.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	var sn Snapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&sn); err != nil {
 		return nil, fmt.Errorf("dynshap: decoding snapshot: %w", err)
 	}
-	if sn.Format != 1 {
+	if sn.Format != 1 && sn.Format != 2 {
 		return nil, fmt.Errorf("dynshap: unsupported snapshot format %d", sn.Format)
 	}
 	if len(sn.Values) != 0 && len(sn.Values) != len(sn.Train) {
@@ -97,10 +187,14 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 }
 
 // Resume reconstructs a session from the snapshot. The returned session has
-// the recorded values installed and is immediately usable for AlgoDelta,
-// AlgoKNN, AlgoKNNPlus, AlgoBase and from-scratch updates; algorithms that
-// need maintained structures (AlgoPivotSame/Different, AlgoYNNN) require a
-// Refresh first.
+// the recorded values installed and is immediately usable for AlgoAuto,
+// AlgoDelta, AlgoKNN, AlgoKNNPlus, AlgoBase and from-scratch updates;
+// algorithms that need maintained structures (AlgoPivotSame/Different,
+// AlgoYNNN) require a Refresh first. Format-2 snapshots restore the
+// persisted configuration — including multi-delete candidates, workers and
+// target error, which format 1 dropped — plus the journal, so History and
+// ReplayTo keep working across the restart; explicit opts override the
+// persisted configuration.
 func (sn *Snapshot) Resume(trainer Trainer, opts ...Option) (*Session, error) {
 	if len(sn.Values) != 0 && len(sn.Values) != len(sn.Train) {
 		return nil, fmt.Errorf("dynshap: snapshot has %d values for %d points", len(sn.Values), len(sn.Train))
@@ -113,14 +207,36 @@ func (sn *Snapshot) Resume(trainer Trainer, opts ...Option) (*Session, error) {
 	if sn.Classes > test.Classes {
 		test.Classes = sn.Classes
 	}
-	opts = append([]Option{WithSamples(sn.Samples)}, opts...)
-	s := NewSession(train, test, trainer, opts...)
-	if len(sn.Values) > 0 {
-		s.mu.Lock()
-		s.sv = append([]float64(nil), sn.Values...)
-		s.initialized = true
-		s.storesFresh = false
-		s.mu.Unlock()
+	cfg := defaultConfig(train.Len())
+	if sn.Samples > 0 {
+		cfg.tau = sn.Samples
+	}
+	if sn.Config != nil {
+		sn.Config.apply(&cfg)
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := newSessionFromConfig(train, test, trainer, cfg)
+	// The resumed state version comes from the journal, never from the
+	// document's Version field: a mismatch between the two would corrupt the
+	// append-only version sequence.
+	version := 0
+	if sn.Journal != nil {
+		for i, u := range sn.Journal.Entries {
+			if u.Version != i+1 {
+				return nil, fmt.Errorf("dynshap: snapshot journal entry %d has version %d, want %d", i, u.Version, i+1)
+			}
+		}
+		s.journal = journal.Restore(*sn.Journal)
+		version = s.journal.LastVersion()
+	} else if len(sn.Values) > 0 {
+		// A format-1 snapshot has values but no history: record them as the
+		// journal's base so ReplayTo(0) reproduces the resume point.
+		s.journal = journal.New(train.Points, train.Classes, sn.Values)
+	}
+	if len(sn.Values) > 0 || version > 0 {
+		s.installBase(sn.Values, version)
 	}
 	return s, nil
 }

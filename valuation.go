@@ -63,6 +63,14 @@ func TopK(values []float64, k int) []int {
 	return out
 }
 
+// Rank returns the session's points ordered by decreasing current value —
+// a non-blocking read of the latest published state.
+func (s *Session) Rank() []Ranked { return Rank(s.state.Load().sv) }
+
+// TopK returns the indices of the session's k most valuable points under
+// the latest published values.
+func (s *Session) TopK(k int) []int { return TopK(s.state.Load().sv, k) }
+
 // Allocate distributes revenue over the data owners in proportion to their
 // positive Shapley values — the compensation rule of the paper's market
 // model. Owners with non-positive values receive zero (the zero-element

@@ -1,0 +1,510 @@
+package dynshap
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedClassifier is the trivial model gatedTrainer produces.
+type gatedClassifier struct{}
+
+func (gatedClassifier) Predict([]float64) int { return 0 }
+
+// gatedTrainer fits instantly until armed; once armed, every Fit call
+// blocks until release is closed (signalling entered on the first one).
+// It stands in for a deliberately slow model so tests can hold an update
+// mid-flight while probing the session's read paths.
+type gatedTrainer struct {
+	armed   sync.Mutex // guards gate flips against concurrent Fit calls
+	gate    bool
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func newGatedTrainer() *gatedTrainer {
+	return &gatedTrainer{
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gatedTrainer) arm() {
+	g.armed.Lock()
+	g.gate = true
+	g.armed.Unlock()
+}
+
+func (g *gatedTrainer) Fit(train *Dataset) Classifier {
+	g.armed.Lock()
+	blocked := g.gate
+	g.armed.Unlock()
+	if blocked {
+		g.once.Do(func() { close(g.entered) })
+		<-g.release
+	}
+	return gatedClassifier{}
+}
+
+// TestReadsDoNotBlockBehindUpdate holds an Add inside a model training and
+// asserts every read path still returns the previous published version.
+// Under the old single-mutex session this test deadlines: Values() would
+// queue behind the update's lock for as long as the training runs. Run
+// with -race, it also exercises the reader/writer memory safety of the
+// versioned store (including the formerly racy CacheStats).
+func TestReadsDoNotBlockBehindUpdate(t *testing.T) {
+	train, test := fixture(t, 8)
+	tr := newGatedTrainer()
+	s := NewSession(train, test, tr, WithSamples(40), WithSeed(5))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Values()
+	version := s.Version()
+
+	tr.arm()
+	addDone := make(chan error, 1)
+	go func() {
+		_, err := s.Add([]Point{{X: []float64{0, 0, 0, 0}, Y: 0}}, AlgoMonteCarlo)
+		addDone <- err
+	}()
+	select {
+	case <-tr.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("update never reached the trainer")
+	}
+
+	// The update is now parked inside Fit, holding the writer lock. Every
+	// read must complete against the last published state.
+	reads := make(chan struct{})
+	go func() {
+		defer close(reads)
+		if got := s.Values(); !reflect.DeepEqual(got, before) {
+			t.Errorf("mid-update Values = %v, want pre-update %v", got, before)
+		}
+		if got := s.Version(); got != version {
+			t.Errorf("mid-update Version = %d, want %d", got, version)
+		}
+		if got := s.N(); got != 8 {
+			t.Errorf("mid-update N = %d, want 8", got)
+		}
+		if sn := s.Snapshot(); len(sn.Train) != 8 || !reflect.DeepEqual(sn.Values, before) {
+			t.Errorf("mid-update Snapshot: %d points, values %v", len(sn.Train), sn.Values)
+		}
+		if r := s.Rank(); len(r) != 8 {
+			t.Errorf("mid-update Rank has %d entries", len(r))
+		}
+		if k := s.TopK(3); len(k) != 3 {
+			t.Errorf("mid-update TopK(3) = %v", k)
+		}
+		s.CacheStats()
+		s.EngineStats()
+		s.ModelTrainings()
+		s.PrefixAdds()
+		if h := s.History(); len(h) != 1 {
+			t.Errorf("mid-update History has %d entries, want 1", len(h))
+		}
+	}()
+	select {
+	case <-reads:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reads blocked behind the in-flight update")
+	}
+	select {
+	case err := <-addDone:
+		t.Fatalf("Add returned (%v) before the trainer was released", err)
+	default:
+	}
+
+	close(tr.release)
+	if err := <-addDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Version(); got != version+1 {
+		t.Fatalf("post-update Version = %d, want %d", got, version+1)
+	}
+	if got := s.N(); got != 9 {
+		t.Fatalf("post-update N = %d, want 9", got)
+	}
+}
+
+// TestReplayToReproducesEveryVersion drives a session through init, both
+// addition families, and a deletion, then checks ReplayTo returns
+// bit-identical value vectors at every recorded version.
+func TestReplayToReproducesEveryVersion(t *testing.T) {
+	s := newTestSession(t, 10,
+		WithKeepPermutations(), WithTrackDeletions(), WithUpdateSamples(80))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	extra := IrisLike(4, 99)
+	extra.Standardize()
+	if _, err := s.Add(extra.Points[:1], AlgoPivotSame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(extra.Points[1:2], AlgoDelta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete([]int{2}, AlgoDelta); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[int][]float64{}
+	for v := 1; v <= s.Version(); v++ {
+		rec, err := s.At(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Version != v {
+			t.Fatalf("At(%d).Version = %d", v, rec.Version)
+		}
+		rep, err := s.ReplayTo(v)
+		if err != nil {
+			t.Fatalf("ReplayTo(%d): %v", v, err)
+		}
+		want[v] = rep.Values()
+		if rep.Version() != v {
+			t.Fatalf("ReplayTo(%d).Version() = %d", v, rep.Version())
+		}
+	}
+	// The final replayed version must equal the live session bit for bit.
+	if !reflect.DeepEqual(want[s.Version()], s.Values()) {
+		t.Fatalf("replayed head %v != live values %v", want[s.Version()], s.Values())
+	}
+	// Replaying twice is pure: identical vectors again, at every version.
+	for v := 1; v <= s.Version(); v++ {
+		rep, err := s.ReplayTo(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep.Values(), want[v]) {
+			t.Fatalf("second replay of version %d diverged", v)
+		}
+	}
+	// Version 0 is the uninitialised base.
+	rep, err := s.ReplayTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values() != nil || rep.Version() != 0 {
+		t.Fatalf("ReplayTo(0): values %v, version %d", rep.Values(), rep.Version())
+	}
+	if _, err := s.ReplayTo(s.Version() + 1); err == nil {
+		t.Fatal("ReplayTo past the journal head should fail")
+	}
+}
+
+// TestAlgoAutoResolution checks the planner's headline behaviours end to
+// end: exact YN-NN merge while the arrays are fresh, delta once they are
+// stale, pivot replay for additions with retained permutations — each
+// visible in History with the decision trace.
+func TestAlgoAutoResolution(t *testing.T) {
+	s := newTestSession(t, 10, WithKeepPermutations(), WithTrackDeletions())
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh arrays: Auto must resolve the first deletion exactly.
+	autoSV, err := s.Delete([]int{3}, AlgoAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.At(s.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Requested != "Auto" || rec.Algo != "YN-NN" {
+		t.Fatalf("fresh delete journaled as %q→%q, want Auto→YN-NN", rec.Requested, rec.Algo)
+	}
+	if len(rec.Decision) == 0 || !strings.Contains(strings.Join(rec.Decision, " "), "fresh") {
+		t.Fatalf("missing decision trace: %v", rec.Decision)
+	}
+	if rec.Trainings != 0 {
+		t.Fatalf("exact merge cost %d trainings", rec.Trainings)
+	}
+	// Cross-check exactness against an explicit AlgoYNNN run on a twin.
+	twin := newTestSession(t, 10, WithKeepPermutations(), WithTrackDeletions())
+	if err := twin.Init(); err != nil {
+		t.Fatal(err)
+	}
+	exactSV, err := twin.Delete([]int{3}, AlgoYNNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(autoSV, exactSV) {
+		t.Fatalf("Auto's exact merge %v != explicit YN-NN %v", autoSV, exactSV)
+	}
+
+	// A later deletion has no arrays left at all (deletes drop them): Auto
+	// must fall back to delta, not error.
+	if _, err := s.Delete([]int{1}, AlgoAuto); err != nil {
+		t.Fatalf("Auto without arrays: %v (explicit YN-NN would give ErrStaleStores)", err)
+	}
+	rec, err = s.At(s.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != "Delta" {
+		t.Fatalf("delete without arrays resolved to %q, want Delta", rec.Algo)
+	}
+
+	// An addition stales the arrays without dropping them: Auto's trace
+	// must call the staleness out before falling back.
+	stale := newTestSession(t, 10, WithTrackDeletions())
+	if err := stale.Init(); err != nil {
+		t.Fatal(err)
+	}
+	pt0 := Point{X: []float64{0.1, -0.2, 0.3, 0}, Y: 1}
+	if _, err := stale.Add([]Point{pt0}, AlgoDelta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.Delete([]int{1}, AlgoAuto); err != nil {
+		t.Fatalf("Auto on stale stores: %v", err)
+	}
+	rec, err = stale.At(stale.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != "Delta" {
+		t.Fatalf("stale delete resolved to %q, want Delta", rec.Algo)
+	}
+	if !strings.Contains(strings.Join(rec.Decision, " "), "stale") {
+		t.Fatalf("trace should explain the staleness fallback: %v", rec.Decision)
+	}
+	// The explicit path still enforces the paper's precondition.
+	if _, err := stale.Delete([]int{0}, AlgoYNNN); err != ErrStaleStores {
+		t.Fatalf("explicit YN-NN on stale stores: %v, want ErrStaleStores", err)
+	}
+
+	// Additions with retained permutations: pivot replay.
+	add := newTestSession(t, 10, WithKeepPermutations())
+	if err := add.Init(); err != nil {
+		t.Fatal(err)
+	}
+	pt := Point{X: []float64{0.1, -0.2, 0.3, 0}, Y: 1}
+	if _, err := add.Add([]Point{pt}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = add.At(add.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != "Pivot-s" {
+		t.Fatalf("add with retained perms resolved to %q, want Pivot-s", rec.Algo)
+	}
+	// Without permutations the planner prefers delta.
+	noPerms := newTestSession(t, 10)
+	if err := noPerms.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noPerms.Add([]Point{pt}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = noPerms.At(noPerms.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != "Delta" {
+		t.Fatalf("add without perms resolved to %q, want Delta", rec.Algo)
+	}
+}
+
+// TestAlgoAutoMultiDelete checks Auto uses the YNN-NNN arrays for covered
+// candidate tuples and falls back for uncovered ones.
+func TestAlgoAutoMultiDelete(t *testing.T) {
+	s := newTestSession(t, 8, WithTrackDeletions(), WithMultiDelete(2, []int{1, 3, 5}))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete([]int{5, 1}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.At(s.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != "YN-NN" {
+		t.Fatalf("covered tuple resolved to %q, want YN-NN", rec.Algo)
+	}
+
+	s2 := newTestSession(t, 8, WithTrackDeletions(), WithMultiDelete(2, []int{1, 3, 5}))
+	if err := s2.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Delete([]int{0, 2}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = s2.At(s2.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != "Delta" {
+		t.Fatalf("uncovered tuple resolved to %q, want Delta", rec.Algo)
+	}
+	if !strings.Contains(strings.Join(rec.Decision, " "), "candidate") {
+		t.Fatalf("trace should explain the coverage miss: %v", rec.Decision)
+	}
+}
+
+// TestSnapshotFormat1Compat loads a hand-written format-1 document — the
+// schema earlier releases produced — and checks it resumes into a working,
+// replayable session.
+func TestSnapshotFormat1Compat(t *testing.T) {
+	v1 := `{
+	  "format": 1,
+	  "train": [
+	    {"X": [0.1, 0.2], "Y": 0},
+	    {"X": [0.9, 0.8], "Y": 1},
+	    {"X": [0.2, 0.1], "Y": 0}
+	  ],
+	  "test": [
+	    {"X": [0.15, 0.25], "Y": 0},
+	    {"X": [0.85, 0.75], "Y": 1}
+	  ],
+	  "classes": 2,
+	  "values": [0.25, 0.5, 0.25],
+	  "samples": 60
+	}`
+	sn, err := ReadSnapshot(bytes.NewBufferString(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sn.Resume(KNNClassifier{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Values(), []float64{0.25, 0.5, 0.25}) {
+		t.Fatalf("resumed values = %v", s.Values())
+	}
+	if s.Version() != 0 || len(s.History()) != 0 {
+		t.Fatalf("format-1 resume: version %d, %d history entries", s.Version(), len(s.History()))
+	}
+	// The resume point is replayable as version 0.
+	rep, err := s.ReplayTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Values(), s.Values()) {
+		t.Fatalf("ReplayTo(0) after v1 resume = %v", rep.Values())
+	}
+	// And the session accepts updates, journaling from version 1.
+	if _, err := s.Delete([]int{2}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 1 || len(s.History()) != 1 {
+		t.Fatalf("post-update: version %d, %d history entries", s.Version(), len(s.History()))
+	}
+}
+
+// TestSnapshotFormat2RoundTrip checks the new format persists what v1
+// dropped — the journal and the session configuration, multi-delete
+// candidates included — and that Resume restores all of it.
+func TestSnapshotFormat2RoundTrip(t *testing.T) {
+	train, test := fixture(t, 8)
+	s := NewSession(train, test, KNNClassifier{K: 3},
+		WithSamples(240), WithSeed(3), WithHeuristicK(3),
+		WithTrackDeletions(), WithMultiDelete(2, []int{0, 1, 2}),
+		WithWorkers(2), WithTargetError(0.05, 0.1))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add([]Point{{X: []float64{0, 0, 0, 0}, Y: 0}}, AlgoDelta); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := s.Snapshot().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Format != 2 || sn.Version != 2 {
+		t.Fatalf("snapshot format %d version %d, want 2/2", sn.Format, sn.Version)
+	}
+	if sn.Config == nil || sn.Config.MultiDelete != 2 || !reflect.DeepEqual(sn.Config.Candidates, []int{0, 1, 2}) {
+		t.Fatalf("config lost in serialisation: %+v", sn.Config)
+	}
+	if sn.Journal == nil || len(sn.Journal.Entries) != 2 {
+		t.Fatalf("journal lost in serialisation: %+v", sn.Journal)
+	}
+
+	r, err := sn.Resume(KNNClassifier{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != 2 {
+		t.Fatalf("resumed version = %d, want 2", r.Version())
+	}
+	if !reflect.DeepEqual(r.Values(), s.Values()) {
+		t.Fatalf("resumed values %v != original %v", r.Values(), s.Values())
+	}
+	if len(r.History()) != 2 {
+		t.Fatalf("resumed history has %d entries, want 2", len(r.History()))
+	}
+	// The journal survives: historical versions replay on the resumed side.
+	rep, err := r.ReplayTo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version() != 1 || len(rep.Values()) != 8 {
+		t.Fatalf("replay on resumed session: version %d, %d values", rep.Version(), len(rep.Values()))
+	}
+	// The multi-delete candidate set survives: after a Refresh, an exact
+	// two-point candidate deletion works — with format 1 this configuration
+	// was silently dropped and the same call failed.
+	if err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delete([]int{0, 2}, AlgoYNNN); err != nil {
+		t.Fatalf("multi-delete after resume+refresh: %v", err)
+	}
+	// The next journal version continues from the resumed head.
+	if r.Version() != 4 {
+		t.Fatalf("version after refresh+delete = %d, want 4", r.Version())
+	}
+}
+
+// TestUndoViaReplay checks the documented undo idiom: ReplayTo(v−1)
+// produces the pre-update session.
+func TestUndoViaReplay(t *testing.T) {
+	s := newTestSession(t, 8, WithUpdateSamples(60))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Values()
+	if _, err := s.Delete([]int{4}, AlgoDelta); err != nil {
+		t.Fatal(err)
+	}
+	undone, err := s.ReplayTo(s.Version() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(undone.Values(), before) {
+		t.Fatalf("undo values %v != pre-delete %v", undone.Values(), before)
+	}
+	if undone.N() != 8 {
+		t.Fatalf("undo N = %d, want 8", undone.N())
+	}
+}
+
+// TestParseAlgorithm checks the name round-trip the journal and CLI rely on.
+func TestParseAlgorithm(t *testing.T) {
+	for a := AlgoMonteCarlo; a <= AlgoAuto; a++ {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("ParseAlgorithm(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+	if _, err := ParseAlgorithm("nonsense"); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+}
