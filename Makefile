@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet cover bench examples experiments clean
+.PHONY: all build test lint vet cover bench profile examples experiments clean
 
 all: build lint test
 
@@ -44,6 +44,13 @@ cover:
 # (ns/op, allocations, engine fill throughput) for regression diffing.
 bench:
 	$(GO) run ./cmd/benchsnap
+
+# Capture a CPU profile of the n = 300 KNN preprocessing walk
+# (BenchmarkPreprocessDeletionKNNN300) into cpu.out for hot-path analysis.
+# Read it with `go tool pprof cpu.out`; see CONTRIBUTING for a walkthrough.
+profile:
+	$(GO) test -run NONE -bench BenchmarkPreprocessDeletionKNNN300 -benchtime 10x -cpuprofile cpu.out .
+	@echo "wrote cpu.out — inspect with: $(GO) tool pprof -top cpu.out"
 
 # Regenerate the paper's tables and figures at laptop scale.
 experiments:

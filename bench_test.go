@@ -436,3 +436,137 @@ func BenchmarkParallelMCWarmedCache(b *testing.B) {
 		core.MonteCarloParallel(c, 120, 0, rng.New(5))
 	}
 }
+
+// Distance-kernel layer: the kernel precomputes the m×n test-to-train
+// distance matrix once, so the per-permutation preprocessing walk reads a
+// contiguous column per added point instead of recomputing m Euclidean
+// distances. The pair below measures the same walk with and without it;
+// TestDistanceKernelSpeedup enforces the acceptance bound.
+
+// kernelWalkPair builds the same n-point KNN workload twice — kernel-backed
+// and scratch — over a 16-dimensional synthetic set, where the eliminated
+// Euclidean work (16 multiply-adds plus a sqrt per candidate) dominates the
+// shared window maintenance.
+func kernelWalkPair(n int) (withKernel, scratch *utility.ModelUtility) {
+	rnd := rng.New(2026)
+	pool := dataset.TwoGaussians(rnd, n+80, 16, 4)
+	pool.Standardize()
+	train, test := pool.Split(float64(n) / float64(n+80))
+	withKernel = utility.NewModelUtility(train, test, ml.KNN{K: 5})
+	scratch = utility.NewModelUtility(train, test, ml.KNN{K: 5}, utility.WithoutKernel())
+	return withKernel, scratch
+}
+
+func benchKernelWalk(b *testing.B, u *utility.ModelUtility, n int) {
+	ev := game.PrefixEvaluatorOf(u)
+	if ev == nil {
+		b.Fatal("KNN utility lost the Prefixer capability")
+	}
+	perm := rng.New(7).PermN(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Reset()
+		for _, p := range perm {
+			ev.Add(p)
+		}
+	}
+}
+
+func BenchmarkKNNWalkKernelN200(b *testing.B) {
+	u, _ := kernelWalkPair(200)
+	benchKernelWalk(b, u, 200)
+}
+
+func BenchmarkKNNWalkNoKernelN200(b *testing.B) {
+	_, u := kernelWalkPair(200)
+	benchKernelWalk(b, u, 200)
+}
+
+// Initialisation end to end: Session.Init at n = 200 (τ = 200) with the
+// kernel versus forced scratch evaluation, the ISSUE 4 "preprocessing at
+// n≈200" target. The kernel build itself is on the timer — it is part of
+// what Init costs.
+func benchInitialize(b *testing.B, opts ...dynshap.Option) {
+	rnd := rng.New(2026)
+	pool := dataset.TwoGaussians(rnd, 280, 16, 4)
+	pool.Standardize()
+	train, test := pool.Split(float64(200) / 280)
+	opts = append(opts, dynshap.WithSamples(200), dynshap.WithSeed(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 5}, opts...)
+		if err := s.Init(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInitializeKNNKernelN200(b *testing.B) { benchInitialize(b) }
+
+func BenchmarkInitializeKNNScratchN200(b *testing.B) {
+	benchInitialize(b, dynshap.WithoutDistanceKernel())
+}
+
+// PreprocessDeletion over a kernel-backed KNN utility at n = 300 — the
+// workload `make profile` captures a CPU profile of (see CONTRIBUTING).
+func BenchmarkPreprocessDeletionKNNN300(b *testing.B) {
+	u, _ := kernelWalkPair(300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.PreprocessDeletion(u, 100, rng.New(11))
+	}
+}
+
+// TestDistanceKernelSpeedup enforces ISSUE 4's acceptance bound: at
+// n ≈ 200 the kernel-backed preprocessing walk must beat the scratch walk
+// by at least 2×. Both arms share the incremental window and vote
+// maintenance; the kernel arm replaces the per-step Euclidean column with
+// a precomputed read, so the real ratio is far above the bound. Skipped on
+// single-core machines, whose schedulers make wall-clock ratios too noisy
+// to gate on.
+func TestDistanceKernelSpeedup(t *testing.T) {
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		t.Skipf("need at least 2 CPUs for a stable timing ratio, have %d", p)
+	}
+	const n = 200
+	uKernel, uScratch := kernelWalkPair(n)
+	evKernel := game.PrefixEvaluatorOf(uKernel)
+	evScratch := game.PrefixEvaluatorOf(uScratch)
+	if evKernel == nil || evScratch == nil {
+		t.Fatal("KNN utility lost the Prefixer capability")
+	}
+	perms := make([][]int, 5)
+	src := rng.New(7)
+	for i := range perms {
+		perms[i] = src.PermN(n)
+	}
+	walk := func(ev game.PrefixEvaluator) {
+		for _, perm := range perms {
+			ev.Reset()
+			for _, p := range perm {
+				ev.Add(p)
+			}
+		}
+	}
+	// Warm up once each (window allocation, cache effects), then time.
+	walk(evKernel)
+	walk(evScratch)
+	const reps = 3
+	startKernel := time.Now()
+	for i := 0; i < reps; i++ {
+		walk(evKernel)
+	}
+	kernelSecs := time.Since(startKernel).Seconds()
+	startScratch := time.Now()
+	for i := 0; i < reps; i++ {
+		walk(evScratch)
+	}
+	scratchSecs := time.Since(startScratch).Seconds()
+	if kernelSecs*2 > scratchSecs {
+		t.Fatalf("kernel walk only %.2f× faster than scratch (kernel %.4fs, scratch %.4fs), want ≥2×",
+			scratchSecs/kernelSecs, kernelSecs, scratchSecs)
+	}
+}

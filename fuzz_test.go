@@ -5,6 +5,12 @@ import (
 	"testing"
 
 	"dynshap"
+	"dynshap/internal/bitset"
+	"dynshap/internal/dataset"
+	"dynshap/internal/game"
+	"dynshap/internal/ml"
+	"dynshap/internal/rng"
+	"dynshap/internal/utility"
 )
 
 // FuzzReadSnapshot asserts the snapshot parser never panics and that
@@ -31,6 +37,89 @@ func FuzzReadSnapshot(f *testing.F) {
 		var buf bytes.Buffer
 		if _, err := sn.WriteTo(&buf); err != nil {
 			t.Fatalf("accepted snapshot failed to serialise: %v", err)
+		}
+	})
+}
+
+// FuzzKernelScratchEquality asserts the distance kernel's bit-identity
+// contract on fuzzer-chosen workloads: a kernel-backed ModelUtility must
+// equal a scratch one with ==, no tolerance, on random datasets and
+// coalitions — including duplicated training points, whose exact distance
+// ties stress the (distance, index) tiebreak — through Value calls, prefix
+// walks, and Append/Remove derivation. Seeds run as regular tests; use
+// `go test -fuzz FuzzKernelScratchEquality .` for guided exploration.
+func FuzzKernelScratchEquality(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(6), uint8(4), uint8(3), uint8(2))
+	f.Add(uint64(42), uint8(1), uint8(1), uint8(1), uint8(1), uint8(0))
+	f.Add(uint64(7), uint8(23), uint8(11), uint8(7), uint8(8), uint8(5))
+	f.Add(uint64(99), uint8(5), uint8(0), uint8(2), uint8(4), uint8(3)) // empty test set
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw, dimRaw, kRaw, dupRaw uint8) {
+		n := 1 + int(nRaw)%24
+		m := int(mRaw) % 12
+		dim := 1 + int(dimRaw)%8
+		k := 1 + int(kRaw)%8
+		dup := int(dupRaw) % 6
+
+		r := rng.New(seed)
+		mk := func(count int) *dataset.Dataset {
+			pts := make([]dataset.Point, count)
+			for i := range pts {
+				x := make([]float64, dim)
+				for j := range x {
+					// Coarse grid coordinates make cross-point distance
+					// ties likely, not just the duplicated-point ones.
+					x[j] = float64(r.Intn(7)) / 2
+				}
+				pts[i] = dataset.Point{X: x, Y: r.Intn(3)}
+			}
+			d := dataset.New(pts)
+			d.Classes = 3
+			return d
+		}
+		train, test := mk(n), mk(m)
+		for i := 0; i < dup; i++ {
+			train = train.Append(train.Points[r.Intn(train.Len())])
+		}
+		n = train.Len()
+
+		u := utility.NewModelUtility(train, test, ml.KNN{K: k})
+		us := utility.NewModelUtility(train, test, ml.KNN{K: k}, utility.WithoutKernel())
+
+		compare := func(stage string, a, b *utility.ModelUtility) {
+			t.Helper()
+			nn := a.N()
+			for rep := 0; rep < 6; rep++ {
+				s := bitset.New(nn)
+				for i := 0; i < nn; i++ {
+					if r.Intn(2) == 0 {
+						s.Add(i)
+					}
+				}
+				if got, want := a.Value(s), b.Value(s); got != want {
+					t.Fatalf("%s: kernel Value %v, scratch Value %v (|S|=%d)", stage, got, want, s.Len())
+				}
+			}
+			ev := game.PrefixEvaluatorOf(a)
+			perm := r.PermN(nn)
+			prefix := bitset.New(nn)
+			ev.Reset()
+			for _, p := range perm {
+				prefix.Add(p)
+				if got, want := ev.Add(p), b.Value(prefix); got != want {
+					t.Fatalf("%s: kernel prefix %v, scratch Value %v", stage, got, want)
+				}
+			}
+		}
+		compare("base", u, us)
+
+		extra := mk(2)
+		u2, us2 := u.Append(extra.Points...), us.Append(extra.Points...)
+		compare("append", u2, us2)
+
+		gone := []int{r.Intn(u2.N())}
+		u3, us3 := u2.Remove(gone...), us2.Remove(gone...)
+		if u3.N() > 0 {
+			compare("remove", u3, us3)
 		}
 	})
 }

@@ -122,6 +122,12 @@ type EngineStats struct {
 	// time of the pass, together giving the fill throughput.
 	Updates int64
 	Seconds float64
+	// KernelBytes is the heap footprint of the utility's precomputed
+	// distance kernel when the pass ran against one (0 otherwise). The
+	// engine itself is game-agnostic; owners that pair it with a
+	// kernel-backed utility — the session — fill this in when publishing,
+	// so large-n runs can see the m×n matrix in their accounting.
+	KernelBytes int64
 }
 
 // Throughput returns the fill rate in array updates per second (0 for

@@ -90,6 +90,12 @@ type SoftKNNUtility struct {
 	train *dataset.Dataset
 	test  *dataset.Dataset
 	k     int
+	// kernel precomputes every test-to-train distance once. The scratch
+	// code computed Euclidean(train.X, test.X); the kernel stores
+	// Euclidean(test.X, train.X) — identical bits, since (a−b)² and (b−a)²
+	// coincide exactly in IEEE arithmetic — so Value is unchanged
+	// bit-for-bit (sort.Slice is deterministic on identical input).
+	kernel *dataset.DistanceKernel
 }
 
 // NewSoftKNNUtility builds the soft k-NN utility game. Datasets are cloned.
@@ -97,7 +103,9 @@ func NewSoftKNNUtility(train, test *dataset.Dataset, k int) *SoftKNNUtility {
 	if k <= 0 {
 		k = 5
 	}
-	return &SoftKNNUtility{train: train.Clone(), test: test.Clone(), k: k}
+	u := &SoftKNNUtility{train: train.Clone(), test: test.Clone(), k: k}
+	u.kernel = dataset.NewDistanceKernel(u.test, u.train, 0)
+	return u
 }
 
 // N implements game.Game.
@@ -115,10 +123,11 @@ func (u *SoftKNNUtility) Value(s bitset.Set) float64 {
 		y    int
 	}
 	cands := make([]cand, 0, len(members))
-	for _, t := range u.test.Points {
+	for ti := range u.test.Points {
+		t := &u.test.Points[ti]
 		cands = cands[:0]
 		for _, i := range members {
-			cands = append(cands, cand{dist: dataset.Euclidean(u.train.Points[i].X, t.X), y: u.train.Points[i].Y})
+			cands = append(cands, cand{dist: u.kernel.At(i, ti), y: u.train.Points[i].Y})
 		}
 		sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
 		kk := u.k

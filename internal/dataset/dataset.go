@@ -196,10 +196,29 @@ func Euclidean(a, b []float64) float64 {
 // closest to x in Euclidean distance, in increasing distance order.
 // If k exceeds the dataset size, all indices are returned.
 func (d *Dataset) Nearest(x []float64, k int) []int {
-	type cand struct {
-		idx  int
-		dist float64
+	var s NearestScratch
+	got := d.NearestWith(&s, x, k)
+	if got == nil {
+		return nil
 	}
+	return append([]int(nil), got...)
+}
+
+// NearestScratch holds the candidate window NearestWith selects into, so
+// repeated queries reuse one allocation. A scratch belongs to one caller
+// at a time; its zero value is ready to use.
+type NearestScratch struct {
+	dists []float64
+	idxs  []int
+}
+
+// NearestWith is Nearest with a caller-owned scratch window. The returned
+// slice aliases the scratch and is valid only until the next call with the
+// same scratch; callers that keep the result must copy it (Nearest does).
+// Selection is identical to Nearest: a sorted k-window where only a
+// strictly smaller distance displaces the current worst, so among equal
+// distances the earlier-scanned (smaller) index wins.
+func (d *Dataset) NearestWith(s *NearestScratch, x []float64, k int) []int {
 	if k > len(d.Points) {
 		k = len(d.Points)
 	}
@@ -208,28 +227,32 @@ func (d *Dataset) Nearest(x []float64, k int) []int {
 	}
 	// Simple selection keeping a sorted window of size k; datasets in this
 	// library are small enough that a k-window scan beats heap overhead.
-	window := make([]cand, 0, k)
+	if cap(s.dists) < k {
+		s.dists = make([]float64, k)
+		s.idxs = make([]int, k)
+	}
+	dists, idxs := s.dists[:k], s.idxs[:k]
+	size := 0
 	for i, p := range d.Points {
 		dist := Euclidean(x, p.X)
-		if len(window) < k || dist < window[len(window)-1].dist {
-			pos := len(window)
-			if len(window) < k {
-				window = append(window, cand{})
-			} else {
-				pos = k - 1
-			}
-			for pos > 0 && window[pos-1].dist > dist {
-				window[pos] = window[pos-1]
-				pos--
-			}
-			window[pos] = cand{idx: i, dist: dist}
+		if size == k && dist >= dists[size-1] {
+			continue
 		}
+		pos := size
+		if size < k {
+			size++
+		} else {
+			pos = k - 1
+		}
+		for pos > 0 && dists[pos-1] > dist {
+			dists[pos] = dists[pos-1]
+			idxs[pos] = idxs[pos-1]
+			pos--
+		}
+		dists[pos] = dist
+		idxs[pos] = i
 	}
-	out := make([]int, len(window))
-	for i, c := range window {
-		out[i] = c.idx
-	}
-	return out
+	return idxs[:size]
 }
 
 // ErrBadCSV reports a malformed CSV row.

@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"testing"
+
+	"dynshap/internal/rng"
+)
+
+func randomSets(seed uint64, m, n, dim int) (test, train *Dataset) {
+	r := rng.New(seed)
+	mk := func(count int) *Dataset {
+		pts := make([]Point, count)
+		for i := range pts {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = r.NormFloat64()
+			}
+			pts[i] = Point{X: x, Y: r.Intn(3)}
+		}
+		d := New(pts)
+		d.Classes = 3
+		return d
+	}
+	return mk(m), mk(n)
+}
+
+func checkKernel(t *testing.T, k *DistanceKernel, test, train *Dataset) {
+	t.Helper()
+	if k.Rows() != test.Len() || k.Cols() != train.Len() {
+		t.Fatalf("kernel is %d×%d, want %d×%d", k.Rows(), k.Cols(), test.Len(), train.Len())
+	}
+	for i := range train.Points {
+		col := k.Col(i)
+		for j := range test.Points {
+			want := Euclidean(test.Points[j].X, train.Points[i].X)
+			if col[j] != want {
+				t.Fatalf("Col(%d)[%d] = %v, want %v", i, j, col[j], want)
+			}
+			if got := k.At(i, j); got != want {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDistanceKernelMatchesEuclidean(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		for _, shape := range [][2]int{{1, 1}, {7, 13}, {20, 50}, {33, 97}} {
+			test, train := randomSets(11, shape[0], shape[1], 4)
+			k := NewDistanceKernel(test, train, workers)
+			checkKernel(t, k, test, train)
+		}
+	}
+}
+
+func TestDistanceKernelLargeParallelFill(t *testing.T) {
+	// Big enough to cross the serial-fill threshold so the worker split runs.
+	test, train := randomSets(5, 60, 600, 6)
+	serial := NewDistanceKernel(test, train, 1)
+	parallel := NewDistanceKernel(test, train, 4)
+	for i := 0; i < train.Len(); i++ {
+		for j := 0; j < test.Len(); j++ {
+			if serial.At(i, j) != parallel.At(i, j) {
+				t.Fatalf("fill differs at (%d,%d): serial %v parallel %v", i, j, serial.At(i, j), parallel.At(i, j))
+			}
+		}
+	}
+	checkKernel(t, parallel, test, train)
+}
+
+func TestDistanceKernelAppend(t *testing.T) {
+	test, full := randomSets(7, 9, 24, 4)
+	base := New(full.Points[:20])
+	base.Classes = full.Classes
+	k := NewDistanceKernel(test, base, 1)
+	k2 := k.Append(full.Points[20:]...)
+	checkKernel(t, k2, test, full)
+	// The receiver is a still-valid view of the smaller set.
+	checkKernel(t, k, test, base)
+}
+
+func TestDistanceKernelAppendGrowth(t *testing.T) {
+	test, train := randomSets(13, 6, 5, 3)
+	k := NewDistanceKernel(test, train, 1)
+	cur := train
+	for step := 0; step < 30; step++ {
+		_, extra := randomSets(uint64(100+step), 0, 1, 3)
+		cur = cur.Append(extra.Points...)
+		k = k.Append(extra.Points...)
+	}
+	checkKernel(t, k, test, cur)
+}
+
+func TestDistanceKernelBranchedAppend(t *testing.T) {
+	test, train := randomSets(3, 8, 10, 4)
+	_, extras := randomSets(99, 0, 3, 4)
+	base := NewDistanceKernel(test, train, 1)
+
+	// Two appends branch off the same base: the first claims spare capacity
+	// in place, the second must reallocate. Both must read correctly, and
+	// the base must be unaffected.
+	k1 := base.Append(extras.Points[0])
+	k2 := base.Append(extras.Points[1], extras.Points[2])
+	checkKernel(t, k1, test, train.Append(extras.Points[0]))
+	checkKernel(t, k2, test, train.Append(extras.Points[1], extras.Points[2]))
+	checkKernel(t, base, test, train)
+
+	// Chaining off a branch keeps working.
+	k3 := k1.Append(extras.Points[2])
+	checkKernel(t, k3, test, train.Append(extras.Points[0], extras.Points[2]))
+}
+
+func TestDistanceKernelRemove(t *testing.T) {
+	test, train := randomSets(17, 10, 15, 4)
+	k := NewDistanceKernel(test, train, 1)
+	for _, gone := range [][]int{{0}, {14}, {3, 7, 11}, {0, 1, 2, 3, 4}} {
+		kr := k.Remove(gone...)
+		checkKernel(t, kr, test, train.Remove(gone...))
+	}
+	// Remove then append: appended columns slot in after the survivors.
+	_, extra := randomSets(23, 0, 2, 4)
+	kr := k.Remove(2, 5).Append(extra.Points...)
+	checkKernel(t, kr, test, train.Remove(2, 5).Append(extra.Points...))
+	checkKernel(t, k, test, train)
+}
+
+func TestDistanceKernelEmptySets(t *testing.T) {
+	test, train := randomSets(29, 0, 4, 3)
+	k := NewDistanceKernel(test, train, 2)
+	if k.Rows() != 0 || k.Cols() != 4 {
+		t.Fatalf("empty-test kernel is %d×%d, want 0×4", k.Rows(), k.Cols())
+	}
+	_, extra := randomSets(31, 0, 1, 3)
+	k = k.Append(extra.Points...).Remove(0, 2)
+	if k.Cols() != 3 {
+		t.Fatalf("after append+remove Cols = %d, want 3", k.Cols())
+	}
+
+	testOnly, empty := randomSets(37, 5, 0, 3)
+	k2 := NewDistanceKernel(testOnly, empty, 2)
+	if k2.Cols() != 0 {
+		t.Fatalf("empty-train kernel has %d cols", k2.Cols())
+	}
+	_, one := randomSets(41, 0, 1, 3)
+	k2 = k2.Append(one.Points...)
+	checkKernel(t, k2, testOnly, empty.Append(one.Points...))
+}
+
+func TestDistanceKernelMemoryBytes(t *testing.T) {
+	test, train := randomSets(43, 12, 30, 4)
+	k := NewDistanceKernel(test, train, 1)
+	if got := k.MemoryBytes(); got < int64(12*30*8) {
+		t.Fatalf("MemoryBytes = %d, want at least %d for the 12×30 matrix", got, 12*30*8)
+	}
+	// Masking frees nothing: the physical buffer stays shared.
+	if kr := k.Remove(0, 1, 2); kr.MemoryBytes() >= k.MemoryBytes() {
+		// Only the 4-byte cols entries shrink; the float buffer is intact.
+		t.Fatalf("Remove changed the float buffer footprint: %d -> %d", k.MemoryBytes(), kr.MemoryBytes())
+	}
+}
+
+func TestNearestWithMatchesNearest(t *testing.T) {
+	_, train := randomSets(47, 0, 40, 4)
+	// Duplicate a few points so distance ties exercise the index tiebreak.
+	train = train.Append(train.Points[3], train.Points[17], train.Points[3])
+	queries, _ := randomSets(53, 10, 0, 4)
+	var s NearestScratch
+	for _, q := range queries.Points {
+		for _, k := range []int{0, 1, 3, 5, 40, 100} {
+			want := train.Nearest(q.X, k)
+			got := train.NearestWith(&s, q.X, k)
+			if len(want) != len(got) {
+				t.Fatalf("k=%d: len %d vs %d", k, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("k=%d: index %d differs: %d vs %d", k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -12,8 +12,10 @@ type KNN struct {
 }
 
 type knnModel struct {
-	train *dataset.Dataset
-	k     int
+	train   *dataset.Dataset
+	k       int
+	scratch dataset.NearestScratch
+	counts  []int
 }
 
 // Fit implements Trainer.
@@ -21,6 +23,22 @@ func (t KNN) Fit(train *dataset.Dataset) Classifier {
 	if train.Len() == 0 {
 		return Constant{Label: 0}
 	}
+	return t.fit(train.Clone())
+}
+
+// FitOwned is Fit minus the defensive clone: the caller transfers ownership
+// of train and must not mutate it afterwards. The utility layer uses it for
+// the coalition subsets it builds and immediately discards — cloning a
+// dataset the model is its only reader of would double every scratch
+// evaluation's allocation for nothing.
+func (t KNN) FitOwned(train *dataset.Dataset) Classifier {
+	if train.Len() == 0 {
+		return Constant{Label: 0}
+	}
+	return t.fit(train)
+}
+
+func (t KNN) fit(train *dataset.Dataset) Classifier {
 	k := t.K
 	if k == 0 {
 		k = 5
@@ -28,20 +46,25 @@ func (t KNN) Fit(train *dataset.Dataset) Classifier {
 	if k > train.Len() {
 		k = train.Len()
 	}
-	return &knnModel{train: train.Clone(), k: k}
+	return &knnModel{train: train, k: k, counts: make([]int, train.Classes)}
 }
 
 // Predict implements Classifier by majority vote among the k nearest
-// training points, ties broken toward the smaller label.
+// training points, ties broken toward the smaller label. The model reuses
+// an internal candidate window and vote table across calls, so a single
+// model must not serve concurrent Predict calls — fit one per goroutine
+// (the engine's evaluators already do).
 func (m *knnModel) Predict(x []float64) int {
-	neighbors := m.train.Nearest(x, m.k)
-	counts := make([]int, m.train.Classes)
+	neighbors := m.train.NearestWith(&m.scratch, x, m.k)
+	for c := range m.counts {
+		m.counts[c] = 0
+	}
 	for _, i := range neighbors {
-		counts[m.train.Points[i].Y]++
+		m.counts[m.train.Points[i].Y]++
 	}
 	best := 0
-	for l, c := range counts {
-		if c > counts[best] {
+	for l, c := range m.counts {
+		if c > m.counts[best] {
 			best = l
 		}
 	}

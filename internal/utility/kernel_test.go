@@ -1,0 +1,191 @@
+package utility
+
+import (
+	"testing"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/dataset"
+	"dynshap/internal/game"
+	"dynshap/internal/ml"
+	"dynshap/internal/rng"
+)
+
+// kernelPair builds the same KNN workload twice: once with the distance
+// kernel (the default) and once forced down the scratch path. Every test
+// in this file asserts the two arms agree with ==, no tolerance — the
+// kernel's bit-identity contract.
+func kernelPair(t *testing.T, n, testSize, k int, seed uint64, dup int) (withKernel, scratch *ModelUtility) {
+	t.Helper()
+	rnd := rng.New(seed)
+	pool := dataset.IrisLike(rnd, n+testSize)
+	pool.Standardize()
+	train, test := pool.Split(float64(n) / float64(n+testSize))
+	// Duplicate points create exact distance ties, stressing the
+	// (distance, index) tiebreak both arms must share.
+	for i := 0; i < dup && train.Len() > 0; i++ {
+		train = train.Append(train.Points[rnd.Intn(train.Len())])
+	}
+	withKernel = NewModelUtility(train, test, ml.KNN{K: k})
+	scratch = NewModelUtility(train, test, ml.KNN{K: k}, WithoutKernel())
+	if withKernel.kernel == nil {
+		t.Fatal("default KNN utility built no kernel")
+	}
+	if scratch.kernel != nil {
+		t.Fatal("WithoutKernel still built a kernel")
+	}
+	return withKernel, scratch
+}
+
+// TestKernelValueMatchesScratchExactly: random coalitions, random k,
+// duplicated points — kernel Value must equal scratch Value bit-for-bit.
+func TestKernelValueMatchesScratchExactly(t *testing.T) {
+	rnd := rng.New(42)
+	for trial := 0; trial < 25; trial++ {
+		baseN := 6 + rnd.Intn(20)
+		dup := rnd.Intn(5)
+		k := 1 + rnd.Intn(8)
+		u, us := kernelPair(t, baseN, 8+rnd.Intn(15), k, uint64(500+trial), dup)
+		n := u.N()
+		for rep := 0; rep < 15; rep++ {
+			s := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if rnd.Intn(2) == 0 {
+					s.Add(i)
+				}
+			}
+			if got, want := u.Value(s), us.Value(s); got != want {
+				t.Fatalf("trial %d rep %d k=%d |S|=%d: kernel %v, scratch %v",
+					trial, rep, k, s.Len(), got, want)
+			}
+		}
+	}
+}
+
+// The kernel-backed prefix evaluator and the scratch prefix evaluator must
+// produce identical sequences, and both must match scratch Values.
+func TestKernelPrefixMatchesScratchExactly(t *testing.T) {
+	rnd := rng.New(77)
+	for trial := 0; trial < 10; trial++ {
+		u, us := kernelPair(t, 10+rnd.Intn(15), 10, 1+rnd.Intn(7), uint64(900+trial), 3)
+		n := u.N()
+		ev := game.PrefixEvaluatorOf(u)
+		evs := game.PrefixEvaluatorOf(us)
+		for rep := 0; rep < 3; rep++ {
+			perm := rnd.PermN(n)
+			prefix := bitset.New(n)
+			ev.Reset()
+			evs.Reset()
+			for pos, p := range perm {
+				prefix.Add(p)
+				got := ev.Add(p)
+				noKernel := evs.Add(p)
+				want := us.Value(prefix)
+				if got != noKernel || got != want {
+					t.Fatalf("trial %d rep %d pos %d: kernel prefix %v, scratch prefix %v, scratch value %v",
+						trial, rep, pos, got, noKernel, want)
+				}
+			}
+		}
+	}
+}
+
+// Append/Remove chains must keep the masked/extended kernel bit-identical
+// to a scratch utility over the same mutated dataset — the property that
+// lets Session updates never rebuild the kernel.
+func TestKernelAppendRemoveChainsMatchScratch(t *testing.T) {
+	rnd := rng.New(1234)
+	for trial := 0; trial < 8; trial++ {
+		u, us := kernelPair(t, 12+rnd.Intn(10), 10, 1+rnd.Intn(6), uint64(300+trial), 2)
+		check := func(step string) {
+			t.Helper()
+			n := u.N()
+			if n != us.N() {
+				t.Fatalf("trial %d %s: N mismatch %d vs %d", trial, step, n, us.N())
+			}
+			ev := game.PrefixEvaluatorOf(u)
+			perm := rnd.PermN(n)
+			prefix := bitset.New(n)
+			ev.Reset()
+			for _, p := range perm {
+				prefix.Add(p)
+				if got, want := ev.Add(p), us.Value(prefix); got != want {
+					t.Fatalf("trial %d %s: prefix %v, scratch %v", trial, step, got, want)
+				}
+			}
+			for rep := 0; rep < 5; rep++ {
+				s := bitset.New(n)
+				for i := 0; i < n; i++ {
+					if rnd.Intn(3) > 0 {
+						s.Add(i)
+					}
+				}
+				if got, want := u.Value(s), us.Value(s); got != want {
+					t.Fatalf("trial %d %s: kernel %v, scratch %v", trial, step, got, want)
+				}
+			}
+		}
+		for step := 0; step < 6; step++ {
+			if rnd.Intn(2) == 0 || u.N() < 6 {
+				// Append, sometimes duplicating an existing point.
+				var p dataset.Point
+				if rnd.Intn(2) == 0 {
+					p = u.train.Points[rnd.Intn(u.N())].Clone()
+				} else {
+					p = dataset.Point{X: []float64{rnd.NormFloat64(), rnd.NormFloat64(), rnd.NormFloat64(), rnd.NormFloat64()}, Y: rnd.Intn(3)}
+				}
+				u = u.Append(p)
+				us = us.Append(p)
+				check("append")
+			} else {
+				gone := []int{rnd.Intn(u.N())}
+				if u.N() > 8 {
+					gone = append(gone, 0, u.N()-1)
+				}
+				u = u.Remove(gone...)
+				us = us.Remove(gone...)
+				check("remove")
+			}
+		}
+	}
+}
+
+// Branched derivations off one base utility (the pivot algorithms build
+// N⁺ views that may be abandoned) must not disturb each other.
+func TestKernelBranchedDerivationsIndependent(t *testing.T) {
+	u, us := kernelPair(t, 15, 10, 3, 8, 2)
+	extra := dataset.Point{X: []float64{1, 2, 3, 4}, Y: 1}
+	other := dataset.Point{X: []float64{-1, 0, 1, 0}, Y: 2}
+
+	a := u.Append(extra)
+	b := u.Append(other) // second branch off the same base
+	sa, sb := us.Append(extra), us.Append(other)
+
+	rnd := rng.New(17)
+	for _, pair := range []struct{ got, want *ModelUtility }{{a, sa}, {b, sb}, {u, us}} {
+		n := pair.got.N()
+		for rep := 0; rep < 10; rep++ {
+			s := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if rnd.Intn(2) == 0 {
+					s.Add(i)
+				}
+			}
+			if got, want := pair.got.Value(s), pair.want.Value(s); got != want {
+				t.Fatalf("branched utility diverged: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestKernelMemoryBytes(t *testing.T) {
+	u, us := kernelPair(t, 20, 10, 3, 5, 0)
+	if got := u.KernelMemoryBytes(); got < 20*10*8 {
+		t.Fatalf("KernelMemoryBytes = %d, want ≥ %d", got, 20*10*8)
+	}
+	if got := us.KernelMemoryBytes(); got != 0 {
+		t.Fatalf("scratch utility reports %d kernel bytes, want 0", got)
+	}
+	if got := NewModelUtility(u.Train(), u.Test(), ml.NaiveBayes{}).KernelMemoryBytes(); got != 0 {
+		t.Fatalf("non-KNN utility reports %d kernel bytes, want 0", got)
+	}
+}

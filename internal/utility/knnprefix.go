@@ -15,12 +15,29 @@ import (
 // selection rule of dataset.Nearest scanning a coalition subset in
 // increasing index order, so the maintained windows, votes, and accuracy
 // are bit-identical to a scratch ModelUtility.Value call on the same
-// coalition. One Add costs O(m·(d + k)) for m test points in d dimensions,
-// versus O(|S|·m·d) plus a dataset clone for a scratch evaluation.
+// coalition. Distances come from the utility's precomputed kernel when it
+// has one (one contiguous column read per Add) and are recomputed with
+// Euclidean otherwise; the two sources carry identical bits. Votes are
+// maintained incrementally — one increment for the entering member, one
+// decrement for the displaced one — instead of recounting the window, so
+// an Add costs O(m·(k + classes)) with the kernel, with no distance work
+// at all.
 type knnPrefix struct {
-	u *ModelUtility
-	k int
-	m int // number of test points
+	u       *ModelUtility
+	k       int
+	m       int // number of test points
+	classes int
+
+	// col is the distance source for the point being added: a kernel column
+	// when the utility has one, otherwise scratch filled with Euclidean
+	// calls at the top of Add.
+	kernel  *dataset.DistanceKernel
+	scratch []float64
+
+	// labels caches train/test labels as flat arrays so the hot loop never
+	// chases Point structs.
+	labels     []int32
+	testLabels []int32
 
 	// Per-test-point candidate windows, row-major m×k. Window j holds the
 	// min(|S|, k) nearest coalition members of test point j; row length is
@@ -29,13 +46,26 @@ type knnPrefix struct {
 	dists []float64
 	idxs  []int32
 
+	// worst/worstIdx cache each full window's tail entry — (dists, idxs)
+	// at row position k−1 — in two packed arrays, so the steady-state
+	// reject test ("not among the k nearest") reads two unit-stride values
+	// instead of striding across window rows. Written whenever a window's
+	// tail changes; read only once windows are full, so no initialisation
+	// is needed at Reset.
+	worst    []float64
+	worstIdx []int32
+
+	// votes is the row-major m×classes table of vote counts over the
+	// current windows. Integer counts updated by ±1 per membership change
+	// are exact, so the argmax below equals a full recount bit-for-bit.
+	votes []int32
+
 	// predCorrect[j] reports whether the current vote for test point j
 	// matches its label; correct is the running total.
 	predCorrect []bool
 	correct     int
 
-	size   int   // members added since Reset
-	counts []int // vote-counting scratch, one slot per class
+	size int // members added since Reset
 }
 
 // Prefix implements game.Prefixer. The capability is available only for the
@@ -55,15 +85,31 @@ func (u *ModelUtility) Prefix() game.PrefixEvaluator {
 		k = 5
 	}
 	m := u.test.Len()
-	return &knnPrefix{
+	e := &knnPrefix{
 		u:           u,
 		k:           k,
 		m:           m,
+		classes:     u.train.Classes,
+		kernel:      u.kernel,
+		labels:      make([]int32, u.train.Len()),
+		testLabels:  make([]int32, m),
 		dists:       make([]float64, m*k),
 		idxs:        make([]int32, m*k),
+		worst:       make([]float64, m),
+		worstIdx:    make([]int32, m),
+		votes:       make([]int32, m*u.train.Classes),
 		predCorrect: make([]bool, m),
-		counts:      make([]int, u.train.Classes),
 	}
+	for i, p := range u.train.Points {
+		e.labels[i] = int32(p.Y)
+	}
+	for j, p := range u.test.Points {
+		e.testLabels[j] = int32(p.Y)
+	}
+	if e.kernel == nil {
+		e.scratch = make([]float64, m)
+	}
+	return e
 }
 
 // PrefixAdds returns the number of incremental prefix evaluations served by
@@ -74,6 +120,11 @@ func (u *ModelUtility) PrefixAdds() int64 { return u.prefixAdds.Load() }
 func (e *knnPrefix) Reset() {
 	e.size = 0
 	e.correct = 0
+	// The windows restart empty (size gates how much of each row is live),
+	// but the vote table mirrors window contents and must restart at zero.
+	for i := range e.votes {
+		e.votes[i] = 0
+	}
 }
 
 // Add implements game.PrefixEvaluator: training point p joins the
@@ -85,40 +136,71 @@ func (e *knnPrefix) Add(p int) float64 {
 	if wlen > e.k {
 		wlen = e.k
 	}
-	px := e.u.train.Points[p].X
-	for j := 0; j < e.m; j++ {
-		tp := &e.u.test.Points[j]
-		d := dataset.Euclidean(tp.X, px)
-		if !e.insert(j, wlen, d, int32(p)) {
-			continue
+	var col []float64
+	if e.kernel != nil {
+		col = e.kernel.Col(p)
+	} else {
+		col = e.scratch
+		px := e.u.train.Points[p].X
+		for j := 0; j < e.m; j++ {
+			col[j] = dataset.Euclidean(e.u.test.Points[j].X, px)
 		}
-		// Window changed: recount the vote among its members. Ties break
-		// toward the smaller label, as in the scratch classifier.
-		for c := range e.counts {
-			e.counts[c] = 0
-		}
-		row := j * e.k
-		n := wlen + 1
-		if n > e.k {
-			n = e.k
-		}
-		for w := 0; w < n; w++ {
-			e.counts[e.u.train.Points[e.idxs[row+w]].Y]++
-		}
-		best := 0
-		for c, cnt := range e.counts {
-			if cnt > e.counts[best] {
-				best = c
+	}
+	pLabel := e.labels[p]
+	idx := int32(p)
+	if wlen == e.k {
+		// Steady state: every window is full. A candidate enters window j
+		// only if it beats the tail under the (distance, index) order —
+		// the rule dataset.Nearest's index-order scan implements
+		// implicitly: strictly smaller distance displaces, equal distance
+		// keeps the earlier (smaller) index. The packed tail cache decides
+		// the common rejection on two sequential loads.
+		for j := 0; j < e.m; j++ {
+			d := col[j]
+			if d > e.worst[j] || (d == e.worst[j] && idx > e.worstIdx[j]) {
+				continue
+			}
+			row := j * e.k
+			last := row + e.k - 1
+			displaced := e.idxs[last]
+			pos := e.k - 1
+			for pos > 0 && (e.dists[row+pos-1] > d || (e.dists[row+pos-1] == d && e.idxs[row+pos-1] > idx)) {
+				e.dists[row+pos] = e.dists[row+pos-1]
+				e.idxs[row+pos] = e.idxs[row+pos-1]
+				pos--
+			}
+			e.dists[row+pos] = d
+			e.idxs[row+pos] = idx
+			e.worst[j] = e.dists[last]
+			e.worstIdx[j] = e.idxs[last]
+			// A same-label swap leaves the vote row — and therefore the
+			// prediction — untouched: skipping the tally is exact.
+			if dl := e.labels[displaced]; dl != pLabel {
+				e.tally(j, pLabel, dl)
 			}
 		}
-		ok := best == tp.Y
-		if e.size > 1 && e.predCorrect[j] {
-			e.correct--
+	} else {
+		// Growing phase (the first k adds after Reset): windows are not
+		// full yet, so no candidate can be rejected — each slides into
+		// place and extends its window by one.
+		for j := 0; j < e.m; j++ {
+			d := col[j]
+			row := j * e.k
+			pos := wlen
+			for pos > 0 && (e.dists[row+pos-1] > d || (e.dists[row+pos-1] == d && e.idxs[row+pos-1] > idx)) {
+				e.dists[row+pos] = e.dists[row+pos-1]
+				e.idxs[row+pos] = e.idxs[row+pos-1]
+				pos--
+			}
+			e.dists[row+pos] = d
+			e.idxs[row+pos] = idx
+			if wlen+1 == e.k {
+				last := row + e.k - 1
+				e.worst[j] = e.dists[last]
+				e.worstIdx[j] = e.idxs[last]
+			}
+			e.tally(j, pLabel, -1)
 		}
-		if ok {
-			e.correct++
-		}
-		e.predCorrect[j] = ok
 	}
 	if e.m == 0 {
 		return 0 // matches ml.Accuracy on an empty test set
@@ -126,27 +208,29 @@ func (e *knnPrefix) Add(p int) float64 {
 	return float64(e.correct) / float64(e.m)
 }
 
-// insert places candidate (d, idx) into test point j's window of current
-// length wlen if it ranks among the k nearest under the (distance, index)
-// order, reporting whether the window changed. Equal distances prefer the
-// smaller original index — the rule dataset.Nearest's index-order scan
-// implements implicitly.
-func (e *knnPrefix) insert(j, wlen int, d float64, idx int32) bool {
-	row := j * e.k
-	pos := wlen
-	if wlen == e.k {
-		last := row + e.k - 1
-		if d > e.dists[last] || (d == e.dists[last] && idx > e.idxs[last]) {
-			return false
+// tally applies the membership change {+pLabel, −displacedLabel} (no
+// removal when displacedLabel is -1) to window j's vote row and refreshes
+// the prediction. Integer counts updated by ±1 are exact, so the argmax —
+// ties toward the smaller label, as in the scratch classifier — equals a
+// full recount bit-for-bit.
+func (e *knnPrefix) tally(j int, pLabel, displacedLabel int32) {
+	vrow := j * e.classes
+	e.votes[vrow+int(pLabel)]++
+	if displacedLabel >= 0 {
+		e.votes[vrow+int(displacedLabel)]--
+	}
+	best := 0
+	for c := 1; c < e.classes; c++ {
+		if e.votes[vrow+c] > e.votes[vrow+best] {
+			best = c
 		}
-		pos = e.k - 1
 	}
-	for pos > 0 && (e.dists[row+pos-1] > d || (e.dists[row+pos-1] == d && e.idxs[row+pos-1] > idx)) {
-		e.dists[row+pos] = e.dists[row+pos-1]
-		e.idxs[row+pos] = e.idxs[row+pos-1]
-		pos--
+	ok := int32(best) == e.testLabels[j]
+	if e.size > 1 && e.predCorrect[j] {
+		e.correct--
 	}
-	e.dists[row+pos] = d
-	e.idxs[row+pos] = idx
-	return true
+	if ok {
+		e.correct++
+	}
+	e.predCorrect[j] = ok
 }

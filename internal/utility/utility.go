@@ -30,6 +30,18 @@ type ModelUtility struct {
 	train   *dataset.Dataset
 	test    *dataset.Dataset
 	trainer ml.Trainer
+	// kernel caches every test-to-train Euclidean distance when the trainer
+	// is KNN, so Value and Prefix evaluations select neighbours by reading a
+	// matrix instead of recomputing m·|S| distances per coalition. Entries
+	// are the exact Euclidean values the scratch path would compute, and the
+	// selection code mirrors dataset.Nearest's tie order, so results are
+	// bit-identical with or without it (see DESIGN.md §12). Nil for other
+	// trainers or under WithoutKernel.
+	kernel *dataset.DistanceKernel
+	// knnK is the trainer's resolved neighbour count (0 when kernel is nil).
+	knnK     int
+	noKernel bool
+	workers  int
 	// EmptyValue is U(∅). The conventional choice — used here — is the
 	// accuracy of the trivial always-predict-0 model, so marginal
 	// contributions of first points are meaningful.
@@ -58,6 +70,21 @@ func WithEmptyValue(v float64) Option {
 	return func(u *ModelUtility) { u.emptyValue = v }
 }
 
+// WithoutKernel disables the precomputed distance kernel, trading the m×n
+// float64 matrix's memory for recomputing distances on every evaluation.
+// Values are bit-identical either way; this is purely a memory/speed knob
+// and the reference arm the kernel's equality tests compare against.
+func WithoutKernel() Option {
+	return func(u *ModelUtility) { u.noKernel = true }
+}
+
+// WithWorkers sets the worker count for the kernel's initial parallel fill.
+// Zero or negative means GOMAXPROCS. The fill is bit-identical at any
+// count; evaluation never spawns goroutines.
+func WithWorkers(workers int) Option {
+	return func(u *ModelUtility) { u.workers = workers }
+}
+
 // NewModelUtility builds the utility for valuing the points of train with
 // the given trainer, scored on test. Both datasets are cloned; later
 // mutation of the arguments does not affect the utility.
@@ -71,7 +98,27 @@ func NewModelUtility(train, test *dataset.Dataset, trainer ml.Trainer, opts ...O
 	for _, o := range opts {
 		o(u)
 	}
+	u.buildKernel()
 	return u
+}
+
+// buildKernel precomputes the distance kernel for KNN trainers. Built once
+// here; Session add/delete flows extend or mask it via Append/Remove and
+// never trigger a rebuild.
+func (u *ModelUtility) buildKernel() {
+	if u.noKernel {
+		return
+	}
+	tr, ok := u.trainer.(ml.KNN)
+	if !ok {
+		return
+	}
+	k := tr.K
+	if k == 0 {
+		k = 5
+	}
+	u.knnK = k
+	u.kernel = dataset.NewDistanceKernel(u.test, u.train, u.workers)
 }
 
 // N implements game.Game: the players are the training points.
@@ -86,10 +133,75 @@ func (u *ModelUtility) Value(s bitset.Set) float64 {
 		time.Sleep(u.delay)
 	}
 	u.fits.Add(1)
+	if u.kernel != nil {
+		return u.knnValue(s)
+	}
 	sub := u.train.Subset(s.Indices())
 	sub.Classes = u.train.Classes
 	model := u.seededFit(sub, s)
 	return ml.Accuracy(model, u.test)
+}
+
+// knnValue evaluates the KNN utility straight off the kernel: no subset
+// clone, no model object, same bits. It replays the scratch pipeline
+// exactly — Subset scans members in ascending index order, Fit clamps k to
+// |S|, Nearest's window admits a candidate only on strictly smaller
+// distance (ties keep the earlier index), majority vote ties toward the
+// smaller label, Accuracy divides correct by m — with kernel reads in place
+// of Euclidean calls. Only per-call locals are written, so concurrent
+// Value calls stay safe.
+func (u *ModelUtility) knnValue(s bitset.Set) float64 {
+	m := u.test.Len()
+	if m == 0 {
+		return 0 // ml.Accuracy's empty-test convention
+	}
+	members := s.Indices()
+	k := u.knnK
+	if k > len(members) {
+		k = len(members)
+	}
+	dists := make([]float64, k)
+	idxs := make([]int, k)
+	counts := make([]int, u.train.Classes)
+	correct := 0
+	for j := 0; j < m; j++ {
+		size := 0
+		for _, i := range members {
+			dist := u.kernel.At(i, j)
+			if size == k && dist >= dists[size-1] {
+				continue
+			}
+			pos := size
+			if size < k {
+				size++
+			} else {
+				pos = k - 1
+			}
+			for pos > 0 && dists[pos-1] > dist {
+				dists[pos] = dists[pos-1]
+				idxs[pos] = idxs[pos-1]
+				pos--
+			}
+			dists[pos] = dist
+			idxs[pos] = i
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for w := 0; w < size; w++ {
+			counts[u.train.Points[idxs[w]].Y]++
+		}
+		best := 0
+		for c, cnt := range counts {
+			if cnt > counts[best] {
+				best = c
+			}
+		}
+		if best == u.test.Points[j].Y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(m)
 }
 
 // seededFit trains with a seed derived from the coalition so U is a pure
@@ -102,6 +214,10 @@ func (u *ModelUtility) seededFit(sub *dataset.Dataset, s bitset.Set) ml.Classifi
 	case ml.LogReg:
 		tr.Seed = s.Hash()
 		return tr.Fit(sub)
+	case ml.KNN:
+		// The subset was built for this call and discarded after scoring —
+		// skip Fit's defensive clone.
+		return tr.FitOwned(sub)
 	default:
 		return u.trainer.Fit(sub)
 	}
@@ -124,13 +240,21 @@ func (u *ModelUtility) Test() *dataset.Dataset { return u.test.Clone() }
 // given points (the N⁺ view of the addition algorithms). The receiver is
 // unchanged; the test set is cloned — matching NewModelUtility's isolation
 // guarantee — and the trainer and options carry over.
+// The kernel rides along with one O(m·d) column append per point instead
+// of an O(m·n·d) rebuild.
 func (u *ModelUtility) Append(points ...dataset.Point) *ModelUtility {
 	nu := &ModelUtility{
 		train:      u.train.Append(points...),
 		test:       u.test.Clone(),
 		trainer:    u.trainer,
+		knnK:       u.knnK,
+		noKernel:   u.noKernel,
+		workers:    u.workers,
 		emptyValue: u.emptyValue,
 		delay:      u.delay,
+	}
+	if u.kernel != nil {
+		nu.kernel = u.kernel.Append(points...)
 	}
 	return nu
 }
@@ -139,13 +263,31 @@ func (u *ModelUtility) Append(points ...dataset.Point) *ModelUtility {
 // points at the given indices (the N⁻ view of the deletion algorithms).
 // Like Append, the test set is cloned so the derived utility shares no
 // mutable state with the receiver.
+// The kernel is masked, not rebuilt: surviving columns keep their storage
+// and only the logical index map shrinks.
 func (u *ModelUtility) Remove(indices ...int) *ModelUtility {
 	nu := &ModelUtility{
 		train:      u.train.Remove(indices...),
 		test:       u.test.Clone(),
 		trainer:    u.trainer,
+		knnK:       u.knnK,
+		noKernel:   u.noKernel,
+		workers:    u.workers,
 		emptyValue: u.emptyValue,
 		delay:      u.delay,
 	}
+	if u.kernel != nil {
+		nu.kernel = u.kernel.Remove(indices...)
+	}
 	return nu
+}
+
+// KernelMemoryBytes reports the distance kernel's heap footprint, 0 when
+// the utility has none. Views derived by Append/Remove may share one
+// physical buffer; each reports the full buffer it keeps resident.
+func (u *ModelUtility) KernelMemoryBytes() int64 {
+	if u.kernel == nil {
+		return 0
+	}
+	return u.kernel.MemoryBytes()
 }

@@ -107,6 +107,7 @@ type config struct {
 	knnK           int
 	knnPlus        core.KNNPlusConfig
 	cacheEnabled   bool
+	noKernel       bool
 	workers        int
 	targetEps      float64
 	targetDelta    float64
@@ -164,9 +165,18 @@ func WithKNNPlusConfig(cfg KNNPlusConfig) Option {
 // claims assume the cache.
 func WithoutCache() Option { return func(c *config) { c.cacheEnabled = false } }
 
+// WithoutDistanceKernel disables the KNN utility's precomputed
+// test-to-train distance matrix, recomputing distances on every evaluation
+// instead of holding the m×n float64 kernel in memory. Shapley values are
+// bit-identical either way — this is purely a memory/speed trade-off (and
+// the reference arm the kernel's equality tests compare against). Has no
+// effect for non-KNN trainers, which never build a kernel.
+func WithoutDistanceKernel() Option { return func(c *config) { c.noKernel = true } }
+
 // WithWorkers sets the number of accumulator workers the session's
 // permutation engine uses for stripe-parallel YN-NN / YNN-NNN fills
-// (≤0 selects GOMAXPROCS). Results are bit-identical at every worker
+// (≤0 selects GOMAXPROCS). The same count parallelises the distance
+// kernel's initial fill. Results are bit-identical at every worker
 // count — this is purely a throughput knob.
 func WithWorkers(k int) Option { return func(c *config) { c.workers = k } }
 
@@ -233,14 +243,35 @@ func (s *Session) opSource(version int) *rng.Source {
 }
 
 // rebuildUtility reconstructs the utility (and cache) for the state's
-// training set. Caches survive additions (old coalitions keep their keys)
-// but must be dropped after deletions, where player indices shift.
+// training set — construction-time only: updates derive the successor
+// utility with Append/Remove so the distance kernel is extended or masked
+// rather than recomputed.
 func rebuildUtility(s *Session, st *sessionState) {
 	if st.util != nil {
 		st.pastFits += st.util.Fits()
 		st.pastPrefixAdds += st.util.PrefixAdds()
 	}
-	st.util = utility.NewModelUtility(st.train, s.test, s.trainer)
+	st.util = utility.NewModelUtility(st.train, s.test, s.trainer, s.utilOptions()...)
+	st.cache = game.NewCached(st.util)
+}
+
+// utilOptions resolves the session configuration into utility options.
+func (s *Session) utilOptions() []utility.Option {
+	opts := []utility.Option{utility.WithWorkers(s.cfg.workers)}
+	if s.cfg.noKernel {
+		opts = append(opts, utility.WithoutKernel())
+	}
+	return opts
+}
+
+// deriveRemove replaces the state's utility with its N⁻ view after the
+// training set shrank. The distance kernel survives as a masked view — no
+// distance is recomputed — but the cache must be replaced, because player
+// indices shift and every stored coalition key goes stale.
+func (s *Session) deriveRemove(st *sessionState, indices []int) {
+	st.pastFits += st.util.Fits()
+	st.pastPrefixAdds += st.util.PrefixAdds()
+	st.util = st.util.Remove(indices...)
 	st.cache = game.NewCached(st.util)
 }
 
@@ -330,6 +361,7 @@ var ErrStaleStores = errors.New("dynshap: deletion arrays are stale after a prev
 // produced it.
 func (s *Session) publish(st *sessionState, u journal.Update) {
 	st.engineStats = s.engine.Stats()
+	st.engineStats.KernelBytes = st.util.KernelMemoryBytes()
 	s.journal.Append(u)
 	s.state.Store(st)
 }
@@ -681,7 +713,7 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 	}
 	st.sv = compact
 	st.train = st.train.Remove(indices...)
-	rebuildUtility(s, st) // indices shifted: the old cache keys are invalid
+	s.deriveRemove(st, indices) // indices shifted: the old cache keys are invalid
 	st.pivot = nil
 	st.del = nil
 	st.multi = nil

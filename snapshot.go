@@ -56,6 +56,7 @@ type SnapshotConfig struct {
 	TruncationTol  float64 `json:"truncation_tolerance,omitempty"`
 	HeuristicK     int     `json:"heuristic_k,omitempty"`
 	CacheDisabled  bool    `json:"cache_disabled,omitempty"`
+	KernelDisabled bool    `json:"kernel_disabled,omitempty"`
 	Workers        int     `json:"workers,omitempty"`
 	TargetEps      float64 `json:"target_eps,omitempty"`
 	TargetDelta    float64 `json:"target_delta,omitempty"`
@@ -72,6 +73,7 @@ func snapshotConfig(cfg config, n int) *SnapshotConfig {
 		MultiDelete:    cfg.multiDelete,
 		Candidates:     append([]int(nil), cfg.candidates...),
 		CacheDisabled:  !cfg.cacheEnabled,
+		KernelDisabled: cfg.noKernel,
 		Workers:        cfg.workers,
 		TargetEps:      cfg.targetEps,
 		TargetDelta:    cfg.targetDelta,
@@ -107,6 +109,7 @@ func (sc *SnapshotConfig) apply(cfg *config) {
 		cfg.knnK = sc.HeuristicK
 	}
 	cfg.cacheEnabled = !sc.CacheDisabled
+	cfg.noKernel = sc.KernelDisabled
 	cfg.workers = sc.Workers
 	cfg.targetEps = sc.TargetEps
 	cfg.targetDelta = sc.TargetDelta
