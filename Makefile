@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet cover bench profile examples experiments clean
+.PHONY: all build test lint vet cover bench bench-diff profile examples experiments clean
 
 all: build lint test
 
@@ -44,6 +44,12 @@ cover:
 # (ns/op, allocations, engine fill throughput) for regression diffing.
 bench:
 	$(GO) run ./cmd/benchsnap
+
+# Compare two benchmark snapshots per benchmark on ns/op; exits non-zero
+# when any shared benchmark regressed by more than 10%. Usage:
+#   make bench-diff OLD=BENCH_2026-07-01.json NEW=BENCH_2026-08-06.json
+bench-diff:
+	$(GO) run ./cmd/benchsnap diff $(OLD) $(NEW)
 
 # Capture a CPU profile of the n = 300 KNN preprocessing walk
 # (BenchmarkPreprocessDeletionKNNN300) into cpu.out for hot-path analysis.

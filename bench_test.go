@@ -570,3 +570,102 @@ func TestDistanceKernelSpeedup(t *testing.T) {
 			scratchSecs/kernelSecs, kernelSecs, scratchSecs)
 	}
 }
+
+// Batched update pipeline: one Session.Add of k = 16 points at n = 200,
+// batched walk versus the sequential per-point loop. The batch benchmarks
+// and the gated speedup test share one fixture so snapshot numbers and the
+// acceptance bound measure the same workload.
+
+// newBatchSession builds an n = 200 KNN session for the batch benchmarks.
+func newBatchSession(tb testing.TB) *dynshap.Session {
+	tb.Helper()
+	pool := dataset.IrisLike(rng.New(2026), 260)
+	pool.Standardize()
+	train, test := pool.Split(200.0 / 260)
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 5},
+		dynshap.WithSamples(200), dynshap.WithUpdateSamples(100), dynshap.WithSeed(9))
+	if err := s.Init(); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func batchBenchPoints(k int) []dynshap.Point {
+	pts := make([]dynshap.Point, k)
+	for j := range pts {
+		pts[j] = dynshap.Point{
+			X: []float64{0.3 - 0.05*float64(j%7), -0.2 + 0.1*float64(j%3), 0.15 * float64(j%5), -0.4},
+			Y: j % 3,
+		}
+	}
+	return pts
+}
+
+// dropBatch removes the k most recently appended points, restoring n = 200.
+func dropBatch(tb testing.TB, s *dynshap.Session, k int) {
+	tb.Helper()
+	gone := make([]int, k)
+	for j := range gone {
+		gone[j] = 200 + j
+	}
+	if _, err := s.Delete(gone, dynshap.AlgoKNN); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func benchSessionAddBatch(b *testing.B, algo dynshap.Algorithm) {
+	s := newBatchSession(b)
+	pts := batchBenchPoints(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(pts, algo); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		dropBatch(b, s, 16)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkSessionAddBatch16N200(b *testing.B)      { benchSessionAddBatch(b, dynshap.AlgoDeltaBatch) }
+func BenchmarkSessionAddSequential16N200(b *testing.B) { benchSessionAddBatch(b, dynshap.AlgoDelta) }
+
+// TestBatchAddSpeedup enforces ISSUE 5's acceptance bound: a batched Add of
+// k = 16 points at n = 200 must finish in under half the sequential
+// per-point loop's wall clock. The batched walk evaluates the shared
+// no-pivot chain once per permutation instead of once per point — an
+// ~(2k)/(k+1) algorithmic saving — and stripes the per-point accumulators
+// across workers on top. Skipped on single-core machines, whose schedulers
+// make wall-clock ratios too noisy to gate on.
+func TestBatchAddSpeedup(t *testing.T) {
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		t.Skipf("need at least 2 CPUs for a stable timing ratio, have %d", p)
+	}
+	const k, reps = 16, 3
+	pts := batchBenchPoints(k)
+	measure := func(algo dynshap.Algorithm) float64 {
+		s := newBatchSession(t)
+		// Warm up once (cache population, kernel growth), then time the
+		// Add calls alone; state restoration runs off the clock.
+		if _, err := s.Add(pts, algo); err != nil {
+			t.Fatal(err)
+		}
+		dropBatch(t, s, k)
+		var secs float64
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if _, err := s.Add(pts, algo); err != nil {
+				t.Fatal(err)
+			}
+			secs += time.Since(start).Seconds()
+			dropBatch(t, s, k)
+		}
+		return secs
+	}
+	seqSecs := measure(dynshap.AlgoDelta)
+	batchSecs := measure(dynshap.AlgoDeltaBatch)
+	if batchSecs*2 > seqSecs {
+		t.Fatalf("batched add only %.2f× faster than sequential (batch %.4fs, sequential %.4fs), want ≥2×",
+			seqSecs/batchSecs, batchSecs, seqSecs)
+	}
+}

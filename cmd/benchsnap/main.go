@@ -7,9 +7,12 @@
 //
 //	go run ./cmd/benchsnap            # writes BENCH_YYYY-MM-DD.json
 //	go run ./cmd/benchsnap -o out.json
+//	go run ./cmd/benchsnap diff old.json new.json
 //
 // The benchmark output is also streamed to stdout as it arrives, so the
-// command doubles as a plain `make bench` run.
+// command doubles as a plain `make bench` run. The diff subcommand
+// compares two snapshots per benchmark on ns/op and exits non-zero when
+// any shared benchmark regressed by more than 10%.
 package main
 
 import (
@@ -45,6 +48,10 @@ type snapshot struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		runDiff(os.Args[2:])
+		return
+	}
 	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
 	benchtime := flag.String("benchtime", "1x", "value passed to -benchtime")
 	flag.Parse()
@@ -133,6 +140,117 @@ func parseBenchLine(line string) (entry, bool) {
 		return entry{}, false
 	}
 	return e, true
+}
+
+// regressionThreshold is the fractional ns/op increase past which diff
+// flags a benchmark and exits non-zero.
+const regressionThreshold = 0.10
+
+// diffEntry is one benchmark's old/new comparison on a single unit.
+type diffEntry struct {
+	Name     string
+	Old, New float64
+	// Delta is the fractional change (New−Old)/Old; regressions are
+	// positive (the benchmark got slower).
+	Delta float64
+}
+
+// diffSnapshots pairs the two snapshots' benchmarks by name on the given
+// unit and returns the shared comparisons plus the names present on only
+// one side. Shared entries keep the new snapshot's order.
+func diffSnapshots(oldS, newS snapshot, unit string) (shared []diffEntry, onlyOld, onlyNew []string) {
+	oldVals := make(map[string]float64, len(oldS.Benchmarks))
+	for _, e := range oldS.Benchmarks {
+		if v, ok := e.Metrics[unit]; ok {
+			oldVals[e.Name] = v
+		}
+	}
+	seen := make(map[string]bool, len(newS.Benchmarks))
+	for _, e := range newS.Benchmarks {
+		v, ok := e.Metrics[unit]
+		if !ok {
+			continue
+		}
+		seen[e.Name] = true
+		old, both := oldVals[e.Name]
+		if !both {
+			onlyNew = append(onlyNew, e.Name)
+			continue
+		}
+		d := diffEntry{Name: e.Name, Old: old, New: v}
+		if old != 0 {
+			d.Delta = (v - old) / old
+		}
+		shared = append(shared, d)
+	}
+	for _, e := range oldS.Benchmarks {
+		if _, ok := e.Metrics[unit]; ok && !seen[e.Name] {
+			onlyOld = append(onlyOld, e.Name)
+		}
+	}
+	return shared, onlyOld, onlyNew
+}
+
+// regressed filters the comparisons that slowed down past the threshold.
+func regressed(shared []diffEntry, threshold float64) []diffEntry {
+	var out []diffEntry
+	for _, d := range shared {
+		if d.Delta > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func loadSnapshot(path string) (snapshot, error) {
+	var s snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func runDiff(args []string) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("usage: benchsnap diff <old.json> <new.json>"))
+	}
+	oldS, err := loadSnapshot(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	newS, err := loadSnapshot(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	shared, onlyOld, onlyNew := diffSnapshots(oldS, newS, "ns/op")
+	if len(shared) == 0 {
+		fatal(fmt.Errorf("no shared benchmarks between %s and %s", args[0], args[1]))
+	}
+	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range shared {
+		marker := ""
+		if d.Delta > regressionThreshold {
+			marker = "  REGRESSION"
+		}
+		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%%s\n", d.Name, d.Old, d.New, d.Delta*100, marker)
+	}
+	for _, name := range onlyOld {
+		fmt.Printf("%-50s removed (only in %s)\n", name, args[0])
+	}
+	for _, name := range onlyNew {
+		fmt.Printf("%-50s added (only in %s)\n", name, args[1])
+	}
+	if bad := regressed(shared, regressionThreshold); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: %d benchmark(s) regressed more than %.0f%%\n",
+			len(bad), regressionThreshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("%d benchmarks compared, none regressed more than %.0f%%\n",
+		len(shared), regressionThreshold*100)
 }
 
 func fatal(err error) {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func bench(name string, ns float64) entry {
+	return entry{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestDiffSnapshots(t *testing.T) {
+	oldS := snapshot{Benchmarks: []entry{
+		bench("BenchmarkA", 100),
+		bench("BenchmarkB", 200),
+		bench("BenchmarkGone", 50),
+	}}
+	newS := snapshot{Benchmarks: []entry{
+		bench("BenchmarkA", 105), // +5%: fine
+		bench("BenchmarkB", 250), // +25%: regression
+		bench("BenchmarkNew", 10),
+	}}
+	shared, onlyOld, onlyNew := diffSnapshots(oldS, newS, "ns/op")
+	if len(shared) != 2 {
+		t.Fatalf("shared = %v, want 2 entries", shared)
+	}
+	if shared[0].Name != "BenchmarkA" || shared[0].Delta != 0.05 {
+		t.Fatalf("A compared as %+v", shared[0])
+	}
+	if shared[1].Name != "BenchmarkB" || shared[1].Delta != 0.25 {
+		t.Fatalf("B compared as %+v", shared[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+
+	bad := regressed(shared, 0.10)
+	if len(bad) != 1 || bad[0].Name != "BenchmarkB" {
+		t.Fatalf("regressed = %v, want only BenchmarkB", bad)
+	}
+	// Exactly at the threshold is not a regression; improvements never are.
+	atEdge := []diffEntry{{Name: "X", Delta: 0.10}, {Name: "Y", Delta: -0.5}}
+	if got := regressed(atEdge, 0.10); len(got) != 0 {
+		t.Fatalf("threshold edge flagged: %v", got)
+	}
+}
+
+func TestDiffSnapshotsZeroOld(t *testing.T) {
+	oldS := snapshot{Benchmarks: []entry{bench("BenchmarkZ", 0)}}
+	newS := snapshot{Benchmarks: []entry{bench("BenchmarkZ", 5)}}
+	shared, _, _ := diffSnapshots(oldS, newS, "ns/op")
+	if len(shared) != 1 || shared[0].Delta != 0 {
+		t.Fatalf("zero-baseline compare = %v, want delta 0", shared)
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	suffix := fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))
+	line := "BenchmarkSessionAddBatch16N200" + suffix + "   3   89919461 ns/op   120 B/op   4 allocs/op"
+	e, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if e.Name != "BenchmarkSessionAddBatch16N200" || e.Iterations != 3 {
+		t.Fatalf("parsed %+v", e)
+	}
+	for unit, want := range map[string]float64{"ns/op": 89919461, "B/op": 120, "allocs/op": 4} {
+		if e.Metrics[unit] != want {
+			t.Fatalf("%s = %v, want %v", unit, e.Metrics[unit], want)
+		}
+	}
+	for _, junk := range []string{"", "ok  dynshap 1.2s", "Benchmark", "BenchmarkX notanint 5 ns/op"} {
+		if _, ok := parseBenchLine(junk); ok {
+			t.Fatalf("parsed junk line %q", junk)
+		}
+	}
+}

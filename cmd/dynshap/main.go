@@ -96,6 +96,10 @@ func algoFor(name string) (dynshap.Algorithm, error) {
 		return dynshap.AlgoPivotDifferent, nil
 	case "delta":
 		return dynshap.AlgoDelta, nil
+	case "delta-batch":
+		return dynshap.AlgoDeltaBatch, nil
+	case "pivot-s-batch":
+		return dynshap.AlgoPivotSameBatch, nil
 	case "ynnn", "yn-nn":
 		return dynshap.AlgoYNNN, nil
 	case "knn":
@@ -193,7 +197,7 @@ func cmdAdd(args []string) error {
 	snapPath := fs.String("snapshot", "", "snapshot path (updated in place; required)")
 	pointsPath := fs.String("points", "", "CSV of points to add (required)")
 	model := fs.String("model", "svm", "utility model: svm, knn, logreg")
-	algoName := fs.String("algo", "delta", "update algorithm (delta, pivot-d, knn, knn+, mc, tmc, base)")
+	algoName := fs.String("algo", "delta", "update algorithm (delta, delta-batch, pivot-d, pivot-s-batch, knn, knn+, mc, tmc, base)")
 	tau := fs.Int("tau", 0, "update permutation samples (default: snapshot's τ)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	fs.Parse(args)
@@ -216,7 +220,7 @@ func cmdAdd(args []string) error {
 	if *tau > 0 {
 		opts = append(opts, dynshap.WithUpdateSamples(*tau))
 	}
-	if algo == dynshap.AlgoPivotSame {
+	if algo == dynshap.AlgoPivotSame || algo == dynshap.AlgoPivotSameBatch {
 		// Pivot-s replays the initialisation permutations; keep them.
 		opts = append(opts, dynshap.WithKeepPermutations())
 	}
@@ -228,7 +232,7 @@ func cmdAdd(args []string) error {
 	if err != nil {
 		return err
 	}
-	if algo == dynshap.AlgoPivotSame || algo == dynshap.AlgoPivotDifferent {
+	if algo == dynshap.AlgoPivotSame || algo == dynshap.AlgoPivotDifferent || algo == dynshap.AlgoPivotSameBatch {
 		// Pivot algorithms need LSV state, absent from snapshots.
 		if err := s.Refresh(); err != nil {
 			return err

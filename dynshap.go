@@ -134,6 +134,17 @@ const (
 	// AlgoDelta estimates value changes from differential marginal
 	// contributions (Algorithm 5 for additions, 8 for deletions).
 	AlgoDelta
+	// AlgoDeltaBatch is the batched delta addition: one permutation pass
+	// walks the shared no-pivot chain once and evaluates every pending
+	// point's differential contributions against it, with per-point
+	// accumulators striped across workers. Each point is valued against
+	// the pre-batch base (additions only).
+	AlgoDeltaBatch
+	// AlgoPivotSameBatch is the batched Pivot-s: the stored permutations
+	// are threaded through all pending pivot insertions in one pass,
+	// bit-identical to applying AlgoPivotSame per point in sequence
+	// (additions only, requires WithKeepPermutations).
+	AlgoPivotSameBatch
 	// AlgoYNNN recovers exact post-deletion values from the YN-NN /
 	// YNN-NNN arrays (Algorithms 6–7; deletions only, requires
 	// WithTrackDeletions or WithMultiDelete).
@@ -167,6 +178,10 @@ func (a Algorithm) String() string {
 		return "Pivot-d"
 	case AlgoDelta:
 		return "Delta"
+	case AlgoDeltaBatch:
+		return "Delta-batch"
+	case AlgoPivotSameBatch:
+		return "Pivot-s-batch"
 	case AlgoYNNN:
 		return "YN-NN"
 	case AlgoKNN:

@@ -6,6 +6,7 @@ import (
 
 	"dynshap"
 	"dynshap/internal/bitset"
+	"dynshap/internal/core"
 	"dynshap/internal/dataset"
 	"dynshap/internal/game"
 	"dynshap/internal/ml"
@@ -121,5 +122,95 @@ func FuzzKernelScratchEquality(f *testing.F) {
 		if u3.N() > 0 {
 			compare("remove", u3, us3)
 		}
+	})
+}
+
+// FuzzBatchSequentialEquality asserts the batched update walks' bit-identity
+// contract on fuzzer-chosen workloads: for random bases, batch sizes, τ
+// budgets, and worker counts, the engine's one-pass batched walks must
+// equal their per-point sequential references with ==, no tolerance — the
+// delta form against k independent fixed-base walks sharing the permutation
+// stream, the pivot form against k successive AddSame calls (including the
+// evolved LSV state). Seeds run as regular tests; use
+// `go test -fuzz FuzzBatchSequentialEquality .` for guided exploration.
+func FuzzBatchSequentialEquality(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(2), uint8(20), uint8(1))
+	f.Add(uint64(7), uint8(15), uint8(4), uint8(9), uint8(3))
+	f.Add(uint64(42), uint8(2), uint8(0), uint8(0), uint8(7))
+	f.Add(uint64(99), uint8(23), uint8(5), uint8(14), uint8(15))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, kRaw, tauRaw, wRaw uint8) {
+		n := 2 + int(nRaw)%20
+		k := 1 + int(kRaw)%6
+		tau := 1 + int(tauRaw)%25
+		workers := 1 + int(wRaw)%6
+
+		r := rng.New(seed)
+		mk := func(count int) *dataset.Dataset {
+			pts := make([]dataset.Point, count)
+			for i := range pts {
+				x := make([]float64, 3)
+				for j := range x {
+					x[j] = float64(r.Intn(7)) / 2
+				}
+				pts[i] = dataset.Point{X: x, Y: r.Intn(3)}
+			}
+			d := dataset.New(pts)
+			d.Classes = 3
+			return d
+		}
+		train, test := mk(n), mk(1+r.Intn(8))
+		u := utility.NewModelUtility(train, test, ml.KNN{K: 1 + r.Intn(4)})
+		uPlus := u.Append(mk(k).Points...)
+
+		oldSV := make([]float64, n)
+		for i := range oldSV {
+			oldSV[i] = r.NormFloat64() / 8
+		}
+
+		same := func(stage string, got, want []float64) {
+			t.Helper()
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d values, want %d", stage, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: value %d is %v, want %v (n=%d k=%d τ=%d workers=%d)",
+						stage, i, got[i], want[i], n, k, tau, workers)
+				}
+			}
+		}
+
+		e := core.NewEngine(core.WithWorkers(workers))
+		want, err := core.BatchDeltaAddSeq(uPlus, oldSV, k, tau, rng.New(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.BatchDeltaAdd(uPlus, oldSV, k, tau, rng.New(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		same("delta", got, want)
+
+		st := core.PivotInit(u, tau, true, rng.New(seed+2))
+		sources := func() []*rng.Source {
+			sr := rng.New(seed + 3)
+			out := make([]*rng.Source, k)
+			for i := range out {
+				out[i] = sr.Split()
+			}
+			return out
+		}
+		ref := st.Clone()
+		wantP, err := core.BatchAddSameSeq(ref, uPlus, k, sources())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := st.Clone()
+		gotP, err := e.BatchAddSame(cl, uPlus, k, sources())
+		if err != nil {
+			t.Fatal(err)
+		}
+		same("pivot SV", gotP, wantP)
+		same("pivot LSV", cl.LSV, ref.LSV)
 	})
 }

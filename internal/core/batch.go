@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// This file defines the batched update walk's SEQUENTIAL reference
+// implementations: the per-point loops the engine's batched passes
+// (engine_batch.go) must reproduce bit for bit. The batched forms change
+// only the loop order and the sharing of prefix state — never the set of
+// coalitions evaluated for a given (perm, point) pair, the order in which
+// any single accumulator receives floating-point additions, or the order
+// in which any single RNG source is consumed — which is the whole
+// determinism argument, so the references stay in the repository as the
+// equality tests' ground truth rather than as scaffolding.
+
+// checkBatchAdd validates the common preconditions of the batched addition
+// walks: gPlus is the (n+k)-player updated game whose LAST k players are
+// the pending points, in arrival order.
+func checkBatchAdd(gPlus game.Game, n, k int) error {
+	if k < 1 {
+		return fmt.Errorf("core: batch add requires k ≥ 1 pending points, got %d", k)
+	}
+	if gPlus.N() != n+k {
+		return fmt.Errorf("core: batch add game has %d players, want %d", gPlus.N(), n+k)
+	}
+	return nil
+}
+
+// BatchDeltaAddSeq is the sequential reference for the batched delta
+// addition: k independent Algorithm-5 estimates against the FIXED n-player
+// base, sharing one permutation stream. The permutations are pre-drawn
+// exactly as the batched walk draws them (PermN consumes the same values
+// Perm does), then each pending point j = 0..k−1 runs the full DeltaAdd
+// two-walker pass over all of them and folds its contribution into the
+// output in arrival order.
+//
+// Note what this estimator is NOT: the session's historic per-point loop
+// re-bases after every insertion (point j is valued against a game already
+// containing points 0..j−1, and later deltas adjust the earlier arrivals'
+// fresh values). The batch form values every pending point against the
+// shared pre-batch base — that is what lets one permutation pass serve all
+// k points. At k = 1 the two notions coincide and this function is
+// bit-identical to DeltaAdd.
+func BatchDeltaAddSeq(gPlus game.Game, oldSV []float64, k, tau int, r *rng.Source) ([]float64, error) {
+	n := len(oldSV)
+	if err := checkBatchAdd(gPlus, n, k); err != nil {
+		return nil, err
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("core: BatchDeltaAddSeq requires tau > 0, got %d", tau)
+	}
+	m := n + k
+	perms := make([][]int, tau)
+	for t := range perms {
+		perms[t] = r.PermN(n)
+	}
+	uEmpty := gPlus.Value(bitset.New(m))
+
+	out := make([]float64, m)
+	copy(out, oldSV)
+	wNo := newPrefixWalker(gPlus)
+	wWith := newPrefixWalker(gPlus)
+	for j := 0; j < k; j++ {
+		pivot := n + j
+		uPivot := gPlus.Value(bitset.FromIndices(m, pivot))
+		dsv := make([]float64, n)
+		newSV := 0.0
+		for _, perm := range perms {
+			wNo.reset()
+			wWith.reset()
+			prevNo := uEmpty
+			prevWith := wWith.seed(pivot, uPivot)
+			newSV += prevWith - prevNo // S=∅ stratum, as in DeltaAdd
+			for pos, p := range perm {
+				curNo := wNo.add(p)
+				curWith := wWith.add(p)
+				dmc := (curWith - curNo) - (prevWith - prevNo)
+				dsv[p] += dmc * float64(pos+1) / float64(n+1)
+				newSV += curWith - curNo
+				prevNo, prevWith = curNo, curWith
+			}
+		}
+		for i := 0; i < n; i++ {
+			out[i] += dsv[i] / float64(tau)
+		}
+		out[pivot] = newSV / float64(tau) / float64(n+1)
+	}
+	return out, nil
+}
+
+// BatchAddSameSeq is the sequential reference for the batched Pivot-s
+// walk: k successive AddSame calls, each against the restriction of gPlus
+// to the players inserted so far (dropping the tail pivots keeps indices
+// 0..n+j unchanged, so step j sees exactly the (n+j+1)-player game the
+// session's per-point loop would build). rs supplies one RNG source per
+// pending point, in arrival order — the batched walk consumes the same
+// sources in the same per-source order, which is what keeps the two forms
+// bit-identical.
+func BatchAddSameSeq(st *PivotState, gPlus game.Game, k int, rs []*rng.Source) ([]float64, error) {
+	if st.perms == nil {
+		return nil, ErrNoPermutations
+	}
+	n := st.N()
+	if err := checkBatchAdd(gPlus, n, k); err != nil {
+		return nil, err
+	}
+	if len(rs) != k {
+		return nil, fmt.Errorf("core: BatchAddSameSeq got %d RNG sources for %d points", len(rs), k)
+	}
+	var sv []float64
+	for j := 0; j < k; j++ {
+		gj := game.Game(gPlus)
+		if j < k-1 {
+			tail := make([]int, 0, k-1-j)
+			for t := n + j + 1; t < n+k; t++ {
+				tail = append(tail, t)
+			}
+			gj = game.NewRestrict(gPlus, tail...)
+		}
+		var err error
+		sv, err = st.AddSame(gj, rs[j])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sv, nil
+}

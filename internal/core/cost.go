@@ -95,6 +95,29 @@ func DeltaAddCost(n, tau int) Cost {
 	return Cost{Evaluations: 2 * int64(tau) * int64(n+1)}
 }
 
+// BatchDeltaAddCost is the cost of the batched delta addition of k points
+// (BatchDeltaAdd): per permutation, ONE shared no-pivot chain of n prefix
+// evaluations plus k with-chains of n+1 each — versus the sequential
+// loop's k·2·(n+1) (DeltaAddCost times k). The ratio approaches 2× as k
+// grows before any parallelism.
+func BatchDeltaAddCost(n, k, tau int) Cost {
+	return Cost{Evaluations: int64(tau) * (int64(n) + int64(k)*int64(n+1))}
+}
+
+// AddSameBatchCost is the cost of the batched Pivot-s walk over k pending
+// points (BatchAddSame): the j-th point's suffix walk covers half of an
+// (n+j+1)-permutation in expectation, same per-point shape as AddSameCost
+// — the batch form wins on worker parallelism and single-pass utility
+// derivation, not on evaluation count.
+func (st *PivotState) AddSameBatchCost(k int) Cost {
+	n := int64(st.N())
+	var evals int64
+	for j := int64(0); j < int64(k); j++ {
+		evals += int64(st.Tau) * (n + j + 2) / 2
+	}
+	return Cost{Evaluations: evals}
+}
+
 // DeltaDeleteCost is the per-point cost of the delta deletion
 // (Algorithm 8): two interleaved walks over the n−1 survivors.
 func DeltaDeleteCost(n, tau int) Cost {

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dynshap/internal/bitset"
+	"dynshap/internal/game"
+	"dynshap/internal/rng"
+)
+
+// This file implements the batched update walk: for a batch of k pending
+// points, each sampled permutation is walked ONCE, with all k points
+// evaluated against shared prefix state, instead of k separate τ-walks
+// each re-deriving its prefixes.
+//
+// Two passes, one per addition family:
+//
+//   - BatchDeltaAdd shares the no-pivot chain. The per-point DeltaAdd pays
+//     two prefix walks per permutation (with and without the new point),
+//     but the without-chain is the SAME walk for every pending point — so
+//     the producer walks it once per permutation and the k with-chains
+//     read its utilities from a buffer, cutting the evaluation count from
+//     2·k·n to (k+1)·n per permutation before any parallelism.
+//
+//   - BatchAddSame shares the stored-permutation evolution. The producer
+//     threads each stored permutation through all k pivot insertions
+//     (slot draws in arrival order), and the k suffix walks — one per
+//     pending point — proceed independently from the recorded insertion
+//     slots.
+//
+// Parallelism stripes over the PENDING POINTS, not the permutations:
+// every per-point accumulator (dsv_j, rsv_j, dlsv_j, newSV_j) is owned by
+// exactly one worker, which processes chunks in issue order and
+// permutations in order within a chunk, so each accumulator receives its
+// floating-point additions in exactly the sequential reference's order.
+// All randomness is consumed in the producer, in the reference's
+// per-source order. Together that makes both passes bit-identical to
+// their batch.go references — and, for the pivot form, to the session's
+// historic per-point AddSame loop — at any worker count.
+//
+// Neither pass supports adaptive early termination: the stopping decision
+// would couple the k points' budgets (they share permutations), so a
+// batch always spends its full τ. Stats report Issued == Budget.
+
+// BatchDeltaAdd runs the batched delta addition (Algorithm 5 generalised
+// to k pending points): gPlus is the (n+k)-player updated game whose last
+// k players are the pending points in arrival order, oldSV the n
+// pre-batch values. It returns n+k entries: every original player's value
+// adjusted by the k points' summed deltas (folded in arrival order), and
+// one fresh estimate per pending point. Bit-identical to BatchDeltaAddSeq
+// for the same seed at every worker count; at k = 1 bit-identical to
+// DeltaAdd.
+func (e *Engine) BatchDeltaAdd(gPlus game.Game, oldSV []float64, k, tau int, r *rng.Source) ([]float64, error) {
+	n := len(oldSV)
+	if err := checkBatchAdd(gPlus, n, k); err != nil {
+		return nil, err
+	}
+	if tau <= 0 {
+		return nil, fmt.Errorf("core: BatchDeltaAdd requires tau > 0, got %d", tau)
+	}
+	m := n + k
+	workers := e.effectiveWorkers(k)
+	e.stats = EngineStats{Budget: tau, Workers: workers}
+
+	uEmpty := gPlus.Value(bitset.New(m))
+	uPivot := make([]float64, k)
+	for j := 0; j < k; j++ {
+		uPivot[j] = gPlus.Value(bitset.FromIndices(m, n+j))
+	}
+	dsv := make([][]float64, k)
+	for j := range dsv {
+		dsv[j] = make([]float64, n)
+	}
+	newSV := make([]float64, k)
+
+	start := time.Now()
+	if workers == 1 {
+		wBase := newPrefixWalker(gPlus)
+		wWith := newPrefixWalker(gPlus)
+		perm := make([]int, n)
+		utils := make([]float64, n)
+		for t := 0; t < tau; t++ {
+			r.Perm(perm)
+			wBase.reset()
+			for pos, p := range perm {
+				utils[pos] = wBase.add(p)
+			}
+			for j := 0; j < k; j++ {
+				batchDeltaStep(wWith, perm, utils, uEmpty, uPivot[j], n+j, n, dsv[j], &newSV[j])
+			}
+		}
+	} else {
+		e.runDeltaBatchStriped(gPlus, n, k, tau, r, uEmpty, uPivot, dsv, newSV, workers)
+	}
+	e.stats.Seconds = time.Since(start).Seconds()
+	e.stats.Issued = tau
+	e.stats.Updates = int64(tau) * int64(k) * int64(n)
+
+	out := make([]float64, m)
+	copy(out, oldSV)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			out[i] += dsv[j][i] / float64(tau)
+		}
+		out[n+j] = newSV[j] / float64(tau) / float64(n+1)
+	}
+	return out, nil
+}
+
+// batchDeltaStep runs one pending point's with-chain over one walked
+// permutation — exactly DeltaAdd's inner loop with the no-pivot chain's
+// utilities read from the shared buffer instead of re-walked.
+func batchDeltaStep(w *prefixWalker, perm []int, utils []float64, uEmpty, uPivot float64, pivot, n int, dsv []float64, newSV *float64) {
+	w.reset()
+	prevNo := uEmpty
+	prevWith := w.seed(pivot, uPivot)
+	*newSV += prevWith - prevNo
+	for pos, p := range perm {
+		curNo := utils[pos]
+		curWith := w.add(p)
+		dmc := (curWith - curNo) - (prevWith - prevNo)
+		dsv[p] += dmc * float64(pos+1) / float64(n+1)
+		*newSV += curWith - curNo
+		prevNo, prevWith = curNo, curWith
+	}
+}
+
+// deltaBatchChunk is one batch of walked permutations in flight between
+// the producer and the point-striped workers.
+type deltaBatchChunk struct {
+	count int
+	perms [][]int
+	utils [][]float64
+	wg    sync.WaitGroup
+}
+
+// runDeltaBatchStriped is BatchDeltaAdd's parallel path: the producer
+// samples permutations and walks the shared no-pivot chain into
+// double-buffered chunks; worker w owns the contiguous pending-point
+// stripe jlo ≤ j < jhi and runs only those with-chains. Each dsv[j] /
+// newSV[j] is written by exactly one worker, in chunk issue order, so the
+// accumulation order — and therefore every bit — matches the serial path.
+func (e *Engine) runDeltaBatchStriped(gPlus game.Game, n, k, tau int, r *rng.Source, uEmpty float64, uPivot []float64, dsv [][]float64, newSV []float64, workers int) {
+	const depth = 2
+	slots := make([]*deltaBatchChunk, depth)
+	for s := range slots {
+		c := &deltaBatchChunk{
+			perms: make([][]int, e.chunk),
+			utils: make([][]float64, e.chunk),
+		}
+		for p := 0; p < e.chunk; p++ {
+			c.perms[p] = make([]int, n)
+			c.utils[p] = make([]float64, n)
+		}
+		slots[s] = c
+	}
+
+	chans := make([]chan *deltaBatchChunk, workers)
+	var wwg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		chans[wk] = make(chan *deltaBatchChunk, depth)
+		jlo, jhi := wk*k/workers, (wk+1)*k/workers
+		wwg.Add(1)
+		go func(jlo, jhi int, ch chan *deltaBatchChunk) {
+			defer wwg.Done()
+			w := newPrefixWalker(gPlus)
+			for c := range ch {
+				for p := 0; p < c.count; p++ {
+					for j := jlo; j < jhi; j++ {
+						batchDeltaStep(w, c.perms[p], c.utils[p], uEmpty, uPivot[j], n+j, n, dsv[j], &newSV[j])
+					}
+				}
+				c.wg.Done()
+			}
+		}(jlo, jhi, chans[wk])
+	}
+
+	wBase := newPrefixWalker(gPlus)
+	issued := 0
+	for si := 0; issued < tau; si++ {
+		c := slots[si%depth]
+		c.wg.Wait() // previous dispatch of this buffer fully drained
+		count := e.chunk
+		if rem := tau - issued; rem < count {
+			count = rem
+		}
+		c.count = count
+		for p := 0; p < count; p++ {
+			perm := c.perms[p]
+			r.Perm(perm)
+			wBase.reset()
+			u := c.utils[p]
+			for pos, q := range perm {
+				u[pos] = wBase.add(q)
+			}
+		}
+		c.wg.Add(workers)
+		for _, ch := range chans {
+			ch <- c
+		}
+		issued += count
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wwg.Wait()
+}
+
+// pivotBatchStep records one pending point's insertion into one stored
+// permutation: the evolved permutation (pivots 0..j included), the slot
+// the point landed in (where the suffix walk starts), and the slot drawn
+// for the NEXT pivot (the dlsv cutoff).
+type pivotBatchStep struct {
+	perm  []int
+	tslot int
+	next  int
+}
+
+// pivotBatchChunk is one batch of evolved stored permutations in flight.
+type pivotBatchChunk struct {
+	count int
+	steps [][]pivotBatchStep // [perm][pending point]
+	wg    sync.WaitGroup
+}
+
+// BatchAddSame runs the batched Pivot-s walk (Algorithm 3 generalised to
+// k pending points): every stored permutation is threaded through all k
+// pivot insertions by the producer, and the k suffix walks proceed from
+// the recorded slots, striped across workers by pending point. st is
+// mutated exactly as k successive AddSame calls would mutate it (evolved
+// permutations, final slots, folded SV/LSV); rs supplies one RNG source
+// per pending point in arrival order, each consumed once per stored
+// permutation — the same per-source order as the sequential loop.
+// Bit-identical to BatchAddSameSeq (and therefore to the per-point
+// AddSame loop) for the same sources at every worker count; requires a
+// state built with keepPerms.
+func (e *Engine) BatchAddSame(st *PivotState, gPlus game.Game, k int, rs []*rng.Source) ([]float64, error) {
+	if st.perms == nil {
+		return nil, ErrNoPermutations
+	}
+	n := st.N()
+	if err := checkBatchAdd(gPlus, n, k); err != nil {
+		return nil, err
+	}
+	if len(rs) != k {
+		return nil, fmt.Errorf("core: BatchAddSame got %d RNG sources for %d points", len(rs), k)
+	}
+	m := n + k
+	workers := e.effectiveWorkers(k)
+	e.stats = EngineStats{Budget: st.Tau, Workers: workers}
+
+	rsv := make([][]float64, k)
+	dlsv := make([][]float64, k)
+	for j := range rsv {
+		rsv[j] = make([]float64, m)
+		dlsv[j] = make([]float64, m)
+	}
+	probe := newPrefixWalker(gPlus)
+	var uEmpty float64
+	if probe.incremental() {
+		uEmpty = gPlus.Value(bitset.New(m))
+	}
+
+	start := time.Now()
+	var updates int64
+	if workers == 1 {
+		steps := make([]pivotBatchStep, k)
+		for t := range st.perms {
+			e.evolvePivotPerm(st, t, n, k, rs, steps)
+			for j := 0; j < k; j++ {
+				updates += pivotBatchWalk(probe, steps[j], uEmpty, rsv[j], dlsv[j])
+			}
+		}
+	} else {
+		updates = e.runPivotBatchStriped(st, gPlus, n, k, rs, uEmpty, rsv, dlsv, workers)
+	}
+	e.stats.Seconds = time.Since(start).Seconds()
+	e.stats.Issued = st.Tau
+	e.stats.Updates = updates
+
+	// Fold the k points' contributions in arrival order — the exact
+	// SV/LSV recurrence k successive AddSame folds apply, with each step's
+	// lsv feeding the next step's reuse term.
+	sv := make([]float64, m)
+	lsv := make([]float64, m)
+	copy(lsv, st.LSV)
+	for j := 0; j < k; j++ {
+		mj := n + j + 1
+		for i := 0; i < mj; i++ {
+			l := lsv[i]
+			sv[i] = l + rsv[j][i]/float64(st.Tau)
+			lsv[i] = 2.0/3.0*l + dlsv[j][i]/float64(st.Tau)
+		}
+	}
+	st.SV = sv
+	st.LSV = lsv
+	return append([]float64(nil), sv...), nil
+}
+
+// evolvePivotPerm threads stored permutation t through all k pivot
+// insertions, recording one step per pending point, and installs the
+// final permutation and slot back into the state — exactly what k
+// successive AddSame iterations over this permutation do. It consumes one
+// Intn draw from each source, in arrival order.
+func (e *Engine) evolvePivotPerm(st *PivotState, t, n, k int, rs []*rng.Source, steps []pivotBatchStep) {
+	cur := st.perms[t]
+	tslot := st.slots[t]
+	for j := 0; j < k; j++ {
+		pj := make([]int, 0, len(cur)+1)
+		pj = append(pj, cur[:tslot]...)
+		pj = append(pj, n+j)
+		pj = append(pj, cur[tslot:]...)
+		next := rs[j].Intn(len(pj) + 1)
+		steps[j] = pivotBatchStep{perm: pj, tslot: tslot, next: next}
+		cur, tslot = pj, next
+	}
+	st.perms[t] = cur
+	st.slots[t] = tslot
+}
+
+// pivotBatchWalk evaluates one pending point's suffix walk over one
+// evolved permutation — AddSame's inner loop verbatim — and returns the
+// number of accumulator updates for throughput accounting.
+func pivotBatchWalk(w *prefixWalker, s pivotBatchStep, uEmpty float64, rsv, dlsv []float64) int64 {
+	w.reset()
+	prev := w.advance(s.perm, s.tslot, uEmpty)
+	for pos := s.tslot; pos < len(s.perm); pos++ {
+		q := s.perm[pos]
+		cur := w.add(q)
+		mc := cur - prev
+		rsv[q] += mc
+		if pos < s.next {
+			dlsv[q] += mc
+		}
+		prev = cur
+	}
+	return int64(len(s.perm) - s.tslot)
+}
+
+// runPivotBatchStriped is BatchAddSame's parallel path: the producer
+// evolves stored permutations (consuming all randomness) into
+// double-buffered chunks; worker w walks only its pending-point stripe.
+// Per-point accumulators are single-writer and fed in chunk issue order,
+// so the result is bit-identical to the serial path.
+func (e *Engine) runPivotBatchStriped(st *PivotState, gPlus game.Game, n, k int, rs []*rng.Source, uEmpty float64, rsv, dlsv [][]float64, workers int) int64 {
+	const depth = 2
+	slots := make([]*pivotBatchChunk, depth)
+	for s := range slots {
+		c := &pivotBatchChunk{steps: make([][]pivotBatchStep, e.chunk)}
+		for p := 0; p < e.chunk; p++ {
+			c.steps[p] = make([]pivotBatchStep, k)
+		}
+		slots[s] = c
+	}
+
+	counts := make([]int64, workers)
+	chans := make([]chan *pivotBatchChunk, workers)
+	var wwg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		chans[wk] = make(chan *pivotBatchChunk, depth)
+		jlo, jhi := wk*k/workers, (wk+1)*k/workers
+		wwg.Add(1)
+		go func(wk, jlo, jhi int, ch chan *pivotBatchChunk) {
+			defer wwg.Done()
+			w := newPrefixWalker(gPlus)
+			for c := range ch {
+				for p := 0; p < c.count; p++ {
+					for j := jlo; j < jhi; j++ {
+						counts[wk] += pivotBatchWalk(w, c.steps[p][j], uEmpty, rsv[j], dlsv[j])
+					}
+				}
+				c.wg.Done()
+			}
+		}(wk, jlo, jhi, chans[wk])
+	}
+
+	tau := len(st.perms)
+	issued := 0
+	for si := 0; issued < tau; si++ {
+		c := slots[si%depth]
+		c.wg.Wait()
+		count := e.chunk
+		if rem := tau - issued; rem < count {
+			count = rem
+		}
+		c.count = count
+		for p := 0; p < count; p++ {
+			e.evolvePivotPerm(st, issued+p, n, k, rs, c.steps[p])
+		}
+		c.wg.Add(workers)
+		for _, ch := range chans {
+			ch <- c
+		}
+		issued += count
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wwg.Wait()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

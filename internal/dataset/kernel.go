@@ -33,6 +33,10 @@ type DistanceKernel struct {
 	cols []int32  // logical training index -> physical column
 	data []float64
 	phys int // physical columns this view may read (prefix of data)
+	// workers is the fill parallelism Appends inherit from construction
+	// (≤0 means GOMAXPROCS); batched appends split their new columns
+	// across this many goroutines exactly as the initial fill does.
+	workers int
 
 	share *kernelShare
 }
@@ -59,12 +63,13 @@ func NewDistanceKernel(test, train *Dataset, workers int) *DistanceKernel {
 	m, n := test.Len(), train.Len()
 	capCols := n + n/4 + 4 // spare columns so early Appends skip reallocation
 	k := &DistanceKernel{
-		m:     m,
-		test:  test,
-		cols:  make([]int32, n),
-		data:  make([]float64, capCols*m),
-		phys:  n,
-		share: &kernelShare{claimed: n},
+		m:       m,
+		test:    test,
+		cols:    make([]int32, n),
+		data:    make([]float64, capCols*m),
+		phys:    n,
+		workers: workers,
+		share:   &kernelShare{claimed: n},
 	}
 	for i := range k.cols {
 		k.cols[i] = int32(i)
@@ -140,10 +145,12 @@ func (k *DistanceKernel) At(i, j int) float64 {
 // against the kernel's test set — O(m·d) per point, independent of n. The
 // receiver is unchanged. The new columns land in the shared buffer's spare
 // capacity when this view is the buffer's frontier (the common sequential
-// Add flow); a branched Append reallocates its own buffer instead.
+// Add flow); a branched Append reallocates its own buffer instead. Batched
+// appends fill their columns with the same parallel blocked fill as
+// construction (single-point appends stay serial — the fill gates on size).
 func (k *DistanceKernel) Append(points ...Point) *DistanceKernel {
 	need := len(points)
-	nk := &DistanceKernel{m: k.m, test: k.test}
+	nk := &DistanceKernel{m: k.m, test: k.test, workers: k.workers}
 	nk.cols = make([]int32, len(k.cols), len(k.cols)+need)
 	copy(nk.cols, k.cols)
 	if need == 0 {
@@ -167,7 +174,7 @@ func (k *DistanceKernel) Append(points ...Point) *DistanceKernel {
 		nk.share = &kernelShare{claimed: k.phys + need}
 	}
 	base := k.phys
-	nk.fillBlock(points, base, 0, need)
+	nk.fill(points, base, nk.workers)
 	for t := 0; t < need; t++ {
 		nk.cols = append(nk.cols, int32(base+t))
 	}
@@ -185,7 +192,7 @@ func (k *DistanceKernel) Remove(indices ...int) *DistanceKernel {
 	for _, i := range indices {
 		gone[i] = true
 	}
-	nk := &DistanceKernel{m: k.m, test: k.test, data: k.data, phys: k.phys, share: k.share}
+	nk := &DistanceKernel{m: k.m, test: k.test, data: k.data, phys: k.phys, workers: k.workers, share: k.share}
 	nk.cols = make([]int32, 0, len(k.cols)-len(gone))
 	for i, c := range k.cols {
 		if !gone[i] {

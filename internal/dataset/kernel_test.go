@@ -91,6 +91,30 @@ func TestDistanceKernelAppendGrowth(t *testing.T) {
 	checkKernel(t, k, test, cur)
 }
 
+func TestDistanceKernelBatchAppendParallel(t *testing.T) {
+	// A batched append big enough to cross the serial-fill gate must fill
+	// its new columns in parallel yet stay bit-identical to the serial
+	// append and to a fresh full build, at every worker count.
+	test, full := randomSets(61, 80, 700, 6)
+	base := New(full.Points[:200])
+	base.Classes = full.Classes
+	batch := full.Points[200:]
+	want := NewDistanceKernel(test, full, 1)
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		k := NewDistanceKernel(test, base, workers).Append(batch...)
+		if k.Rows() != want.Rows() || k.Cols() != want.Cols() {
+			t.Fatalf("workers=%d: kernel is %d×%d, want %d×%d", workers, k.Rows(), k.Cols(), want.Rows(), want.Cols())
+		}
+		for i := 0; i < want.Cols(); i++ {
+			for j := 0; j < want.Rows(); j++ {
+				if k.At(i, j) != want.At(i, j) {
+					t.Fatalf("workers=%d: At(%d,%d) = %v, want %v", workers, i, j, k.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
 func TestDistanceKernelBranchedAppend(t *testing.T) {
 	test, train := randomSets(3, 8, 10, 4)
 	_, extras := randomSets(99, 0, 3, 4)

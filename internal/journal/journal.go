@@ -46,6 +46,12 @@ type Update struct {
 	// Indices holds the deleted indices in the pre-delete numbering
 	// (op "delete").
 	Indices []int `json:"indices,omitempty"`
+	// BatchValues holds the per-point attribution of a batched add: the
+	// value each appended point received, in arrival order (batch algos
+	// only). Replay does not consume it — the batched walks are
+	// deterministic from (seed, version) — but auditors reading the
+	// journal see what each point of a batch was individually worth.
+	BatchValues []float64 `json:"batch_values,omitempty"`
 	// Trainings is the number of model trainings the operation cost.
 	Trainings int64 `json:"trainings"`
 	// PrefixAdds is the number of incremental prefix evaluations the
@@ -114,9 +120,7 @@ func (j *Journal) Append(u Update) {
 	if want := j.lastVersionLocked() + 1; u.Version != want {
 		panic(fmt.Sprintf("journal: appending version %d after %d", u.Version, want-1))
 	}
-	u.Points = clonePoints(u.Points)
-	u.Indices = append([]int(nil), u.Indices...)
-	j.entries = append(j.entries, u)
+	j.entries = append(j.entries, cloneEntry(u))
 }
 
 // Len returns the number of journaled updates.
@@ -215,6 +219,7 @@ func (j *Journal) State() State {
 func cloneEntry(u Update) Update {
 	u.Points = clonePoints(u.Points)
 	u.Indices = append([]int(nil), u.Indices...)
+	u.BatchValues = append([]float64(nil), u.BatchValues...)
 	u.Decision = append([]string(nil), u.Decision...)
 	return u
 }

@@ -80,6 +80,40 @@ func TestJournalStateRoundTrip(t *testing.T) {
 	}
 }
 
+func TestJournalBatchValues(t *testing.T) {
+	j := New(pts(2), 2, nil)
+	j.Append(Update{Version: 1, Op: "init", Algo: "MC"})
+	vals := []float64{0.4, -0.1, 0.03}
+	u := Update{Version: 2, Op: "add", Algo: "Delta-batch", Points: pts(3), BatchValues: vals}
+	j.Append(u)
+	// Appending deep-copies: mutating the caller's slice must not reach
+	// the journal.
+	vals[0] = 99
+	got, ok := j.At(2)
+	if !ok || len(got.BatchValues) != 3 || got.BatchValues[0] != 0.4 {
+		t.Fatalf("At(2).BatchValues = %v, %v", got.BatchValues, ok)
+	}
+	// Reads hand out copies too.
+	got.BatchValues[1] = 99
+	again, _ := j.At(2)
+	if again.BatchValues[1] != -0.1 {
+		t.Fatal("At shares BatchValues storage with caller")
+	}
+	// And the field survives a serialise/restore round trip.
+	raw, err := json.Marshal(j.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	u2, ok := Restore(back).At(2)
+	if !ok || len(u2.BatchValues) != 3 || u2.BatchValues[2] != 0.03 {
+		t.Fatalf("restored BatchValues = %v, %v", u2.BatchValues, ok)
+	}
+}
+
 // TestJournalResumedBase covers a journal whose base is a mid-life state:
 // entries continue from a non-zero base version.
 func TestJournalResumedBase(t *testing.T) {

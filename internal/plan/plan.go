@@ -62,6 +62,12 @@ const (
 	ChoiceDelta
 	// ChoiceMonteCarlo recomputes from scratch.
 	ChoiceMonteCarlo
+	// ChoiceDeltaBatch runs the batched delta walk: one permutation pass
+	// shared by all pending points (additions with k > 1 only).
+	ChoiceDeltaBatch
+	// ChoicePivotBatch replays the retained permutations once for the
+	// whole batch (additions with k > 1 only).
+	ChoicePivotBatch
 )
 
 // String returns the paper's name for the chosen family.
@@ -73,6 +79,10 @@ func (c Choice) String() string {
 		return "Pivot-s"
 	case ChoiceDelta:
 		return "Delta"
+	case ChoiceDeltaBatch:
+		return "Delta-batch"
+	case ChoicePivotBatch:
+		return "Pivot-s-batch"
 	default:
 		return "MC"
 	}
@@ -176,6 +186,13 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 	default: // OpAdd
 		if art.Pivot != nil && art.Pivot.N() == art.N {
 			if art.Pivot.HasPermutations() {
+				if req.Count > 1 {
+					cost := art.Pivot.AddSameBatchCost(req.Count)
+					note("batch of %d with retained permutations: one stored-permutation pass (%s) replaces %d sequential Pivot-s replays (%s)",
+						req.Count, cost, req.Count, art.Pivot.AddSameCost().Times(req.Count))
+					return done(ChoicePivotBatch, cost,
+						"retained permutations walked once for the whole batch; per-point accumulators stripe across workers")
+				}
 				return done(ChoicePivotSame, art.Pivot.AddSameCost().Times(req.Count),
 					"retained permutations; Pivot-s reuses every pre-pivot prefix evaluation (Algorithm 3)")
 			}
@@ -186,6 +203,13 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 		if bulk(req.Count, art.N) {
 			return done(ChoiceMonteCarlo, core.MonteCarloCost(art.N+req.Count, b.UpdateTau),
 				fmt.Sprintf("adding %d to %d players; recomputation beats %d sequential delta passes", req.Count, art.N, req.Count))
+		}
+		if req.Count > 1 {
+			cost := core.BatchDeltaAddCost(art.N, req.Count, b.UpdateTau)
+			note("batch of %d: shared no-pivot chain cuts the walk to %s from the sequential loop's %s",
+				req.Count, cost, core.DeltaAddCost(art.N, b.UpdateTau).Times(req.Count))
+			return done(ChoiceDeltaBatch, cost,
+				"batched delta walk (Algorithm 5, one permutation pass for all pending points)")
 		}
 		cost := core.DeltaAddCost(art.N, b.UpdateTau).Times(req.Count)
 		return done(ChoiceDelta, cost,

@@ -114,6 +114,36 @@ func TestPlanAddPivotFamily(t *testing.T) {
 	}
 }
 
+func TestPlanAddBatch(t *testing.T) {
+	// Multi-point adds without artifacts take the batched delta walk, and
+	// its predicted cost must undercut k sequential delta passes.
+	art := Artifacts{N: 20}
+	d := Plan(Request{Op: OpAdd, Count: 4}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDeltaBatch {
+		t.Fatalf("choice = %v, want Delta-batch", d.Choice)
+	}
+	seq := core.DeltaAddCost(20, 100).Times(4)
+	if d.Cost.Evaluations >= seq.Evaluations {
+		t.Fatalf("batch cost %d not below sequential %d", d.Cost.Evaluations, seq.Evaluations)
+	}
+	if !strings.Contains(strings.Join(d.Trace, " "), "batch") {
+		t.Fatalf("trace should explain the batching: %v", d.Trace)
+	}
+
+	// With retained permutations the whole batch rides one stored-perm pass.
+	withPerms := artifacts(t, 20, true, false, 0, nil)
+	d = Plan(Request{Op: OpAdd, Count: 4}, withPerms, Budget{UpdateTau: 100})
+	if d.Choice != ChoicePivotBatch {
+		t.Fatalf("with perms: choice = %v, want Pivot-s-batch", d.Choice)
+	}
+
+	// Bulk additions still fall back to recomputation.
+	d = Plan(Request{Op: OpAdd, Count: 11}, Artifacts{N: 20}, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceMonteCarlo {
+		t.Fatalf("bulk add: choice = %v, want MC", d.Choice)
+	}
+}
+
 func TestPlanTraceMentionsAdaptiveBudget(t *testing.T) {
 	art := Artifacts{N: 10}
 	d := Plan(Request{Op: OpAdd, Count: 1}, art, Budget{UpdateTau: 100, TargetEps: 0.01, TargetDelta: 0.05})
@@ -129,6 +159,7 @@ func TestOpAndChoiceStrings(t *testing.T) {
 	names := map[Choice]string{
 		ChoiceExact: "YN-NN", ChoicePivotSame: "Pivot-s",
 		ChoiceDelta: "Delta", ChoiceMonteCarlo: "MC",
+		ChoiceDeltaBatch: "Delta-batch", ChoicePivotBatch: "Pivot-s-batch",
 	}
 	for c, want := range names {
 		if c.String() != want {

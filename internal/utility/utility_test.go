@@ -124,6 +124,43 @@ func TestAppendCreatesNPlusView(t *testing.T) {
 	}
 }
 
+func TestBatchAppendMatchesChained(t *testing.T) {
+	// The batch update pipeline leans on one multi-point Append being
+	// bit-identical to chaining single-point Appends and to a fresh build:
+	// one kernel fill, one test-set clone, same utilities everywhere.
+	train, test := fixture(12)
+	pts := make([]dataset.Point, 4)
+	for j := range pts {
+		x := make([]float64, train.Dim())
+		for i := range x {
+			x[i] = 0.3*float64(i) - 0.2*float64(j+1)
+		}
+		pts[j] = dataset.Point{X: x, Y: j % 3}
+	}
+	u := NewModelUtility(train, test, ml.KNN{K: 3}, WithWorkers(2))
+	batch := u.Append(pts...)
+	chained := u
+	for _, p := range pts {
+		chained = chained.Append(p)
+	}
+	fresh := NewModelUtility(train.Append(pts...), test, ml.KNN{K: 3})
+	if batch.N() != 16 || chained.N() != 16 || fresh.N() != 16 {
+		t.Fatalf("sizes: batch %d chained %d fresh %d, want 16", batch.N(), chained.N(), fresh.N())
+	}
+	for _, s := range []bitset.Set{
+		bitset.New(16),
+		bitset.FromIndices(16, 0, 3, 7),
+		bitset.FromIndices(16, 12, 13, 14, 15),
+		bitset.FromIndices(16, 1, 5, 12, 15),
+		bitset.Full(16),
+	} {
+		vb, vc, vf := batch.Value(s), chained.Value(s), fresh.Value(s)
+		if vb != vc || vb != vf {
+			t.Fatalf("U(%v): batch %v chained %v fresh %v", s, vb, vc, vf)
+		}
+	}
+}
+
 func TestRemoveCreatesNMinusView(t *testing.T) {
 	train, test := fixture(10)
 	u := NewModelUtility(train, test, ml.KNN{K: 3})

@@ -448,6 +448,10 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 		algo = AlgoPivotSame
 	case plan.ChoiceDelta:
 		algo = AlgoDelta
+	case plan.ChoiceDeltaBatch:
+		algo = AlgoDeltaBatch
+	case plan.ChoicePivotBatch:
+		algo = AlgoPivotSameBatch
 	default:
 		algo = AlgoMonteCarlo
 	}
@@ -461,6 +465,14 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 //   - AlgoAuto: let the planner pick the cheapest valid path below.
 //   - AlgoPivotSame / AlgoPivotDifferent / AlgoDelta: incremental, applied
 //     per point in sequence.
+//   - AlgoPivotSameBatch: one stored-permutation pass for the whole batch;
+//     bit-identical to applying AlgoPivotSame per point in sequence, at a
+//     fraction of the wall clock.
+//   - AlgoDeltaBatch: one shared permutation pass valuing every pending
+//     point against the pre-batch set. Note the estimator differs from
+//     sequential AlgoDelta for k > 1: each point is valued against the
+//     FIXED pre-batch base rather than a set growing with its predecessors
+//     (identical at k = 1). Deterministic and worker-count invariant.
 //   - AlgoKNN / AlgoKNNPlus: instant heuristics.
 //   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
 //   - AlgoBase: keep old values; new points get the average old value.
@@ -493,8 +505,12 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 		s.applyAppend(st, points)
 	case AlgoPivotSame, AlgoPivotDifferent:
 		err = s.addPivot(st, points, algo, r, &ops)
+	case AlgoPivotSameBatch:
+		err = s.addPivotBatch(st, points, r, &ops)
 	case AlgoDelta:
 		err = s.addDelta(st, points, r, &ops)
+	case AlgoDeltaBatch:
+		err = s.addDeltaBatch(st, points, r, &ops)
 	case AlgoKNN:
 		st.sv, err = core.KNNAdd(st.sv, st.train, points, s.cfg.knnK)
 		if err == nil {
@@ -512,12 +528,20 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 		return nil, err
 	}
 	st.storesFresh = false
+	// Batched walks attribute a value to every appended point in one pass;
+	// record the per-point attribution so journal readers can audit what
+	// each point of the batch was individually worth.
+	var batchVals []float64
+	if algo == AlgoDeltaBatch || algo == AlgoPivotSameBatch {
+		batchVals = append([]float64(nil), st.sv[len(st.sv)-len(points):]...)
+	}
 	s.publish(st, journal.Update{
 		Version:      st.version,
 		Op:           "add",
 		Requested:    requestedName(requested, algo),
 		Algo:         algo.String(),
 		Points:       points,
+		BatchValues:  batchVals,
 		Trainings:    st.totalFits() - startFits,
 		PrefixAdds:   st.totalPrefixAdds() - startPrefix,
 		Permutations: ops.perms,
@@ -594,20 +618,66 @@ func (s *Session) addPivot(st *sessionState, points []Point, algo Algorithm, r *
 		}
 		ops.perms += st.pivot.Tau
 		st.sv = sv
-		s.applyAppendSingle(st, p, uPlus)
+		s.applyAppendBuilt(st, uPlus, p)
 	}
 	return nil
 }
 
-// applyAppendSingle installs an already-built utility for one added point.
-func (s *Session) applyAppendSingle(st *sessionState, p Point, uPlus *utility.ModelUtility) {
-	st.train = st.train.Append(p)
+// applyAppendBuilt installs an already-built utility for the added points.
+func (s *Session) applyAppendBuilt(st *sessionState, uPlus *utility.ModelUtility, points ...Point) {
+	st.train = st.train.Append(points...)
 	st.pastFits += st.util.Fits()
 	st.pastPrefixAdds += st.util.PrefixAdds()
 	st.util = uPlus
 	if s.cfg.cacheEnabled {
 		st.cache = game.NewCachedShared(st.util, st.cache)
 	}
+}
+
+// addPivotBatch walks the retained permutations ONCE for the whole batch:
+// one multi-point utility append (one blocked kernel fill, one test-set
+// clone), one stored-permutation pass with per-point accumulators striped
+// across workers. The per-point RNG sources are split from r in arrival
+// order — exactly the splits sequential addPivot would consume — so the
+// result is bit-identical to k successive AlgoPivotSame calls.
+func (s *Session) addPivotBatch(st *sessionState, points []Point, r *rng.Source, ops *opMetrics) error {
+	if st.pivot == nil {
+		return ErrNotInitialized
+	}
+	// Clone before mutating: the published predecessor shares this pivot,
+	// and a half-applied failure must not corrupt it.
+	st.pivot = st.pivot.Clone()
+	uPlus := st.util.Append(points...)
+	gPlus := s.gameFor(st, uPlus)
+	rs := make([]*rng.Source, len(points))
+	for i := range rs {
+		rs[i] = r.Split()
+	}
+	sv, err := s.engine.BatchAddSame(st.pivot, gPlus, len(points), rs)
+	if err != nil {
+		return err
+	}
+	ops.perms += st.pivot.Tau
+	st.sv = sv
+	s.applyAppendBuilt(st, uPlus, points...)
+	return nil
+}
+
+// addDeltaBatch runs the batched delta walk: one multi-point utility
+// append, then one shared permutation pass valuing all pending points
+// against the fixed pre-batch set (see Add's note on how this estimator
+// relates to sequential AlgoDelta).
+func (s *Session) addDeltaBatch(st *sessionState, points []Point, r *rng.Source, ops *opMetrics) error {
+	uPlus := st.util.Append(points...)
+	gPlus := s.gameFor(st, uPlus)
+	sv, err := s.engine.BatchDeltaAdd(gPlus, st.sv, len(points), s.cfg.updateTau, r.Split())
+	if err != nil {
+		return err
+	}
+	ops.perms += s.engine.Stats().Issued
+	st.sv = sv
+	s.applyAppendBuilt(st, uPlus, points...)
+	return nil
 }
 
 func (s *Session) addDelta(st *sessionState, points []Point, r *rng.Source, ops *opMetrics) error {
@@ -620,7 +690,7 @@ func (s *Session) addDelta(st *sessionState, points []Point, r *rng.Source, ops 
 		}
 		ops.perms += s.engine.Stats().Issued
 		st.sv = sv
-		s.applyAppendSingle(st, p, uPlus)
+		s.applyAppendBuilt(st, uPlus, p)
 	}
 	return nil
 }
