@@ -11,11 +11,12 @@ build:
 
 # lint first, then the full suite, then a race pass over the packages with
 # concurrent internals: the parallel estimators, the sharded coalition
-# cache, and the root package's versioned session store (non-blocking
-# reads racing live updates).
+# cache, the exact k-NN estimator's column-striped workers, and the root
+# package's versioned session store (non-blocking reads racing live
+# updates).
 test: lint
 	$(GO) test ./...
-	$(GO) test -race . ./internal/core/... ./internal/game/...
+	$(GO) test -race . ./internal/core/... ./internal/exact/... ./internal/game/...
 
 # go vet always runs; staticcheck and govulncheck run when installed (the
 # build stays tool-download-free, so they are optional extras, not gates).

@@ -509,6 +509,84 @@ func BenchmarkInitializeKNNScratchN200(b *testing.B) {
 	benchInitialize(b, dynshap.WithoutDistanceKernel())
 }
 
+// Exact closed-form path (ISSUE 6): the same n = 200 pool as
+// benchInitialize, but under the soft k-NN model, where AlgoAuto routes
+// through internal/exact — per-test-column sorted orders plus the
+// rank-suffix recurrence — instead of a sampled permutation pass. The pair
+// of fixtures is deliberately identical so the exact and sampled Init
+// numbers compare like for like; TestExactInitSpeedup enforces the ≥10×
+// bound between them.
+func exactBenchFixture() (train, test *dataset.Dataset) {
+	rnd := rng.New(2026)
+	pool := dataset.TwoGaussians(rnd, 280, 16, 4)
+	pool.Standardize()
+	return pool.Split(float64(200) / 280)
+}
+
+func BenchmarkExactKNNInitialize(b *testing.B) {
+	train, test := exactBenchFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := dynshap.NewSession(train, test, dynshap.SoftKNNClassifier{K: 5},
+			dynshap.WithSamples(200), dynshap.WithSeed(9))
+		if err := s.Init(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One AlgoAuto Add per iteration on the exact-KNN session at n = 200: a
+// binary insert into every per-column sorted order plus the suffix
+// recomputation from the insertion rank. The restoring Delete (also exact)
+// runs off the timer.
+func BenchmarkExactKNNAdd(b *testing.B) {
+	train, test := exactBenchFixture()
+	s := dynshap.NewSession(train, test, dynshap.SoftKNNClassifier{K: 5},
+		dynshap.WithSamples(200), dynshap.WithSeed(9))
+	if err := s.Init(); err != nil {
+		b.Fatal(err)
+	}
+	pt := []dynshap.Point{{X: make([]float64, 16), Y: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Add(pt, dynshap.AlgoAuto); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if _, err := s.Delete([]int{200}, dynshap.AlgoAuto); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// The matching Delete latency: remove one mid-ranked point per iteration
+// (compaction of every sorted order plus suffix recomputation), restoring
+// it off the timer.
+func BenchmarkExactKNNDelete(b *testing.B) {
+	train, test := exactBenchFixture()
+	s := dynshap.NewSession(train, test, dynshap.SoftKNNClassifier{K: 5},
+		dynshap.WithSamples(200), dynshap.WithSeed(9))
+	if err := s.Init(); err != nil {
+		b.Fatal(err)
+	}
+	pt := []dynshap.Point{{X: make([]float64, 16), Y: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Delete([]int{i % 200}, dynshap.AlgoAuto); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if _, err := s.Add(pt, dynshap.AlgoAuto); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
 // PreprocessDeletion over a kernel-backed KNN utility at n = 300 — the
 // workload `make profile` captures a CPU profile of (see CONTRIBUTING).
 func BenchmarkPreprocessDeletionKNNN300(b *testing.B) {

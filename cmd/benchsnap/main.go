@@ -9,6 +9,14 @@
 //	go run ./cmd/benchsnap -o out.json
 //	go run ./cmd/benchsnap diff old.json new.json
 //
+// The suite runs with a fixed iteration count (-benchtime 3x by default)
+// rather than a wall-clock budget, so two runs of the same binary execute
+// the identical work and the snapshot is reproducible; more than one
+// iteration keeps a single cold-cache pass from defining the number. On
+// multi-core machines every benchmark also runs under -cpu=1,<max>: the
+// single-proc rows keep the bare benchmark name (so they diff against
+// historical snapshots), the max-proc rows are recorded as name@p<max>.
+//
 // The benchmark output is also streamed to stdout as it arrives, so the
 // command doubles as a plain `make bench` run. The diff subcommand
 // compares two snapshots per benchmark on ns/op and exits non-zero when
@@ -44,6 +52,7 @@ type snapshot struct {
 	GoVersion  string  `json:"go_version"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	BenchTime  string  `json:"benchtime"`
+	Procs      []int   `json:"procs,omitempty"`
 	Benchmarks []entry `json:"benchmarks"`
 }
 
@@ -53,7 +62,10 @@ func main() {
 		return
 	}
 	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
-	benchtime := flag.String("benchtime", "1x", "value passed to -benchtime")
+	benchtime := flag.String("benchtime", "3x",
+		"value passed to -benchtime; a fixed iteration count (Nx) keeps snapshots reproducible")
+	cpu := flag.String("cpu", "",
+		"value passed to -cpu (default \"1,<num CPUs>\", just \"1\" on single-CPU machines)")
 	flag.Parse()
 
 	date := time.Now().Format("2006-01-02")
@@ -62,8 +74,25 @@ func main() {
 		path = fmt.Sprintf("BENCH_%s.json", date)
 	}
 
+	cpuList := *cpu
+	if cpuList == "" {
+		if n := runtime.NumCPU(); n > 1 {
+			cpuList = fmt.Sprintf("1,%d", n)
+		} else {
+			cpuList = "1"
+		}
+	}
+	var procs []int
+	for _, f := range strings.Split(cpuList, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			fatal(fmt.Errorf("bad -cpu list %q", cpuList))
+		}
+		procs = append(procs, p)
+	}
+
 	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchmem",
-		"-benchtime="+*benchtime, "./...")
+		"-benchtime="+*benchtime, "-cpu="+cpuList, "./...")
 	cmd.Stderr = os.Stderr
 	pipe, err := cmd.StdoutPipe()
 	if err != nil {
@@ -78,6 +107,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		BenchTime:  *benchtime,
+		Procs:      procs,
 	}
 	sc := bufio.NewScanner(pipe)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -124,8 +154,7 @@ func parseBenchLine(line string) (entry, bool) {
 		return entry{}, false
 	}
 	e := entry{
-		// Strip the -GOMAXPROCS suffix so names are stable across machines.
-		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+		Name:       canonicalName(fields[0]),
 		Iterations: iters,
 		Metrics:    make(map[string]float64),
 	}
@@ -140,6 +169,23 @@ func parseBenchLine(line string) (entry, bool) {
 		return entry{}, false
 	}
 	return e, true
+}
+
+// canonicalName rewrites go test's -<procs> benchmark-name suffix as
+// @p<procs>. Single-proc rows carry no suffix (go test omits it at
+// GOMAXPROCS 1) and keep the bare name, so the reproducible -cpu=1 baseline
+// diffs cleanly against snapshots taken before multi-proc variants existed
+// or on machines with different core counts.
+func canonicalName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p < 1 {
+		return name
+	}
+	return name[:i] + "@p" + name[i+1:]
 }
 
 // regressionThreshold is the fractional ns/op increase past which diff

@@ -1,8 +1,6 @@
 package main
 
 import (
-	"fmt"
-	"runtime"
 	"testing"
 )
 
@@ -59,8 +57,8 @@ func TestDiffSnapshotsZeroOld(t *testing.T) {
 }
 
 func TestParseBenchLine(t *testing.T) {
-	suffix := fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))
-	line := "BenchmarkSessionAddBatch16N200" + suffix + "   3   89919461 ns/op   120 B/op   4 allocs/op"
+	// A -cpu=1 row: no -<procs> suffix, name kept bare.
+	line := "BenchmarkSessionAddBatch16N200   3   89919461 ns/op   120 B/op   4 allocs/op"
 	e, ok := parseBenchLine(line)
 	if !ok {
 		t.Fatal("line not parsed")
@@ -73,9 +71,35 @@ func TestParseBenchLine(t *testing.T) {
 			t.Fatalf("%s = %v, want %v", unit, e.Metrics[unit], want)
 		}
 	}
+	// A multi-proc row: the -<procs> suffix becomes @p<procs>.
+	e, ok = parseBenchLine("BenchmarkExactKNNAdd-8   3   314273 ns/op")
+	if !ok {
+		t.Fatal("multi-proc line not parsed")
+	}
+	if e.Name != "BenchmarkExactKNNAdd@p8" {
+		t.Fatalf("multi-proc name = %q, want BenchmarkExactKNNAdd@p8", e.Name)
+	}
 	for _, junk := range []string{"", "ok  dynshap 1.2s", "Benchmark", "BenchmarkX notanint 5 ns/op"} {
 		if _, ok := parseBenchLine(junk); ok {
 			t.Fatalf("parsed junk line %q", junk)
+		}
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo":      "BenchmarkFoo",
+		"BenchmarkFoo-8":    "BenchmarkFoo@p8",
+		"BenchmarkFoo-128":  "BenchmarkFoo@p128",
+		"BenchmarkFoo-bar":  "BenchmarkFoo-bar", // non-numeric suffix untouched
+		"BenchmarkN200-8":   "BenchmarkN200@p8",
+		"BenchmarkFoo-0":    "BenchmarkFoo-0", // procs start at 1
+		"BenchmarkFoo-8-16": "BenchmarkFoo-8@p16",
+		"-8":                "-8", // leading dash: not a suffix
+	}
+	for in, want := range cases {
+		if got := canonicalName(in); got != want {
+			t.Errorf("canonicalName(%q) = %q, want %q", in, got, want)
 		}
 	}
 }

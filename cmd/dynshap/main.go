@@ -13,6 +13,11 @@
 //	undo       roll the snapshot back one version by deterministic replay
 //	samplesize print the (ϵ, δ) sample-size bounds of Theorems 1, 2 and 4
 //
+// With -model softknn (the soft k-NN utility) the session maintains the
+// exact closed-form k-NN Shapley estimator: compute, add and delete are
+// all EXACT with zero model trainings, and -algo auto routes every update
+// onto it (the planner's reasoning shows up under `history`).
+//
 // Run `dynshap <subcommand> -h` for flags.
 package main
 
@@ -73,12 +78,14 @@ func trainerFor(model string) (dynshap.Trainer, error) {
 		return dynshap.SVM{}, nil
 	case "knn":
 		return dynshap.KNNClassifier{K: 5}, nil
+	case "softknn":
+		return dynshap.SoftKNNClassifier{K: 5}, nil
 	case "logreg":
 		return dynshap.LogReg{}, nil
 	case "nb":
 		return dynshap.NaiveBayes{}, nil
 	default:
-		return nil, fmt.Errorf("unknown model %q (svm, knn, logreg, nb)", model)
+		return nil, fmt.Errorf("unknown model %q (svm, knn, softknn, logreg, nb)", model)
 	}
 }
 
@@ -106,6 +113,8 @@ func algoFor(name string) (dynshap.Algorithm, error) {
 		return dynshap.AlgoKNN, nil
 	case "knn+", "knnplus":
 		return dynshap.AlgoKNNPlus, nil
+	case "exact", "exact-knn", "exactknn":
+		return dynshap.AlgoExactKNN, nil
 	case "auto":
 		return dynshap.AlgoAuto, nil
 	default:
@@ -143,7 +152,7 @@ func cmdCompute(args []string) error {
 	fs := flag.NewFlagSet("compute", flag.ExitOnError)
 	trainPath := fs.String("train", "", "training CSV (points to value; required)")
 	testPath := fs.String("test", "", "test CSV (defines the utility; required)")
-	model := fs.String("model", "svm", "utility model: svm, knn, logreg")
+	model := fs.String("model", "svm", "utility model: svm, knn, softknn, logreg")
 	tau := fs.Int("tau", 0, "permutation samples (default 20·n)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	out := fs.String("o", "", "snapshot output path (required)")
@@ -196,8 +205,8 @@ func cmdAdd(args []string) error {
 	fs := flag.NewFlagSet("add", flag.ExitOnError)
 	snapPath := fs.String("snapshot", "", "snapshot path (updated in place; required)")
 	pointsPath := fs.String("points", "", "CSV of points to add (required)")
-	model := fs.String("model", "svm", "utility model: svm, knn, logreg")
-	algoName := fs.String("algo", "delta", "update algorithm (delta, delta-batch, pivot-d, pivot-s-batch, knn, knn+, mc, tmc, base)")
+	model := fs.String("model", "svm", "utility model: svm, knn, softknn, logreg")
+	algoName := fs.String("algo", "delta", "update algorithm (auto, delta, delta-batch, pivot-d, pivot-s-batch, knn, knn+, exact, mc, tmc, base)")
 	tau := fs.Int("tau", 0, "update permutation samples (default: snapshot's τ)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	fs.Parse(args)
@@ -254,8 +263,8 @@ func cmdDelete(args []string) error {
 	fs := flag.NewFlagSet("delete", flag.ExitOnError)
 	snapPath := fs.String("snapshot", "", "snapshot path (updated in place; required)")
 	indicesArg := fs.String("indices", "", "comma-separated point indices to delete (required)")
-	model := fs.String("model", "svm", "utility model: svm, knn, logreg")
-	algoName := fs.String("algo", "delta", "update algorithm (delta, ynnn, knn, knn+, mc, tmc)")
+	model := fs.String("model", "svm", "utility model: svm, knn, softknn, logreg")
+	algoName := fs.String("algo", "delta", "update algorithm (auto, delta, ynnn, knn, knn+, exact, mc, tmc)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	fs.Parse(args)
 	if *snapPath == "" || *indicesArg == "" {
@@ -383,6 +392,12 @@ func cmdHistory(args []string) error {
 			for _, line := range u.Decision {
 				fmt.Printf("        · %s\n", line)
 			}
+		} else if len(u.Decision) > 0 {
+			// The trace's last line is the planner's verdict ("chose X
+			// because …" — e.g. exact closed form vs a sampled pass); show
+			// it even without -v so the exact-vs-sampled decision is
+			// visible at a glance. -v prints the full trace.
+			fmt.Printf("        · %s\n", u.Decision[len(u.Decision)-1])
 		}
 	}
 	return nil
@@ -391,7 +406,7 @@ func cmdHistory(args []string) error {
 func cmdUndo(args []string) error {
 	fs := flag.NewFlagSet("undo", flag.ExitOnError)
 	snapPath := fs.String("snapshot", "", "snapshot path (rolled back in place; required)")
-	model := fs.String("model", "svm", "utility model: svm, knn, logreg, nb")
+	model := fs.String("model", "svm", "utility model: svm, knn, softknn, logreg, nb")
 	fs.Parse(args)
 	if *snapPath == "" {
 		return fmt.Errorf("undo: -snapshot is required")

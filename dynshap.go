@@ -68,6 +68,13 @@ type (
 	SVM = ml.SVM
 	// KNNClassifier is the k-nearest-neighbours classifier.
 	KNNClassifier = ml.KNN
+	// SoftKNNClassifier is the k-NN trainer scored with Jia et al.'s SOFT
+	// utility — mean over test points of (#same-label among the k nearest)/k
+	// — the one utility whose Shapley values admit an exact closed form.
+	// Sessions built with it maintain EXACT values through Init, Add and
+	// Delete (AlgoExactKNN, routed automatically by AlgoAuto) with zero
+	// model trainings at any n.
+	SoftKNNClassifier = ml.SoftKNN
 	// LogReg is logistic regression trained with SGD.
 	LogReg = ml.LogReg
 	// NaiveBayes is the Gaussian naive Bayes classifier.
@@ -154,12 +161,26 @@ const (
 	// AlgoKNNPlus additionally shifts original values along fitted
 	// similarity→change curves (Algorithm 10).
 	AlgoKNNPlus
+	// AlgoExactKNN computes and maintains EXACT Shapley values through the
+	// closed-form sorted-neighbour recurrence of Jia et al. (VLDB 2019) —
+	// no permutations, no model trainings, no estimation error. Available
+	// for sessions built with SoftKNNClassifier and the distance kernel
+	// enabled: Init sorts each test point's distance column once
+	// (O(m·n log n)), Add binary-inserts into the maintained orders and
+	// recomputes only the affected rank suffix (O(m·(log n + suffix))),
+	// Delete tombstones through the kernel's column masking. The dynamic
+	// path is exactly equal — bit for bit — to recomputing from scratch
+	// after every update.
+	AlgoExactKNN
 	// AlgoAuto lets the session's planner pick the cheapest valid algorithm
-	// for each update from the artifacts it actually holds: exact YN-NN /
-	// YNN-NNN merges when the arrays are fresh and cover the request,
-	// pivot replay when permutations were retained, delta otherwise, with a
-	// Monte Carlo fallback for bulk updates. The decision and its rationale
-	// are recorded in the session journal (see Session.History).
+	// for each update from the artifacts it actually holds: the exact
+	// closed-form k-NN estimator whenever the session maintains one
+	// (SoftKNNClassifier + kernel — nothing sampled can beat exact at zero
+	// trainings), exact YN-NN / YNN-NNN merges when the arrays are fresh
+	// and cover the request, pivot replay when permutations were retained,
+	// delta otherwise, with a Monte Carlo fallback for bulk updates. The
+	// decision and its rationale are recorded in the session journal (see
+	// Session.History).
 	AlgoAuto
 )
 
@@ -188,6 +209,8 @@ func (a Algorithm) String() string {
 		return "KNN"
 	case AlgoKNNPlus:
 		return "KNN+"
+	case AlgoExactKNN:
+		return "Exact-KNN"
 	case AlgoAuto:
 		return "Auto"
 	default:

@@ -56,6 +56,32 @@ func main() {
 	fmt.Printf("deletion cost: %d model trainings (refresh pass before it: %d)\n",
 		s.ModelTrainings()-before, refreshCost)
 	report("after deleting point 13 (YN-NN, exact)", s)
+
+	// Under the soft k-NN utility none of the sampling above is needed:
+	// the closed form (Jia et al.) is exact, and the session keeps it
+	// exact through updates by maintaining sorted neighbour orders —
+	// AlgoAuto routes every operation onto the Exact-KNN path at zero
+	// model trainings.
+	fmt.Println("\nexact k-NN fast path (SoftKNNClassifier, no sampling):")
+	e := dynshap.NewSession(train, test, dynshap.SoftKNNClassifier{K: 5},
+		dynshap.WithSeed(7))
+	if err := e.Init(); err != nil {
+		log.Fatal(err)
+	}
+	report("exact initial", e)
+	if _, err := e.Add([]dynshap.Point{newPoint}, dynshap.AlgoAuto); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Delete([]int{13}, dynshap.AlgoAuto); err != nil {
+		log.Fatal(err)
+	}
+	report("exact after add + delete", e)
+	last, err := e.At(e.Version())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("journal: %s via %s, %d model trainings total — planner: %s\n",
+		last.Op, last.Algo, e.ModelTrainings(), last.Decision[len(last.Decision)-1])
 }
 
 func report(stage string, s *dynshap.Session) {

@@ -125,6 +125,92 @@ func FuzzKernelScratchEquality(f *testing.F) {
 	})
 }
 
+// FuzzExactKNNEquality asserts the exact k-NN estimator's two core
+// contracts on fuzzer-chosen workloads: (1) against brute-force
+// enumeration of the soft k-NN game's 2ⁿ coalitions at small n, the
+// closed form is exact to 1e-12; (2) after a random sequence of session
+// Adds and Deletes, the dynamically maintained values EXACTLY equal (==,
+// no tolerance) a from-scratch session over the same points. Grid
+// coordinates and duplicated points make exact distance ties common, so
+// the stable tie order is stressed, not dodged. Seeds run as regular
+// tests; use `go test -fuzz FuzzExactKNNEquality .` for guided
+// exploration.
+func FuzzExactKNNEquality(f *testing.F) {
+	f.Add(uint64(1), uint8(6), uint8(4), uint8(3), uint8(4))
+	f.Add(uint64(7), uint8(8), uint8(1), uint8(1), uint8(6))
+	f.Add(uint64(42), uint8(3), uint8(0), uint8(5), uint8(2)) // empty test set
+	f.Add(uint64(99), uint8(5), uint8(7), uint8(2), uint8(8))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw, kRaw, stepsRaw uint8) {
+		n := 1 + int(nRaw)%8
+		m := int(mRaw) % 8
+		k := 1 + int(kRaw)%6
+		steps := int(stepsRaw) % 8
+
+		r := rng.New(seed)
+		mk := func(count int) *dataset.Dataset {
+			pts := make([]dataset.Point, count)
+			for i := range pts {
+				x := make([]float64, 2)
+				for j := range x {
+					x[j] = float64(r.Intn(5)) / 2
+				}
+				pts[i] = dataset.Point{X: x, Y: r.Intn(3)}
+			}
+			d := dataset.New(pts)
+			d.Classes = 3
+			return d
+		}
+		train, test := mk(n), mk(m)
+
+		check := func(stage string, s *dynshap.Session) {
+			t.Helper()
+			got := s.Values()
+			cur := s.Data()
+			// Enumeration ground truth (n stays ≤ 10, so 2ⁿ is cheap).
+			want := dynshap.ExactShapley(dynshap.SoftKNNGame(cur, test, k))
+			for i := range want {
+				if d := got[i] - want[i]; d > 1e-12 || d < -1e-12 {
+					t.Fatalf("%s: sv[%d] = %v, enumeration %v (n=%d m=%d k=%d)", stage, i, got[i], want[i], cur.Len(), m, k)
+				}
+			}
+			// From-scratch session: bitwise equality.
+			fresh := dynshap.NewSession(cur, test, dynshap.SoftKNNClassifier{K: k}, dynshap.WithSeed(seed))
+			if err := fresh.Init(); err != nil {
+				t.Fatalf("%s: fresh init: %v", stage, err)
+			}
+			for i, w := range fresh.Values() {
+				if got[i] != w {
+					t.Fatalf("%s: sv[%d] maintained %v != from-scratch %v", stage, i, got[i], w)
+				}
+			}
+		}
+
+		s := dynshap.NewSession(train, test, dynshap.SoftKNNClassifier{K: k}, dynshap.WithSeed(seed))
+		if err := s.Init(); err != nil {
+			t.Fatal(err)
+		}
+		check("init", s)
+		for step := 0; step < steps; step++ {
+			if s.N() >= 2 && (s.N() >= 10 || r.Intn(2) == 0) {
+				if _, err := s.Delete([]int{r.Intn(s.N())}, dynshap.AlgoAuto); err != nil {
+					t.Fatalf("step %d: delete: %v", step, err)
+				}
+			} else {
+				var p dataset.Point
+				if s.N() > 0 && r.Intn(3) == 0 {
+					p = s.Data().Points[r.Intn(s.N())].Clone() // exact tie
+				} else {
+					p = mk(1).Points[0]
+				}
+				if _, err := s.Add([]dynshap.Point{p}, dynshap.AlgoAuto); err != nil {
+					t.Fatalf("step %d: add: %v", step, err)
+				}
+			}
+			check("step", s)
+		}
+	})
+}
+
 // FuzzBatchSequentialEquality asserts the batched update walks' bit-identity
 // contract on fuzzer-chosen workloads: for random bases, batch sizes, τ
 // budgets, and worker counts, the engine's one-pass batched walks must

@@ -132,3 +132,20 @@ func DeltaDeleteCost(n, tau int) Cost {
 func MonteCarloCost(n, tau int) Cost {
 	return Cost{Evaluations: int64(tau) * int64(n)}
 }
+
+// ExactKNNCost is the cost of maintaining exact closed-form k-NN Shapley
+// values (Jia et al.) through an update touching count points of an
+// n-point set valued against m test points: per test column, a binary
+// search per point plus the affected rank suffix of the recurrence
+// (bounded by n+count), then the O(m·(n+count)) deterministic value
+// reduction. ZERO utility evaluations — like the YN-NN merge, only array
+// work — which is why the planner routes every update of an exact-capable
+// session here.
+func ExactKNNCost(n, m, count int) Cost {
+	after := int64(n + count)
+	lg := int64(1)
+	for v := after; v > 1; v >>= 1 {
+		lg++
+	}
+	return Cost{ArrayOps: int64(m) * (int64(count)*lg + 2*after)}
+}

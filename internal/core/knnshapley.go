@@ -21,7 +21,7 @@ import (
 // O(n log n) per test point: sort the training points by distance to t and
 // apply the recurrence
 //
-//	s_{α_n} = 1[y_{α_n} = y_t] / n
+//	s_{α_n} = 1[y_{α_n} = y_t] / max(n, k)
 //	s_{α_i} = s_{α_{i+1}} + (1[y_{α_i}=y_t] − 1[y_{α_{i+1}}=y_t])/k ·
 //	          min(k, i+1)/(i+1)
 //
@@ -59,8 +59,15 @@ func KNNShapley(train, test *dataset.Dataset, k int) ([]float64, error) {
 			return 0
 		}
 		// Recurrence from the farthest point inward (0-based rank i,
-		// 1-based position i+1).
-		s[n-1] = match(n-1) / float64(n)
+		// 1-based position i+1). The farthest point is inside the k-window
+		// only while the coalition holds fewer than k others, so its value
+		// is 1[match]/k · min(k,n)/n = 1[match]/max(n,k) — the familiar
+		// 1[match]/n only once n ≥ k.
+		den := float64(n)
+		if float64(k) > den {
+			den = float64(k)
+		}
+		s[n-1] = match(n-1) / den
 		for i := n - 2; i >= 0; i-- {
 			// min(k, i+1)/(i+1) with i+1 the 1-based position of rank i+1's
 			// predecessor pair in Jia et al.'s Theorem 1.

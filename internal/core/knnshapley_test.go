@@ -29,7 +29,10 @@ func seqRange(lo, hi int) []int {
 // The decisive check: the closed form must equal complete enumeration of
 // the soft k-NN utility, for several k and datasets.
 func TestKNNShapleyMatchesExactEnumeration(t *testing.T) {
-	for _, k := range []int{1, 3, 5} {
+	// k = 11 exceeds both n values: the closed form's base term must
+	// switch to 1[match]/k (points stay inside the k-window for every
+	// coalition size), not the n ≥ k form 1[match]/n.
+	for _, k := range []int{1, 3, 5, 11} {
 		for _, n := range []int{6, 9} {
 			train, test := knnFixture(n, 12, uint64(100+k))
 			u := NewSoftKNNUtility(train, test, k)

@@ -141,6 +141,29 @@ func (k *DistanceKernel) At(i, j int) float64 {
 	return k.data[int(k.cols[i])*k.m+j]
 }
 
+// Phys returns the physical column id backing logical training index i.
+// Physical ids are assigned in append order, never reused and never moved,
+// so they are stable names for training points across the logical-index
+// shifts Remove causes. Within any view the mapping is strictly
+// increasing: Append claims fresh ids past every existing one and Remove
+// preserves order — so ascending physical id IS ascending logical index,
+// which is what lets the exact estimator keep tie-order with a stable
+// sort while indexing its state by physical id.
+func (k *DistanceKernel) Phys(i int) int32 { return k.cols[i] }
+
+// PhysExtent returns the number of physical columns the view may address:
+// every id returned by Phys is < PhysExtent. Masked (removed) columns
+// count — their storage stays resident and readable.
+func (k *DistanceKernel) PhysExtent() int { return k.phys }
+
+// AtPhys returns the distance between the physical column p and test
+// point j — the same entry At reads through the logical map. It stays
+// valid for masked columns, so state keyed by physical id can keep
+// reading distances of points that left the logical view.
+func (k *DistanceKernel) AtPhys(p int32, j int) float64 {
+	return k.data[int(p)*k.m+j]
+}
+
 // Append returns a view extended with one column per point, computed
 // against the kernel's test set — O(m·d) per point, independent of n. The
 // receiver is unchanged. The new columns land in the shared buffer's spare

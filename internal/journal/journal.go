@@ -52,6 +52,12 @@ type Update struct {
 	// deterministic from (seed, version) — but auditors reading the
 	// journal see what each point of a batch was individually worth.
 	BatchValues []float64 `json:"batch_values,omitempty"`
+	// RemovedValues holds the pre-delete Shapley values of the removed
+	// points, aligned with Indices (exact k-NN deletions only, where the
+	// estimator knows every point's exact value at removal time). Replay
+	// does not consume it; auditors see what each departing point was
+	// worth the moment it left.
+	RemovedValues []float64 `json:"removed_values,omitempty"`
 	// Trainings is the number of model trainings the operation cost.
 	Trainings int64 `json:"trainings"`
 	// PrefixAdds is the number of incremental prefix evaluations the
@@ -220,6 +226,7 @@ func cloneEntry(u Update) Update {
 	u.Points = clonePoints(u.Points)
 	u.Indices = append([]int(nil), u.Indices...)
 	u.BatchValues = append([]float64(nil), u.BatchValues...)
+	u.RemovedValues = append([]float64(nil), u.RemovedValues...)
 	u.Decision = append([]string(nil), u.Decision...)
 	return u
 }

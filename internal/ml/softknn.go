@@ -1,0 +1,38 @@
+package ml
+
+import "dynshap/internal/dataset"
+
+// SoftKNN is the k-nearest-neighbours trainer scored with the SOFT utility
+// of Jia et al. (VLDB 2019): instead of majority-vote accuracy, the
+// utility layer scores a coalition S as
+//
+//	U(S) = (1/m) Σ_t (#same-label points among the min(k,|S|) nearest
+//	       neighbours of t in S) / k,
+//
+// with U(∅) = 0. The classifier itself is the ordinary k-NN model — only
+// the scoring rule differs — but the distinction matters enormously for
+// valuation: the soft utility is the one whose Shapley values admit the
+// exact O(m·n log n) closed form (internal/exact), so sessions built with
+// this trainer get exact values and exact dynamic updates with zero model
+// trainings, at any n. The majority-vote KNN trainer keeps its sampled
+// estimators; the closed form is NOT exact for it.
+type SoftKNN struct {
+	// K is the number of neighbours. Zero selects 5.
+	K int
+}
+
+// Resolve returns the effective neighbour count.
+func (t SoftKNN) Resolve() int {
+	if t.K == 0 {
+		return 5
+	}
+	return t.K
+}
+
+// Fit implements Trainer with the standard majority-vote k-NN model, so a
+// SoftKNN trainer still produces a usable classifier. The utility layer
+// never calls it on the valuation path — coalition scoring special-cases
+// the soft rule — but generic consumers of the Trainer interface work.
+func (t SoftKNN) Fit(train *dataset.Dataset) Classifier {
+	return KNN{K: t.K}.Fit(train)
+}

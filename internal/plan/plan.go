@@ -68,6 +68,12 @@ const (
 	// ChoicePivotBatch replays the retained permutations once for the
 	// whole batch (additions with k > 1 only).
 	ChoicePivotBatch
+	// ChoiceExactKNN maintains the exact closed-form k-NN Shapley values
+	// (Jia et al.) through the update — available whenever the session
+	// keeps the sorted-neighbour estimator (soft k-NN utility with a
+	// distance kernel). Exact for any update shape at zero model
+	// trainings, so nothing sampled can beat it.
+	ChoiceExactKNN
 )
 
 // String returns the paper's name for the chosen family.
@@ -83,6 +89,8 @@ func (c Choice) String() string {
 		return "Delta-batch"
 	case ChoicePivotBatch:
 		return "Pivot-s-batch"
+	case ChoiceExactKNN:
+		return "Exact-KNN"
 	default:
 		return "MC"
 	}
@@ -104,6 +112,15 @@ type Request struct {
 type Artifacts struct {
 	// N is the current player count.
 	N int
+	// ExactKNN reports whether the session maintains the exact
+	// closed-form k-NN estimator (soft k-NN utility backed by a distance
+	// kernel). Unlike the deletion arrays it never goes stale — the
+	// sorted orders are maintained through every update — so when it is
+	// present the planner routes ALL updates onto it.
+	ExactKNN bool
+	// TestPoints is the held-out test count m, the exact estimator's
+	// per-update cost multiplier (meaningful only with ExactKNN).
+	TestPoints int
 	// StoresFresh reports whether the deletion arrays still match the
 	// current player set (any update since the last fill stales them).
 	StoresFresh bool
@@ -153,6 +170,25 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 	done := func(c Choice, cost core.Cost, why string) Decision {
 		note("chose %s (%s): %s", c, cost, why)
 		return Decision{Choice: c, Cost: cost, Trace: trace}
+	}
+
+	// The exact estimator dominates every sampled path outright: it keeps
+	// the values EXACT through any update shape and spends zero utility
+	// evaluations, only array maintenance. Record the sampled
+	// alternative's price so the journal shows what the closed form saved.
+	if art.ExactKNN {
+		var alt core.Cost
+		var altName string
+		if req.Op == OpDelete {
+			altName, alt = "Delta deletion", core.DeltaDeleteCost(art.N, b.UpdateTau).Times(req.Count)
+		} else if req.Count > 1 {
+			altName, alt = "batched Delta addition", core.BatchDeltaAddCost(art.N, req.Count, b.UpdateTau)
+		} else {
+			altName, alt = "Delta addition", core.DeltaAddCost(art.N, b.UpdateTau)
+		}
+		note("exact k-NN estimator maintained (soft utility + distance kernel); sampled alternative %s would spend %s", altName, alt)
+		return done(ChoiceExactKNN, core.ExactKNNCost(art.N, art.TestPoints, req.Count),
+			"closed-form sorted-neighbour recurrence (Jia et al.) keeps values exact with zero model trainings")
 	}
 
 	switch req.Op {

@@ -144,6 +144,44 @@ func TestPlanAddBatch(t *testing.T) {
 	}
 }
 
+func TestPlanExactKNNDominates(t *testing.T) {
+	// With the exact estimator maintained, every update shape routes onto
+	// it — even when every sampled artifact is also present and fresh.
+	art := artifacts(t, 10, true, true, 2, []int{1, 3, 5})
+	art.ExactKNN = true
+	art.TestPoints = 4
+	for _, req := range []Request{
+		{Op: OpAdd, Count: 1},
+		{Op: OpAdd, Count: 4},
+		{Op: OpAdd, Count: 9}, // bulk: MC would win among sampled paths
+		{Op: OpDelete, Count: 1, Indices: []int{3}},
+		{Op: OpDelete, Count: 2, Indices: []int{5, 1}},
+	} {
+		d := Plan(req, art, Budget{UpdateTau: 100})
+		if d.Choice != ChoiceExactKNN {
+			t.Fatalf("%s count=%d: choice = %v, want Exact-KNN", req.Op, req.Count, d.Choice)
+		}
+		if d.Cost.Evaluations != 0 {
+			t.Fatalf("%s count=%d: exact path predicts %d utility evaluations", req.Op, req.Count, d.Cost.Evaluations)
+		}
+		trace := strings.Join(d.Trace, " ")
+		if !strings.Contains(trace, "sampled alternative") {
+			t.Fatalf("trace should price the sampled alternative: %v", d.Trace)
+		}
+		if !strings.Contains(trace, "chose Exact-KNN") {
+			t.Fatalf("trace should record the verdict: %v", d.Trace)
+		}
+	}
+
+	// Without the estimator the same artifacts fall through to the
+	// sampled decision tree.
+	art.ExactKNN = false
+	d := Plan(Request{Op: OpDelete, Count: 1, Indices: []int{3}}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceExact {
+		t.Fatalf("without estimator: choice = %v, want YN-NN merge", d.Choice)
+	}
+}
+
 func TestPlanTraceMentionsAdaptiveBudget(t *testing.T) {
 	art := Artifacts{N: 10}
 	d := Plan(Request{Op: OpAdd, Count: 1}, art, Budget{UpdateTau: 100, TargetEps: 0.01, TargetDelta: 0.05})
@@ -160,6 +198,7 @@ func TestOpAndChoiceStrings(t *testing.T) {
 		ChoiceExact: "YN-NN", ChoicePivotSame: "Pivot-s",
 		ChoiceDelta: "Delta", ChoiceMonteCarlo: "MC",
 		ChoiceDeltaBatch: "Delta-batch", ChoicePivotBatch: "Pivot-s-batch",
+		ChoiceExactKNN: "Exact-KNN",
 	}
 	for c, want := range names {
 		if c.String() != want {

@@ -65,22 +65,37 @@ type knnPrefix struct {
 	predCorrect []bool
 	correct     int
 
+	// soft switches the scoring rule to the soft k-NN utility (SoftKNN
+	// trainers): instead of voting, softTotal counts same-label members
+	// across all windows and the value is softTotal/(k·m) — the same
+	// single integer-derived division softValue performs, so the two
+	// paths are bit-identical. Window maintenance is shared; only the
+	// ±1 bookkeeping per membership change differs.
+	soft      bool
+	softTotal int
+
 	size int // members added since Reset
 }
 
-// Prefix implements game.Prefixer. The capability is available only for the
-// KNN trainer, whose lazy model admits exact incremental maintenance;
-// other trainers return nil, sending estimators down the scratch-Value
-// fallback. Evaluations through the evaluator train no model: they do not
+// Prefix implements game.Prefixer. The capability is available only for
+// the KNN trainers (majority-vote and soft), whose lazy models admit
+// exact incremental maintenance; other trainers return nil, sending
+// estimators down the scratch-Value fallback. Evaluations through the evaluator train no model: they do not
 // count as Fits, and the simulated training latency (WithSimulatedLatency)
 // does not apply. Prefix is safe for concurrent calls; each returned
 // evaluator must stay on one goroutine.
 func (u *ModelUtility) Prefix() game.PrefixEvaluator {
-	tr, ok := u.trainer.(ml.KNN)
-	if !ok {
+	var k int
+	var soft bool
+	switch tr := u.trainer.(type) {
+	case ml.KNN:
+		k = tr.K
+	case ml.SoftKNN:
+		k = tr.K
+		soft = true
+	default:
 		return nil
 	}
-	k := tr.K
 	if k == 0 {
 		k = 5
 	}
@@ -89,6 +104,7 @@ func (u *ModelUtility) Prefix() game.PrefixEvaluator {
 		u:           u,
 		k:           k,
 		m:           m,
+		soft:        soft,
 		classes:     u.train.Classes,
 		kernel:      u.kernel,
 		labels:      make([]int32, u.train.Len()),
@@ -120,6 +136,7 @@ func (u *ModelUtility) PrefixAdds() int64 { return u.prefixAdds.Load() }
 func (e *knnPrefix) Reset() {
 	e.size = 0
 	e.correct = 0
+	e.softTotal = 0
 	// The windows restart empty (size gates how much of each row is live),
 	// but the vote table mirrors window contents and must restart at zero.
 	for i := range e.votes {
@@ -128,8 +145,15 @@ func (e *knnPrefix) Reset() {
 }
 
 // Add implements game.PrefixEvaluator: training point p joins the
-// coalition; the new utility is returned.
+// coalition; the new utility is returned. The soft rule gets its own copy
+// of the walk (addSoft) rather than a per-event branch inside this one:
+// interleaving the two scoring rules in one body measurably degraded the
+// majority-vote loop's codegen, and this loop carries every sampled KNN
+// estimator.
 func (e *knnPrefix) Add(p int) float64 {
+	if e.soft {
+		return e.addSoft(p)
+	}
 	e.u.prefixAdds.Add(1)
 	e.size++
 	wlen := e.size - 1 // window length before this Add
@@ -206,6 +230,94 @@ func (e *knnPrefix) Add(p int) float64 {
 		return 0 // matches ml.Accuracy on an empty test set
 	}
 	return float64(e.correct) / float64(e.m)
+}
+
+// addSoft is Add for the soft scoring rule: identical window maintenance,
+// but the per-membership-change bookkeeping is the softTotal ±1 update and
+// the return value is softTotal/(k·m) — the same single integer-derived
+// division softValue performs, so the two paths are bit-identical.
+func (e *knnPrefix) addSoft(p int) float64 {
+	e.u.prefixAdds.Add(1)
+	e.size++
+	wlen := e.size - 1
+	if wlen > e.k {
+		wlen = e.k
+	}
+	var col []float64
+	if e.kernel != nil {
+		col = e.kernel.Col(p)
+	} else {
+		col = e.scratch
+		px := e.u.train.Points[p].X
+		for j := 0; j < e.m; j++ {
+			col[j] = dataset.Euclidean(e.u.test.Points[j].X, px)
+		}
+	}
+	pLabel := e.labels[p]
+	idx := int32(p)
+	if wlen == e.k {
+		for j := 0; j < e.m; j++ {
+			d := col[j]
+			if d > e.worst[j] || (d == e.worst[j] && idx > e.worstIdx[j]) {
+				continue
+			}
+			row := j * e.k
+			last := row + e.k - 1
+			displaced := e.idxs[last]
+			pos := e.k - 1
+			for pos > 0 && (e.dists[row+pos-1] > d || (e.dists[row+pos-1] == d && e.idxs[row+pos-1] > idx)) {
+				e.dists[row+pos] = e.dists[row+pos-1]
+				e.idxs[row+pos] = e.idxs[row+pos-1]
+				pos--
+			}
+			e.dists[row+pos] = d
+			e.idxs[row+pos] = idx
+			e.worst[j] = e.dists[last]
+			e.worstIdx[j] = e.idxs[last]
+			// A same-label swap leaves the same-label count untouched.
+			if dl := e.labels[displaced]; dl != pLabel {
+				e.softTally(j, pLabel, dl)
+			}
+		}
+	} else {
+		for j := 0; j < e.m; j++ {
+			d := col[j]
+			row := j * e.k
+			pos := wlen
+			for pos > 0 && (e.dists[row+pos-1] > d || (e.dists[row+pos-1] == d && e.idxs[row+pos-1] > idx)) {
+				e.dists[row+pos] = e.dists[row+pos-1]
+				e.idxs[row+pos] = e.idxs[row+pos-1]
+				pos--
+			}
+			e.dists[row+pos] = d
+			e.idxs[row+pos] = idx
+			if wlen+1 == e.k {
+				last := row + e.k - 1
+				e.worst[j] = e.dists[last]
+				e.worstIdx[j] = e.idxs[last]
+			}
+			e.softTally(j, pLabel, -1)
+		}
+	}
+	if e.m == 0 {
+		return 0
+	}
+	return float64(e.softTotal) / float64(e.k*e.m)
+}
+
+// softTally applies the membership change {+pLabel, −displacedLabel} (no
+// removal when displacedLabel is −1) to the soft rule's same-label count.
+// Integer ±1 updates are exact, and the final division in addSoft matches
+// softValue's canonical total/(k·m), so prefix evaluation is bit-identical
+// to scratch soft evaluation of the same coalition.
+func (e *knnPrefix) softTally(j int, pLabel, displacedLabel int32) {
+	ty := e.testLabels[j]
+	if pLabel == ty {
+		e.softTotal++
+	}
+	if displacedLabel >= 0 && displacedLabel == ty {
+		e.softTotal--
+	}
 }
 
 // tally applies the membership change {+pLabel, −displacedLabel} (no

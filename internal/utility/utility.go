@@ -38,8 +38,15 @@ type ModelUtility struct {
 	// bit-identical with or without it (see DESIGN.md §12). Nil for other
 	// trainers or under WithoutKernel.
 	kernel *dataset.DistanceKernel
-	// knnK is the trainer's resolved neighbour count (0 when kernel is nil).
-	knnK     int
+	// knnK is the trainer's resolved neighbour count (0 for non-KNN
+	// trainers, which never select neighbours).
+	knnK int
+	// soft selects Jia et al.'s soft k-NN scoring rule instead of
+	// majority-vote accuracy (ml.SoftKNN trainers): U(S) = mean over test
+	// points of (#same-label among the min(k,|S|) nearest in S)/k, with
+	// U(∅) = 0. Only this utility admits the exact closed-form Shapley
+	// fast path (internal/exact).
+	soft     bool
 	noKernel bool
 	workers  int
 	// EmptyValue is U(∅). The conventional choice — used here — is the
@@ -94,7 +101,12 @@ func NewModelUtility(train, test *dataset.Dataset, trainer ml.Trainer, opts ...O
 		test:    test.Clone(),
 		trainer: trainer,
 	}
-	u.emptyValue = ml.Accuracy(ml.Constant{Label: 0}, u.test)
+	if _, ok := trainer.(ml.SoftKNN); ok {
+		u.soft = true
+		u.emptyValue = 0 // the soft utility's convention: U(∅) = 0
+	} else {
+		u.emptyValue = ml.Accuracy(ml.Constant{Label: 0}, u.test)
+	}
 	for _, o := range opts {
 		o(u)
 	}
@@ -106,18 +118,20 @@ func NewModelUtility(train, test *dataset.Dataset, trainer ml.Trainer, opts ...O
 // here; Session add/delete flows extend or mask it via Append/Remove and
 // never trigger a rebuild.
 func (u *ModelUtility) buildKernel() {
+	switch tr := u.trainer.(type) {
+	case ml.KNN:
+		u.knnK = tr.K
+	case ml.SoftKNN:
+		u.knnK = tr.K
+	default:
+		return
+	}
+	if u.knnK == 0 {
+		u.knnK = 5
+	}
 	if u.noKernel {
 		return
 	}
-	tr, ok := u.trainer.(ml.KNN)
-	if !ok {
-		return
-	}
-	k := tr.K
-	if k == 0 {
-		k = 5
-	}
-	u.knnK = k
 	u.kernel = dataset.NewDistanceKernel(u.test, u.train, u.workers)
 }
 
@@ -133,6 +147,9 @@ func (u *ModelUtility) Value(s bitset.Set) float64 {
 		time.Sleep(u.delay)
 	}
 	u.fits.Add(1)
+	if u.soft {
+		return u.softValue(s)
+	}
 	if u.kernel != nil {
 		return u.knnValue(s)
 	}
@@ -204,6 +221,78 @@ func (u *ModelUtility) knnValue(s bitset.Set) float64 {
 	return float64(correct) / float64(m)
 }
 
+// softValue evaluates the soft k-NN utility: per test point, select the
+// min(k,|S|) nearest coalition members with exactly knnValue's insertion
+// window (strictly smaller distance displaces, ties keep the earlier
+// index), count the same-label members, and return the single canonical
+// division total/(k·m). The integer total is what the incremental prefix
+// evaluator and the scratch path both maintain, so every evaluation route
+// — kernel, scratch, prefix — produces identical bits. Distances come
+// from the kernel when present and from the same Euclidean call the
+// kernel fill performs otherwise.
+func (u *ModelUtility) softValue(s bitset.Set) float64 {
+	m := u.test.Len()
+	if m == 0 {
+		return 0
+	}
+	members := s.Indices()
+	k := u.knnK
+	win := k
+	if win > len(members) {
+		win = len(members)
+	}
+	dists := make([]float64, win)
+	idxs := make([]int, win)
+	total := 0
+	for j := 0; j < m; j++ {
+		size := 0
+		for _, i := range members {
+			var dist float64
+			if u.kernel != nil {
+				dist = u.kernel.At(i, j)
+			} else {
+				dist = dataset.Euclidean(u.test.Points[j].X, u.train.Points[i].X)
+			}
+			if size == win && dist >= dists[size-1] {
+				continue
+			}
+			pos := size
+			if size < win {
+				size++
+			} else {
+				pos = win - 1
+			}
+			for pos > 0 && dists[pos-1] > dist {
+				dists[pos] = dists[pos-1]
+				idxs[pos] = idxs[pos-1]
+				pos--
+			}
+			dists[pos] = dist
+			idxs[pos] = i
+		}
+		ty := u.test.Points[j].Y
+		for w := 0; w < size; w++ {
+			if u.train.Points[idxs[w]].Y == ty {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(k*m)
+}
+
+// ExactKNNState exposes the ingredients of the exact closed-form k-NN
+// Shapley estimator — the distance kernel and the neighbour count — when
+// this utility is the soft k-NN scoring rule backed by a kernel, which is
+// precisely the configuration whose Shapley values the closed form is
+// exact for. ok is false for every other trainer, for majority-vote KNN
+// (the form is NOT exact there), and under WithoutKernel.
+func (u *ModelUtility) ExactKNNState() (kernel *dataset.DistanceKernel, k int, ok bool) {
+	if !u.soft || u.kernel == nil {
+		return nil, 0, false
+	}
+	return u.kernel, u.knnK, true
+}
+
 // seededFit trains with a seed derived from the coalition so U is a pure
 // function of S even though training is stochastic.
 func (u *ModelUtility) seededFit(sub *dataset.Dataset, s bitset.Set) ml.Classifier {
@@ -248,6 +337,7 @@ func (u *ModelUtility) Append(points ...dataset.Point) *ModelUtility {
 		test:       u.test.Clone(),
 		trainer:    u.trainer,
 		knnK:       u.knnK,
+		soft:       u.soft,
 		noKernel:   u.noKernel,
 		workers:    u.workers,
 		emptyValue: u.emptyValue,
@@ -271,6 +361,7 @@ func (u *ModelUtility) Remove(indices ...int) *ModelUtility {
 		test:       u.test.Clone(),
 		trainer:    u.trainer,
 		knnK:       u.knnK,
+		soft:       u.soft,
 		noKernel:   u.noKernel,
 		workers:    u.workers,
 		emptyValue: u.emptyValue,

@@ -9,6 +9,7 @@ import (
 
 	"dynshap/internal/core"
 	"dynshap/internal/dataset"
+	"dynshap/internal/exact"
 	"dynshap/internal/game"
 	"dynshap/internal/journal"
 	"dynshap/internal/ml"
@@ -66,6 +67,14 @@ type sessionState struct {
 	pivot *core.PivotState
 	del   *core.DeletionStore
 	multi *core.MultiDeletionStore
+	// exact is the closed-form k-NN Shapley estimator, maintained through
+	// every update when the utility supports it (SoftKNNClassifier with
+	// the distance kernel). Like the other artifacts it rides the
+	// immutable-state discipline: mutating updates clone it first, so a
+	// failed update discards the mutated clone with the discarded state.
+	// It is a derived cache — never serialised into snapshots; Resume and
+	// ReplayTo rebuild it deterministically from the training set.
+	exact *exact.Estimator
 
 	initialized bool
 	// storesFresh is true while del/multi match the current training set
@@ -229,6 +238,7 @@ func newSessionFromConfig(train, test *dataset.Dataset, trainer ml.Trainer, cfg 
 	}
 	st := &sessionState{train: train.Clone()}
 	rebuildUtility(s, st)
+	st.exact = s.buildExact(st)
 	s.state.Store(st)
 	s.journal = journal.New(st.train.Points, st.train.Classes, nil)
 	return s
@@ -255,6 +265,29 @@ func rebuildUtility(s *Session, st *sessionState) {
 	st.cache = game.NewCached(st.util)
 }
 
+// buildExact constructs the closed-form exact k-NN estimator when the
+// state's utility supports it: a SoftKNNClassifier trainer scored through
+// the precomputed distance kernel. Construction sorts each test column
+// once (O(m·n log n)); thereafter updates maintain the orders
+// incrementally. Returns nil for every other trainer, for
+// WithoutDistanceKernel sessions, and for empty training sets' kernels —
+// the session then behaves exactly as before this estimator existed.
+func (s *Session) buildExact(st *sessionState) *exact.Estimator {
+	kernel, k, ok := st.util.ExactKNNState()
+	if !ok {
+		return nil
+	}
+	trainLabels := make([]int, st.train.Len())
+	for i, p := range st.train.Points {
+		trainLabels[i] = p.Y
+	}
+	testLabels := make([]int, s.test.Len())
+	for j, p := range s.test.Points {
+		testLabels[j] = p.Y
+	}
+	return exact.New(kernel, trainLabels, testLabels, k, s.cfg.workers)
+}
+
 // utilOptions resolves the session configuration into utility options.
 func (s *Session) utilOptions() []utility.Option {
 	opts := []utility.Option{utility.WithWorkers(s.cfg.workers)}
@@ -269,10 +302,30 @@ func (s *Session) utilOptions() []utility.Option {
 // distance is recomputed — but the cache must be replaced, because player
 // indices shift and every stored coalition key goes stale.
 func (s *Session) deriveRemove(st *sessionState, indices []int) {
+	// Capture the doomed points' physical column ids from the PRE-remove
+	// kernel view — after the removal the logical indices have shifted, but
+	// the physical ids are stable and are what the estimator's orders hold.
+	var removedPhys []int32
+	if st.exact != nil {
+		if kernel, _, ok := st.util.ExactKNNState(); ok {
+			removedPhys = make([]int32, len(indices))
+			for i, idx := range indices {
+				removedPhys[i] = kernel.Phys(idx)
+			}
+		}
+	}
 	st.pastFits += st.util.Fits()
 	st.pastPrefixAdds += st.util.PrefixAdds()
 	st.util = st.util.Remove(indices...)
 	st.cache = game.NewCached(st.util)
+	if st.exact != nil {
+		kernel, _, ok := st.util.ExactKNNState()
+		if ok && removedPhys != nil {
+			st.exact.Delete(removedPhys, kernel)
+		} else {
+			st.exact = nil
+		}
+	}
 }
 
 // gameOf returns the Game view estimators should use over a state.
@@ -357,6 +410,13 @@ var ErrNotInitialized = errors.New("dynshap: session not initialized; call Init 
 // of failing.
 var ErrStaleStores = errors.New("dynshap: deletion arrays are stale after a previous update; call Refresh")
 
+// ErrExactUnavailable is returned when AlgoExactKNN is explicitly
+// requested but the session maintains no exact estimator: it requires a
+// SoftKNNClassifier trainer and the distance kernel (i.e. not
+// WithoutDistanceKernel). AlgoAuto never hits this — the planner only
+// routes onto the exact path when the estimator exists.
+var ErrExactUnavailable = errors.New("dynshap: exact k-NN estimator unavailable; it requires SoftKNNClassifier and the distance kernel")
+
 // publish installs the successor state and journals the update that
 // produced it.
 func (s *Session) publish(st *sessionState, u journal.Update) {
@@ -396,6 +456,37 @@ func (s *Session) initLocked(op string) error {
 	r := s.opSource(st.version)
 	startFits, startPrefix := cur.totalFits(), cur.totalPrefixAdds()
 	begin := time.Now()
+	// Exact fast path: when the session maintains the closed-form k-NN
+	// estimator and no option demands sampled artifacts (stored
+	// permutations, YN-NN / YNN-NNN arrays — all products of a permutation
+	// pass), initialisation is just the estimator's deterministic
+	// reduction: exact values, zero model trainings, zero permutations.
+	needsSampledArtifacts := s.cfg.keepPerms || s.cfg.trackDeletions || s.cfg.multiDelete > 0
+	var initTrace []string
+	if st.exact != nil && !needsSampledArtifacts {
+		st.sv = st.exact.Values()
+		st.pivot, st.del, st.multi = nil, nil, nil
+		st.initialized = true
+		st.storesFresh = false
+		s.publish(st, journal.Update{
+			Version:    st.version,
+			Op:         op,
+			Algo:       AlgoExactKNN.String(),
+			Trainings:  st.totalFits() - startFits,
+			PrefixAdds: st.totalPrefixAdds() - startPrefix,
+			Seconds:    time.Since(begin).Seconds(),
+			Decision: []string{
+				fmt.Sprintf("exact k-NN estimator available (soft utility + distance kernel): closed-form values for all %d points; sampled pass of τ=%d skipped", st.train.Len(), s.cfg.tau),
+				fmt.Sprintf("chose %s (%s): closed-form sorted-neighbour recurrence (Jia et al.) with zero model trainings", AlgoExactKNN, core.ExactKNNCost(st.train.Len(), s.test.Len(), 0)),
+			},
+		})
+		return nil
+	}
+	if st.exact != nil {
+		initTrace = []string{fmt.Sprintf(
+			"exact k-NN estimator present, but requested artifacts need a sampled pass (keepPerms=%v trackDeletions=%v multiDelete=%d); running τ=%d initialisation to build them",
+			s.cfg.keepPerms, s.cfg.trackDeletions, s.cfg.multiDelete, s.cfg.tau)}
+	}
 	res, err := s.engine.Initialize(s.gameOf(st), s.cfg.tau, core.InitOptions{
 		KeepPerms:      s.cfg.keepPerms,
 		TrackDeletions: s.cfg.trackDeletions,
@@ -419,6 +510,7 @@ func (s *Session) initLocked(op string) error {
 		PrefixAdds:   st.totalPrefixAdds() - startPrefix,
 		Permutations: s.engine.Stats().Issued,
 		Seconds:      time.Since(begin).Seconds(),
+		Decision:     initTrace,
 	})
 	return nil
 }
@@ -429,6 +521,8 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 		plan.Request{Op: op, Count: count, Indices: indices},
 		plan.Artifacts{
 			N:           st.train.Len(),
+			ExactKNN:    st.exact != nil,
+			TestPoints:  s.test.Len(),
 			StoresFresh: st.storesFresh,
 			Pivot:       st.pivot,
 			Deletion:    st.del,
@@ -452,6 +546,8 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 		algo = AlgoDeltaBatch
 	case plan.ChoicePivotBatch:
 		algo = AlgoPivotSameBatch
+	case plan.ChoiceExactKNN:
+		algo = AlgoExactKNN
 	default:
 		algo = AlgoMonteCarlo
 	}
@@ -473,6 +569,11 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 //     sequential AlgoDelta for k > 1: each point is valued against the
 //     FIXED pre-batch base rather than a set growing with its predecessors
 //     (identical at k = 1). Deterministic and worker-count invariant.
+//   - AlgoExactKNN: EXACT values from the maintained closed-form k-NN
+//     estimator (SoftKNNClassifier sessions only — ErrExactUnavailable
+//     otherwise). Binary-inserts the new points into every test column's
+//     sorted order and recomputes the affected rank suffixes: zero model
+//     trainings, zero permutations, no estimation error, any batch size.
 //   - AlgoKNN / AlgoKNNPlus: instant heuristics.
 //   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
 //   - AlgoBase: keep old values; new points get the average old value.
@@ -487,6 +588,12 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 		return append([]float64(nil), cur.sv...), nil
 	}
 	st := cur.next()
+	// Clone before any append: the maintenance hooks mutate the estimator,
+	// and the published predecessor must keep serving the original if this
+	// update fails mid-way.
+	if st.exact != nil {
+		st.exact = st.exact.Clone()
+	}
 	r := s.opSource(st.version)
 	startFits, startPrefix := cur.totalFits(), cur.totalPrefixAdds()
 	requested := algo
@@ -511,6 +618,15 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 		err = s.addDelta(st, points, r, &ops)
 	case AlgoDeltaBatch:
 		err = s.addDeltaBatch(st, points, r, &ops)
+	case AlgoExactKNN:
+		if st.exact == nil {
+			err = ErrExactUnavailable
+		} else {
+			// applyAppend's maintenance hook folds the points into the
+			// estimator; the reduction then reads off the exact values.
+			s.applyAppend(st, points)
+			st.sv = st.exact.Values()
+		}
 	case AlgoKNN:
 		st.sv, err = core.KNNAdd(st.sv, st.train, points, s.cfg.knnK)
 		if err == nil {
@@ -530,9 +646,10 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 	st.storesFresh = false
 	// Batched walks attribute a value to every appended point in one pass;
 	// record the per-point attribution so journal readers can audit what
-	// each point of the batch was individually worth.
+	// each point of the batch was individually worth. Exact adds always
+	// know it — every appended point's value is exact the moment it lands.
 	var batchVals []float64
-	if algo == AlgoDeltaBatch || algo == AlgoPivotSameBatch {
+	if algo == AlgoDeltaBatch || algo == AlgoPivotSameBatch || algo == AlgoExactKNN {
 		batchVals = append([]float64(nil), st.sv[len(st.sv)-len(points):]...)
 	}
 	s.publish(st, journal.Update{
@@ -581,6 +698,29 @@ func (s *Session) applyAppend(st *sessionState, points []Point) {
 	if s.cfg.cacheEnabled {
 		st.cache = game.NewCachedShared(st.util, st.cache)
 	}
+	s.maintainExactAppend(st, points)
+}
+
+// maintainExactAppend folds freshly appended points into the state's exact
+// estimator (already cloned by the mutating operation): each test column
+// binary-inserts the new points and recomputes only the affected rank
+// suffix, keeping the maintained state bit-identical to a from-scratch
+// rebuild. Called only after the append is certain to commit — error paths
+// discard the whole successor state, estimator clone included.
+func (s *Session) maintainExactAppend(st *sessionState, points []Point) {
+	if st.exact == nil {
+		return
+	}
+	kernel, _, ok := st.util.ExactKNNState()
+	if !ok {
+		st.exact = nil
+		return
+	}
+	labels := make([]int, len(points))
+	for i, p := range points {
+		labels[i] = p.Y
+	}
+	st.exact.Add(kernel, st.train.Len()-len(points), labels)
 }
 
 func (s *Session) addRecompute(st *sessionState, points []Point, algo Algorithm, r *rng.Source, ops *opMetrics) error {
@@ -632,6 +772,7 @@ func (s *Session) applyAppendBuilt(st *sessionState, uPlus *utility.ModelUtility
 	if s.cfg.cacheEnabled {
 		st.cache = game.NewCachedShared(st.util, st.cache)
 	}
+	s.maintainExactAppend(st, points)
 }
 
 // addPivotBatch walks the retained permutations ONCE for the whole batch:
@@ -706,6 +847,11 @@ func (s *Session) addDelta(st *sessionState, points []Point, r *rng.Source, ops 
 //     bulk deletions; the decision is journaled.
 //   - AlgoYNNN: exact recovery from the YN-NN (single point) or YNN-NNN
 //     (multiple points, if prepared) arrays; no model trainings.
+//   - AlgoExactKNN: EXACT post-deletion values from the maintained
+//     closed-form k-NN estimator (SoftKNNClassifier sessions only —
+//     ErrExactUnavailable otherwise). Unlike the YN-NN arrays it never
+//     goes stale, handles any tuple, and journals the departing points'
+//     pre-delete exact values (RemovedValues).
 //   - AlgoDelta: incremental, applied per point in sequence.
 //   - AlgoKNN / AlgoKNNPlus: instant heuristics.
 //   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
@@ -731,6 +877,11 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 		seen[p] = true
 	}
 	st := cur.next()
+	// Clone before the removal below mutates the estimator via
+	// deriveRemove's maintenance hook.
+	if st.exact != nil {
+		st.exact = st.exact.Clone()
+	}
 	r := s.opSource(st.version)
 	startFits, startPrefix := cur.totalFits(), cur.totalPrefixAdds()
 	requested := algo
@@ -746,6 +897,14 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 		err      error
 	)
 	switch algo {
+	case AlgoExactKNN:
+		// The estimator produces the survivors' values directly in the
+		// post-delete numbering, after deriveRemove maintains it below —
+		// nothing to expand or compact here; expanded stays nil as the
+		// marker for that path.
+		if st.exact == nil {
+			err = ErrExactUnavailable
+		}
 	case AlgoYNNN:
 		expanded, err = s.deleteYNNN(st, indices)
 	case AlgoDelta:
@@ -774,31 +933,57 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 		return nil, err
 	}
 
-	// Compact to the surviving points.
-	compact := make([]float64, 0, n-len(indices))
-	for i := 0; i < n; i++ {
-		if !seen[i] {
-			compact = append(compact, expanded[i])
+	// Exact deletes journal the departing points' pre-delete exact values
+	// — the estimator knows them, and once the points are gone no one else
+	// ever will.
+	var removedVals []float64
+	if algo == AlgoExactKNN {
+		// Read from the estimator, not st.sv: if initialisation ran a
+		// sampled pass (artifact options), the published values carry
+		// sampling error, but the estimator's are exact either way.
+		pre := st.exact.Values()
+		removedVals = make([]float64, len(indices))
+		for i, idx := range indices {
+			removedVals[i] = pre[idx]
 		}
 	}
-	st.sv = compact
+	if expanded != nil {
+		// Compact to the surviving points.
+		compact := make([]float64, 0, n-len(indices))
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				compact = append(compact, expanded[i])
+			}
+		}
+		st.sv = compact
+	}
 	st.train = st.train.Remove(indices...)
 	s.deriveRemove(st, indices) // indices shifted: the old cache keys are invalid
+	if expanded == nil {
+		// Exact path: deriveRemove just maintained the estimator through
+		// the removal; its reduction IS the survivors' values, already in
+		// the compacted numbering.
+		if st.exact == nil {
+			return nil, ErrExactUnavailable
+		}
+		st.sv = st.exact.Values()
+	}
 	st.pivot = nil
 	st.del = nil
 	st.multi = nil
 	st.storesFresh = false
 	s.publish(st, journal.Update{
-		Version:      st.version,
-		Op:           "delete",
-		Requested:    requestedName(requested, algo),
-		Algo:         algo.String(),
-		Indices:      indices,
-		Trainings:    st.totalFits() - startFits,
-		PrefixAdds:   st.totalPrefixAdds() - startPrefix,
-		Permutations: ops.perms,
-		Seconds:      time.Since(begin).Seconds(),
-		Decision:     trace,
+		Version:       st.version,
+		Op:            "delete",
+		Requested:     requestedName(requested, algo),
+		Algo:          algo.String(),
+		Indices:       indices,
+		RemovedValues: removedVals,
+		Trainings:     st.totalFits() - startFits,
+		PrefixAdds:    st.totalPrefixAdds() - startPrefix,
+		Permutations:  ops.perms,
+		Seconds:       time.Since(begin).Seconds(),
+		Decision:      trace,
 	})
 	return append([]float64(nil), st.sv...), nil
 }
