@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet cover bench bench-diff profile examples experiments clean
+.PHONY: all build test lint vet cover bench bench-diff bench-large bench-mem profile examples experiments clean
 
 all: build lint test
 
@@ -51,6 +51,19 @@ bench:
 #   make bench-diff OLD=BENCH_2026-07-01.json NEW=BENCH_2026-08-06.json
 bench-diff:
 	$(GO) run ./cmd/benchsnap diff $(OLD) $(NEW)
+
+# Large-n deletion-store benchmarks (n = 1000–5000, candidate-restricted
+# YNN-NNN shape) across the storage backends, with allocation stats. The
+# store-bytes / heap-bytes metrics these report are what benchsnap diffs
+# for memory regressions.
+bench-large:
+	$(GO) test -run '^$$' -bench 'BenchmarkDeletionStoreN[0-9]+' -benchmem -benchtime 100x ./internal/core/
+
+# Memory smoke gate for CI: asserts a multi-MB spill-backed store keeps its
+# heap-resident share under the fixed byte ceiling (and merges bit-identically
+# to the in-heap float32 tiles). Small n, seconds to run, blocking.
+bench-mem:
+	$(GO) test -run TestSpillStoreMemorySmoke -count=1 -v ./internal/core/
 
 # Capture a CPU profile of the n = 300 KNN preprocessing walk
 # (BenchmarkPreprocessDeletionKNNN300) into cpu.out for hot-path analysis.

@@ -20,7 +20,10 @@
 // The benchmark output is also streamed to stdout as it arrives, so the
 // command doubles as a plain `make bench` run. The diff subcommand
 // compares two snapshots per benchmark on ns/op and exits non-zero when
-// any shared benchmark regressed by more than 10%.
+// any shared benchmark regressed by more than 10%. Memory metrics — B/op,
+// the derived total-alloc-bytes, the deletion-store store-bytes/heap-bytes
+// gauges, and the suite's recorded peak RSS — are compared at the same
+// threshold but only warn; they do not fail the diff.
 package main
 
 import (
@@ -48,12 +51,16 @@ type entry struct {
 
 // snapshot is the file layout of BENCH_<date>.json.
 type snapshot struct {
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	BenchTime  string  `json:"benchtime"`
-	Procs      []int   `json:"procs,omitempty"`
-	Benchmarks []entry `json:"benchmarks"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	BenchTime  string `json:"benchtime"`
+	Procs      []int  `json:"procs,omitempty"`
+	// PeakRSSBytes is the suite run's high-water resident set size (the
+	// `go test` process tree), the number the large-n store work budgets
+	// against. 0 on platforms without rusage.
+	PeakRSSBytes int64   `json:"peak_rss_bytes,omitempty"`
+	Benchmarks   []entry `json:"benchmarks"`
 }
 
 func main() {
@@ -124,6 +131,7 @@ func main() {
 	if err := cmd.Wait(); err != nil {
 		fatal(fmt.Errorf("benchmark run failed: %w", err))
 	}
+	snap.PeakRSSBytes = peakRSSBytes(cmd.ProcessState)
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark results parsed"))
 	}
@@ -168,6 +176,12 @@ func parseBenchLine(line string) (entry, bool) {
 	if len(e.Metrics) == 0 {
 		return entry{}, false
 	}
+	// Derive the benchmark's total allocation volume: B/op is a rate, but
+	// a memory regression hunt wants the absolute bytes the measured loop
+	// churned through.
+	if bop, ok := e.Metrics["B/op"]; ok {
+		e.Metrics["total-alloc-bytes"] = bop * float64(e.Iterations)
+	}
 	return e, true
 }
 
@@ -191,6 +205,12 @@ func canonicalName(name string) string {
 // regressionThreshold is the fractional ns/op increase past which diff
 // flags a benchmark and exits non-zero.
 const regressionThreshold = 0.10
+
+// memoryUnits are the per-benchmark metrics diff additionally compares for
+// >10% growth. Memory regressions are reported as warnings but do not fail
+// the diff (yet): footprint numbers wobble with tile rounding and GC
+// timing, so they gate manually until the signal proves stable.
+var memoryUnits = []string{"B/op", "total-alloc-bytes", "store-bytes", "heap-bytes"}
 
 // diffEntry is one benchmark's old/new comparison on a single unit.
 type diffEntry struct {
@@ -290,6 +310,7 @@ func runDiff(args []string) {
 	for _, name := range onlyNew {
 		fmt.Printf("%-50s added (only in %s)\n", name, args[1])
 	}
+	warnMemoryRegressions(oldS, newS)
 	if bad := regressed(shared, regressionThreshold); len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchsnap: %d benchmark(s) regressed more than %.0f%%\n",
 			len(bad), regressionThreshold*100)
@@ -297,6 +318,32 @@ func runDiff(args []string) {
 	}
 	fmt.Printf("%d benchmarks compared, none regressed more than %.0f%%\n",
 		len(shared), regressionThreshold*100)
+}
+
+// warnMemoryRegressions prints (without failing) every shared benchmark
+// whose memory metrics grew past the threshold, plus suite-wide peak RSS
+// growth when both snapshots recorded it.
+func warnMemoryRegressions(oldS, newS snapshot) {
+	warned := 0
+	for _, unit := range memoryUnits {
+		shared, _, _ := diffSnapshots(oldS, newS, unit)
+		for _, d := range regressed(shared, regressionThreshold) {
+			fmt.Printf("MEMORY WARNING: %s %s %+.1f%% (%.0f -> %.0f)\n",
+				d.Name, unit, d.Delta*100, d.Old, d.New)
+			warned++
+		}
+	}
+	if oldS.PeakRSSBytes > 0 && newS.PeakRSSBytes > 0 {
+		delta := float64(newS.PeakRSSBytes-oldS.PeakRSSBytes) / float64(oldS.PeakRSSBytes)
+		if delta > regressionThreshold {
+			fmt.Printf("MEMORY WARNING: suite peak RSS %+.1f%% (%d -> %d bytes)\n",
+				delta*100, oldS.PeakRSSBytes, newS.PeakRSSBytes)
+			warned++
+		}
+	}
+	if warned > 0 {
+		fmt.Printf("%d memory warning(s) — advisory only, not failing the diff\n", warned)
+	}
 }
 
 func fatal(err error) {

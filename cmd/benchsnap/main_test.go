@@ -103,3 +103,44 @@ func TestCanonicalName(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBenchLineDerivesTotalAllocBytes(t *testing.T) {
+	e, ok := parseBenchLine("BenchmarkFill   50   163210 ns/op   128 B/op   2 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if got := e.Metrics["total-alloc-bytes"]; got != 128*50 {
+		t.Fatalf("total-alloc-bytes = %v, want %v", got, 128*50)
+	}
+	// No B/op reported (benchmark without -benchmem): nothing derived.
+	e, ok = parseBenchLine("BenchmarkFill   50   163210 ns/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if _, present := e.Metrics["total-alloc-bytes"]; present {
+		t.Fatal("total-alloc-bytes derived without a B/op metric")
+	}
+}
+
+func TestMemoryDiffIsAdvisory(t *testing.T) {
+	mem := func(name string, storeBytes float64) entry {
+		return entry{Name: name, Iterations: 1, Metrics: map[string]float64{
+			"ns/op": 100, "store-bytes": storeBytes,
+		}}
+	}
+	oldS := snapshot{PeakRSSBytes: 1 << 30, Benchmarks: []entry{mem("BenchmarkStore", 1000)}}
+	newS := snapshot{PeakRSSBytes: 2 << 30, Benchmarks: []entry{mem("BenchmarkStore", 1500)}}
+	// The memory unit regressed 50%, but the blocking ns/op comparison is
+	// flat: regressed() on ns/op — the only exit-code input — stays empty.
+	shared, _, _ := diffSnapshots(oldS, newS, "ns/op")
+	if bad := regressed(shared, regressionThreshold); len(bad) != 0 {
+		t.Fatalf("ns/op regressions = %v, want none", bad)
+	}
+	shared, _, _ = diffSnapshots(oldS, newS, "store-bytes")
+	if bad := regressed(shared, regressionThreshold); len(bad) != 1 {
+		t.Fatalf("store-bytes regressions = %v, want 1", bad)
+	}
+	// warnMemoryRegressions only prints; it must not panic on either shape.
+	warnMemoryRegressions(oldS, newS)
+	warnMemoryRegressions(snapshot{}, snapshot{})
+}

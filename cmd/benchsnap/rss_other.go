@@ -1,0 +1,8 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// peakRSSBytes is unavailable without unix rusage; the snapshot records 0.
+func peakRSSBytes(*os.ProcessState) int64 { return 0 }

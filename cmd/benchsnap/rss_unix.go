@@ -1,0 +1,28 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// peakRSSBytes extracts the peak resident set size of a finished child
+// process (and its waited descendants — `go test` waits each test binary,
+// so their high-water marks fold in). Returns 0 when the platform offers
+// no rusage.
+func peakRSSBytes(ps *os.ProcessState) int64 {
+	if ps == nil {
+		return 0
+	}
+	ru, ok := ps.SysUsage().(*syscall.Rusage)
+	if !ok || ru == nil {
+		return 0
+	}
+	rss := int64(ru.Maxrss)
+	if runtime.GOOS != "darwin" {
+		rss *= 1024 // Linux and the BSDs report KiB; Darwin reports bytes
+	}
+	return rss
+}

@@ -90,6 +90,22 @@ type (
 	KNNPlusConfig = core.KNNPlusConfig
 	// CurveModel holds KNN+'s fitted similarity→ΔSV curves.
 	CurveModel = core.CurveModel
+	// StoreBackend selects the storage implementation behind the YN-NN /
+	// YNN-NNN deletion arrays (see WithStoreBackend / WithStoreSpill).
+	StoreBackend = core.BackendKind
+)
+
+// Deletion-store backends, for WithStoreBackend.
+const (
+	// StoreDense64 is the historic dense float64 layout: exact and the
+	// default.
+	StoreDense64 = core.BackendDense64
+	// StoreTiled32 stores float32 entries in row-aligned tiles: half the
+	// memory, bounded rounding drift (DESIGN.md §15).
+	StoreTiled32 = core.BackendTiled32
+	// StoreSpill32 is the tiled float32 layout in mmap-backed scratch
+	// files — deletion stores larger than RAM (see WithStoreSpill).
+	StoreSpill32 = core.BackendSpill32
 )
 
 // NewDataset builds a Dataset from points, inferring the label count.

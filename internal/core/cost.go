@@ -133,6 +133,22 @@ func MonteCarloCost(n, tau int) Cost {
 	return Cost{Evaluations: int64(tau) * int64(n)}
 }
 
+// StratifiedMCCost is MonteCarloCost under stratified-truncated sampling
+// (WithTruncation): each walk evaluates only its first min(t, n) prefixes,
+// and an initialisation pass that also fills the YN-NN arrays pays
+// O(t·(2n−t)) array updates per walk instead of O(n²). t ≤ 0 means no
+// truncation.
+func StratifiedMCCost(n, t, tau int) Cost {
+	walk := int64(n)
+	if t > 0 && t < n {
+		walk = int64(t)
+	}
+	return Cost{
+		Evaluations: int64(tau) * walk,
+		ArrayOps:    int64(tau) * walk * (2*int64(n) - walk + 1),
+	}
+}
+
 // ExactKNNCost is the cost of maintaining exact closed-form k-NN Shapley
 // values (Jia et al.) through an update touching count points of an
 // n-point set valued against m test points: per test column, a binary

@@ -62,6 +62,7 @@ type Engine struct {
 	chunk   int
 	eps     float64
 	delta   float64
+	trunc   int
 
 	stats EngineStats
 }
@@ -93,6 +94,23 @@ func WithTargetError(eps, delta float64) EngineOption {
 	return func(e *Engine) { e.eps, e.delta = eps, delta }
 }
 
+// WithTruncation enables stratified-truncated sampling (see ALGORITHMS.md
+// and arXiv 2311.05346): every permutation walk stops after its first t
+// positions, and walks are drawn in rotation blocks — each block shares
+// one uniformly drawn base permutation, and walk s of the block rotates it
+// by s·t positions, so every player lands inside the truncated window
+// exactly once per block (when t divides n; nearly so otherwise). Each
+// rotated permutation is itself uniformly distributed, so the sampled
+// arrays stay unbiased for strata k ≤ t; strata k > t are never written
+// and contribute zero, which is the documented truncation bias (small
+// under diminishing returns). Cuts both utility evaluations and array
+// updates per walk from O(n) and O(n²) to O(t) and O(t·n).
+//
+// t ≤ 0 disables truncation; t ≥ n is a no-op. Incompatible with kept
+// permutations (InitOptions.KeepPerms) — truncated walks don't carry full
+// prefix information.
+func WithTruncation(t int) EngineOption { return func(e *Engine) { e.trunc = t } }
+
 // NewEngine returns an Engine with the given options.
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{chunk: defaultChunkSize}
@@ -118,6 +136,9 @@ type EngineStats struct {
 	// (+Inf before enough samples, 0 when adaptive mode was off).
 	EarlyStop bool
 	Bound     float64
+	// Truncation is the effective walk length of a stratified-truncated
+	// pass (0 when truncation was off — walks covered all n positions).
+	Truncation int
 	// Updates counts array-fill updates performed and Seconds the wall
 	// time of the pass, together giving the fill throughput.
 	Updates int64
@@ -168,13 +189,72 @@ type stripeTarget interface {
 	newAux() []int
 	// prepare fills aux for the permutation and returns how many array
 	// updates the permutation costs, for throughput accounting. It runs
-	// in the producer and consumes no randomness.
-	prepare(perm []int, aux []int) int64
+	// in the producer and consumes no randomness. Only the first walk
+	// positions of the permutation will be accumulated.
+	prepare(perm []int, aux []int, walk int) int64
 	// accumulateStripe folds one permutation into rows lo ≤ i < hi.
-	// utilities[pos] holds U({perm[0..pos]}); uEmpty is U(∅). Rows
-	// outside [lo, hi) must not be touched, and neither may SV or τ —
-	// the producer owns those.
-	accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi int)
+	// utilities[pos] holds U({perm[0..pos]}) for pos < walk (entries past
+	// walk are stale and must not be read); uEmpty is U(∅). Rows outside
+	// [lo, hi) must not be touched, and neither may SV or τ — the
+	// producer owns those.
+	accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi, walk int)
+}
+
+// walkLen resolves the engine's truncation against the player count: the
+// number of leading permutation positions a pass walks and accumulates.
+func (e *Engine) walkLen(n int) int {
+	if e.trunc > 0 && e.trunc < n {
+		return e.trunc
+	}
+	return n
+}
+
+// permSampler draws the pass's permutations. Untruncated it is exactly
+// r.Perm — the historic randomness stream, bit-identical. Truncated it
+// draws one uniform base permutation per rotation block and rotates it by
+// walk positions between samples: each rotation of a uniform permutation
+// is itself uniform (so every sample is an unbiased truncated walk), and
+// across one block every player visits the truncated window once (when
+// walk divides n), stratifying the positions players are observed at.
+type permSampler struct {
+	r     *rng.Source
+	n     int
+	walk  int
+	block int // rotations per base permutation: ⌈n/walk⌉
+	rot   int
+	base  []int
+}
+
+func newPermSampler(r *rng.Source, n, walk int) *permSampler {
+	s := &permSampler{r: r, n: n, walk: walk, block: 1}
+	if walk < n {
+		s.block = (n + walk - 1) / walk
+		s.base = make([]int, n)
+	}
+	return s
+}
+
+func (s *permSampler) next(perm []int) {
+	if s.block <= 1 {
+		s.r.Perm(perm)
+		return
+	}
+	if s.rot == 0 {
+		s.r.Perm(s.base)
+	}
+	// rot < block = ⌈n/walk⌉ ⇒ off = rot·walk < n, so one wrap suffices.
+	off := s.rot * s.walk
+	for q := 0; q < s.n; q++ {
+		j := q + off
+		if j >= s.n {
+			j -= s.n
+		}
+		perm[q] = s.base[j]
+	}
+	s.rot++
+	if s.rot == s.block {
+		s.rot = 0
+	}
 }
 
 // fillRun describes one engine pass over sampled permutations.
@@ -186,8 +266,8 @@ type fillRun struct {
 	// perPerm runs in the producer after each permutation's utilities are
 	// filled; it may consume randomness (it runs in sample order) and
 	// owns all non-striped bookkeeping (Shapley sums, pivot LSV, kept
-	// permutations).
-	perPerm func(perm []int, utilities []float64, uEmpty float64)
+	// permutations). Only utilities[0:walk] are valid.
+	perPerm func(perm []int, utilities []float64, uEmpty float64, walk int)
 	// freshPerms allocates a new permutation slice per sample so perPerm
 	// may retain it (KeepPerms); otherwise one buffer is reused.
 	freshPerms bool
@@ -202,6 +282,9 @@ func (e *Engine) run(fr fillRun) int {
 		workers = e.effectiveWorkers(n)
 	}
 	e.stats = EngineStats{Budget: fr.tau, Workers: workers}
+	if e.walkLen(n) < n {
+		e.stats.Truncation = e.walkLen(n)
+	}
 
 	w := newPrefixWalker(fr.g)
 	uEmpty := fr.g.Value(bitset.New(n))
@@ -231,6 +314,8 @@ func (e *Engine) run(fr fillRun) int {
 // fills, so delegating the serial entry points here changes nothing.
 func (e *Engine) runSerial(fr fillRun, w *prefixWalker, uEmpty float64, trk *adaptiveTracker) int {
 	n := fr.g.N()
+	walk := e.walkLen(n)
+	sampler := newPermSampler(fr.r, n, walk)
 	perm := make([]int, n)
 	utilities := make([]float64, n)
 	auxes := make([][]int, len(fr.targets))
@@ -242,20 +327,20 @@ func (e *Engine) runSerial(fr fillRun, w *prefixWalker, uEmpty float64, trk *ada
 		if fr.freshPerms {
 			perm = make([]int, n)
 		}
-		fr.r.Perm(perm)
+		sampler.next(perm)
 		w.reset()
-		for pos, p := range perm {
-			utilities[pos] = w.add(p)
+		for pos := 0; pos < walk; pos++ {
+			utilities[pos] = w.add(perm[pos])
 		}
 		if fr.perPerm != nil {
-			fr.perPerm(perm, utilities, uEmpty)
+			fr.perPerm(perm, utilities, uEmpty, walk)
 		}
 		for ti, t := range fr.targets {
-			e.stats.Updates += t.prepare(perm, auxes[ti])
-			t.accumulateStripe(perm, utilities, uEmpty, auxes[ti], 0, n)
+			e.stats.Updates += t.prepare(perm, auxes[ti], walk)
+			t.accumulateStripe(perm, utilities, uEmpty, auxes[ti], 0, n, walk)
 		}
 		if trk != nil {
-			trk.observeWalk(perm, utilities, uEmpty)
+			trk.observeWalk(perm, utilities, uEmpty, walk)
 		}
 		issued++
 		if trk != nil && issued%e.chunk == 0 && issued >= adaptiveMinTau &&
@@ -283,6 +368,8 @@ type fillChunk struct {
 // never waits on workers and is identical at every worker count.
 func (e *Engine) runStriped(fr fillRun, w *prefixWalker, uEmpty float64, trk *adaptiveTracker, workers int) int {
 	n := fr.g.N()
+	walk := e.walkLen(n)
+	sampler := newPermSampler(fr.r, n, walk)
 	const depth = 2
 	slots := make([]*fillChunk, depth)
 	for s := range slots {
@@ -315,7 +402,7 @@ func (e *Engine) runStriped(fr fillRun, w *prefixWalker, uEmpty float64, trk *ad
 			for c := range ch {
 				for p := 0; p < c.count; p++ {
 					for ti, t := range fr.targets {
-						t.accumulateStripe(c.perms[p], c.utils[p], uEmpty, c.aux[p][ti], lo, hi)
+						t.accumulateStripe(c.perms[p], c.utils[p], uEmpty, c.aux[p][ti], lo, hi, walk)
 					}
 				}
 				c.wg.Done()
@@ -337,20 +424,20 @@ func (e *Engine) runStriped(fr fillRun, w *prefixWalker, uEmpty float64, trk *ad
 				c.perms[p] = make([]int, n)
 			}
 			perm := c.perms[p]
-			fr.r.Perm(perm)
+			sampler.next(perm)
 			w.reset()
 			u := c.utils[p]
-			for pos, q := range perm {
-				u[pos] = w.add(q)
+			for pos := 0; pos < walk; pos++ {
+				u[pos] = w.add(perm[pos])
 			}
 			if fr.perPerm != nil {
-				fr.perPerm(perm, u, uEmpty)
+				fr.perPerm(perm, u, uEmpty, walk)
 			}
 			for ti, t := range fr.targets {
-				e.stats.Updates += t.prepare(perm, c.aux[p][ti])
+				e.stats.Updates += t.prepare(perm, c.aux[p][ti], walk)
 			}
 			if trk != nil {
-				trk.observeWalk(perm, u, uEmpty)
+				trk.observeWalk(perm, u, uEmpty, walk)
 			}
 		}
 		c.wg.Add(workers)
@@ -375,30 +462,46 @@ func (e *Engine) runStriped(fr fillRun, w *prefixWalker, uEmpty float64, trk *ad
 // configured, adaptive early termination. Bit-identical to the serial
 // PreprocessDeletion for a fixed seed at every worker count.
 func (e *Engine) PreprocessDeletion(g game.Game, tau int, r *rng.Source) *DeletionStore {
+	ds, _ := e.PreprocessDeletionWith(g, tau, r, StoreConfig{})
+	return ds
+}
+
+// PreprocessDeletionWith is PreprocessDeletion with an explicit storage
+// backend for the YN-NN arrays. Only the spill backend can fail.
+func (e *Engine) PreprocessDeletionWith(g game.Game, tau int, r *rng.Source, cfg StoreConfig) (*DeletionStore, error) {
 	n := g.N()
-	ds := NewDeletionStore(n)
+	ds, err := NewDeletionStoreWith(n, cfg)
+	if err != nil {
+		return nil, err
+	}
 	e.stats = EngineStats{Budget: tau}
 	if n == 0 || tau <= 0 {
-		return ds
+		return ds, nil
 	}
 	issued := e.run(fillRun{
 		g: g, tau: tau, r: r,
 		targets: []stripeTarget{ds},
 		// The producer owns the Shapley sums; the store's striped
 		// accumulation covers only the arrays.
-		perPerm: func(perm []int, utilities []float64, uEmpty float64) {
-			accumulateMarginals(perm, utilities, uEmpty, ds.SV)
+		perPerm: func(perm []int, utilities []float64, uEmpty float64, walk int) {
+			accumulateMarginals(perm, utilities, uEmpty, ds.SV, walk)
 		},
 	})
 	ds.tau = issued
 	ds.finishSampled()
-	return ds
+	return ds, nil
 }
 
 // PreprocessMultiDeletion is the YNN-NNN fill through the engine.
 func (e *Engine) PreprocessMultiDeletion(g game.Game, d int, candidates []int, tau int, r *rng.Source) (*MultiDeletionStore, error) {
+	return e.PreprocessMultiDeletionWith(g, d, candidates, tau, r, StoreConfig{})
+}
+
+// PreprocessMultiDeletionWith is PreprocessMultiDeletion with an explicit
+// storage backend for the YNN-NNN arrays.
+func (e *Engine) PreprocessMultiDeletionWith(g game.Game, d int, candidates []int, tau int, r *rng.Source, cfg StoreConfig) (*MultiDeletionStore, error) {
 	n := g.N()
-	ms, err := NewMultiDeletionStore(n, d, candidates)
+	ms, err := NewMultiDeletionStoreWith(n, d, candidates, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -409,8 +512,8 @@ func (e *Engine) PreprocessMultiDeletion(g game.Game, d int, candidates []int, t
 	issued := e.run(fillRun{
 		g: g, tau: tau, r: r,
 		targets: []stripeTarget{ms},
-		perPerm: func(perm []int, utilities []float64, uEmpty float64) {
-			accumulateMarginals(perm, utilities, uEmpty, ms.SV)
+		perPerm: func(perm []int, utilities []float64, uEmpty float64, walk int) {
+			accumulateMarginals(perm, utilities, uEmpty, ms.SV, walk)
 		},
 	})
 	ms.tau = issued
@@ -424,6 +527,9 @@ func (e *Engine) PreprocessMultiDeletion(g game.Game, d int, candidates []int, t
 // fills striped across workers and optional adaptive early termination.
 func (e *Engine) Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source) (*InitResult, error) {
 	n := g.N()
+	if opt.KeepPerms && e.walkLen(n) < n {
+		return nil, fmt.Errorf("core: truncation (t = %d) is incompatible with kept permutations — truncated walks carry no full prefix information", e.trunc)
+	}
 	res := &InitResult{
 		Pivot: &PivotState{
 			SV:  make([]float64, n),
@@ -436,10 +542,14 @@ func (e *Engine) Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source
 		res.Pivot.slots = make([]int, 0, tau)
 	}
 	if opt.TrackDeletions {
-		res.Deletion = NewDeletionStore(n)
+		ds, err := NewDeletionStoreWith(n, opt.Store)
+		if err != nil {
+			return nil, err
+		}
+		res.Deletion = ds
 	}
 	if opt.MultiDelete >= 1 {
-		ms, err := NewMultiDeletionStore(n, opt.MultiDelete, opt.Candidates)
+		ms, err := NewMultiDeletionStoreWith(n, opt.MultiDelete, opt.Candidates, opt.Store)
 		if err != nil {
 			return nil, err
 		}
@@ -462,12 +572,13 @@ func (e *Engine) Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source
 		g: g, tau: tau, r: r,
 		targets:    targets,
 		freshPerms: opt.KeepPerms,
-		perPerm: func(perm []int, utilities []float64, uEmpty float64) {
+		perPerm: func(perm []int, utilities []float64, uEmpty float64, walk int) {
 			// Same randomness order as the historic loop: the slot draw
 			// follows the permutation draw (the walker consumes none).
 			t := r.Intn(n + 1)
 			prev := uEmpty
-			for pos, p := range perm {
+			for pos := 0; pos < walk; pos++ {
+				p := perm[pos]
 				cur := utilities[pos]
 				m := cur - prev
 				st.SV[p] += m
@@ -515,8 +626,8 @@ func (e *Engine) MonteCarlo(g game.Game, tau int, r *rng.Source) []float64 {
 	}
 	issued := e.run(fillRun{
 		g: g, tau: tau, r: r,
-		perPerm: func(perm []int, utilities []float64, uEmpty float64) {
-			accumulateMarginals(perm, utilities, uEmpty, sv)
+		perPerm: func(perm []int, utilities []float64, uEmpty float64, walk int) {
+			accumulateMarginals(perm, utilities, uEmpty, sv, walk)
 		},
 	})
 	for i := range sv {
@@ -525,13 +636,13 @@ func (e *Engine) MonteCarlo(g game.Game, tau int, r *rng.Source) []float64 {
 	return sv
 }
 
-// accumulateMarginals folds one walked permutation's marginal
-// contributions into sv.
-func accumulateMarginals(perm []int, utilities []float64, uEmpty float64, sv []float64) {
+// accumulateMarginals folds the first walk positions of one walked
+// permutation's marginal contributions into sv.
+func accumulateMarginals(perm []int, utilities []float64, uEmpty float64, sv []float64, walk int) {
 	prev := uEmpty
-	for pos, p := range perm {
+	for pos := 0; pos < walk; pos++ {
 		cur := utilities[pos]
-		sv[p] += cur - prev
+		sv[perm[pos]] += cur - prev
 		prev = cur
 	}
 }
@@ -808,13 +919,13 @@ func (a *adaptiveTracker) observe(i int, x float64) {
 	}
 }
 
-// observeWalk records every player's marginal from one walked permutation
-// and closes the sample.
-func (a *adaptiveTracker) observeWalk(perm []int, utilities []float64, uEmpty float64) {
+// observeWalk records the walked players' marginals from one (possibly
+// truncated) permutation and closes the sample.
+func (a *adaptiveTracker) observeWalk(perm []int, utilities []float64, uEmpty float64, walk int) {
 	prev := uEmpty
-	for pos, p := range perm {
+	for pos := 0; pos < walk; pos++ {
 		cur := utilities[pos]
-		a.observe(p, cur-prev)
+		a.observe(perm[pos], cur-prev)
 		prev = cur
 	}
 	a.t++

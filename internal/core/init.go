@@ -21,6 +21,9 @@ type InitOptions struct {
 	// Candidates restricts the multi-deletion store; required when
 	// MultiDelete ≥ 1.
 	Candidates []int
+	// Store selects the storage backend for the deletion stores. The zero
+	// value is the exact dense float64 default.
+	Store StoreConfig
 }
 
 // InitResult bundles the structures produced by Initialize. Pivot is always
@@ -56,10 +59,14 @@ func Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source) (*InitResu
 		res.Pivot.slots = make([]int, 0, tau)
 	}
 	if opt.TrackDeletions {
-		res.Deletion = NewDeletionStore(n)
+		ds, err := NewDeletionStoreWith(n, opt.Store)
+		if err != nil {
+			return nil, err
+		}
+		res.Deletion = ds
 	}
 	if opt.MultiDelete >= 1 {
-		ms, err := NewMultiDeletionStore(n, opt.MultiDelete, opt.Candidates)
+		ms, err := NewMultiDeletionStoreWith(n, opt.MultiDelete, opt.Candidates, opt.Store)
 		if err != nil {
 			return nil, err
 		}
@@ -107,14 +114,7 @@ func Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source) (*InitResu
 		res.Deletion.finishSampled()
 	}
 	if res.Multi != nil {
-		inv := 1 / float64(res.Multi.tau)
-		for i := range res.Multi.y {
-			res.Multi.y[i] *= inv
-			res.Multi.nn[i] *= inv
-		}
-		for i := range res.Multi.SV {
-			res.Multi.SV[i] *= inv
-		}
+		res.Multi.finishSampled()
 	}
 	return res, nil
 }

@@ -76,21 +76,32 @@ type deletionWire struct {
 	N       int
 	Tau     int
 	Exact   bool
+	// Backend names the storage backend the store was using (empty in
+	// pre-backend files, which decode as dense — gob tolerates the added
+	// field in both directions).
+	Backend string
 	SV      []float64
 	YN, NN  []float64
 }
 
 // Encode serialises the YN-NN arrays. Size on disk is ~16·n³ bytes —
-// 16 MB at n = 100, matching the in-memory footprint of Table IX.
+// 16 MB at n = 100, matching the in-memory footprint of Table IX. The
+// arrays always travel as float64 regardless of backend; the backend kind
+// is recorded so loading restores the same storage class.
 func (ds *DeletionStore) Encode(w io.Writer) error {
 	wire := deletionWire{
 		Version: wireVersion,
 		N:       ds.n,
 		Tau:     ds.tau,
 		Exact:   ds.exact,
+		Backend: ds.Backend().String(),
 		SV:      ds.SV,
 		YN:      ds.yn,
 		NN:      ds.nn,
+	}
+	if ds.yn == nil {
+		wire.YN = ds.ynB.export()
+		wire.NN = ds.nnB.export()
 	}
 	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
 		return fmt.Errorf("core: encoding deletion store: %w", err)
@@ -98,7 +109,12 @@ func (ds *DeletionStore) Encode(w io.Writer) error {
 	return nil
 }
 
-// ReadDeletionStore deserialises a store written by Encode.
+// ReadDeletionStore deserialises a store written by Encode. Dense stores
+// adopt the decoded arrays directly (the historic zero-copy path); float32
+// backends are rebuilt and reloaded. A spill store loads as the in-memory
+// tiled float32 backend — the scratch file is process-private and gone,
+// and the caller (the session) re-spills on its next rebuild if configured
+// to.
 func ReadDeletionStore(r io.Reader) (*DeletionStore, error) {
 	var wire deletionWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
@@ -113,26 +129,42 @@ func ReadDeletionStore(r io.Reader) (*DeletionStore, error) {
 		return nil, fmt.Errorf("core: deletion store dimensions corrupt (n=%d, yn=%d, nn=%d, sv=%d)",
 			n, len(wire.YN), len(wire.NN), len(wire.SV))
 	}
-	return &DeletionStore{
+	kind, err := ParseBackendKind(wire.Backend)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeletionStore{
 		SV:    wire.SV,
 		n:     n,
 		tau:   wire.Tau,
 		exact: wire.Exact,
-		yn:    wire.YN,
-		nn:    wire.NN,
-	}, nil
+	}
+	if kind == BackendDense64 {
+		ds.ynB = &dense64{v: wire.YN}
+		ds.nnB = &dense64{v: wire.NN}
+		ds.yn, ds.nn = wire.YN, wire.NN
+		return ds, nil
+	}
+	ds.store = StoreConfig{Kind: BackendTiled32}
+	ds.ynB = newTiled32(want, n*(n+1))
+	ds.nnB = newTiled32(want, n*(n+1))
+	ds.ynB.load(wire.YN)
+	ds.nnB.load(wire.NN)
+	return ds, nil
 }
 
 type multiDeletionWire struct {
 	Version    int
 	N, D, Tau  int
 	Exact      bool
+	Backend    string
 	Candidates []int
 	SV         []float64
 	Y, NN      []float64
 }
 
-// Encode serialises the YNN-NNN arrays.
+// Encode serialises the YNN-NNN arrays (always as float64; the backend
+// kind travels alongside, as in the YN-NN wire format).
 func (ms *MultiDeletionStore) Encode(w io.Writer) error {
 	wire := multiDeletionWire{
 		Version:    wireVersion,
@@ -140,10 +172,15 @@ func (ms *MultiDeletionStore) Encode(w io.Writer) error {
 		D:          ms.d,
 		Tau:        ms.tau,
 		Exact:      ms.exact,
+		Backend:    ms.Backend().String(),
 		Candidates: ms.candidates,
 		SV:         ms.SV,
 		Y:          ms.y,
 		NN:         ms.nn,
+	}
+	if ms.y == nil {
+		wire.Y = ms.yB.export()
+		wire.NN = ms.nnB.export()
 	}
 	if err := gob.NewEncoder(w).Encode(&wire); err != nil {
 		return fmt.Errorf("core: encoding multi-deletion store: %w", err)
@@ -153,6 +190,7 @@ func (ms *MultiDeletionStore) Encode(w io.Writer) error {
 
 // ReadMultiDeletionStore deserialises a store written by Encode. The tuple
 // index is rebuilt from the candidate set, so only the raw arrays travel.
+// Spill stores load as in-memory tiled float32 (see ReadDeletionStore).
 func ReadMultiDeletionStore(r io.Reader) (*MultiDeletionStore, error) {
 	var wire multiDeletionWire
 	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
@@ -161,15 +199,31 @@ func ReadMultiDeletionStore(r io.Reader) (*MultiDeletionStore, error) {
 	if wire.Version != wireVersion {
 		return nil, fmt.Errorf("core: unsupported multi-deletion store version %d", wire.Version)
 	}
-	ms, err := NewMultiDeletionStore(wire.N, wire.D, wire.Candidates)
+	kind, err := ParseBackendKind(wire.Backend)
+	if err != nil {
+		return nil, err
+	}
+	cfg := StoreConfig{}
+	if kind != BackendDense64 {
+		cfg.Kind = BackendTiled32
+	}
+	ms, err := NewMultiDeletionStoreWith(wire.N, wire.D, wire.Candidates, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: rebuilding multi-deletion store: %w", err)
 	}
-	if len(wire.Y) != len(ms.y) || len(wire.NN) != len(ms.nn) || len(wire.SV) != wire.N {
+	want := wire.N * len(ms.tuples) * (wire.N + 1)
+	if len(wire.Y) != want || len(wire.NN) != want || len(wire.SV) != wire.N {
 		return nil, fmt.Errorf("core: multi-deletion store dimensions corrupt")
 	}
-	ms.y = wire.Y
-	ms.nn = wire.NN
+	if ms.y != nil {
+		// Dense: adopt the decoded arrays directly (historic zero-copy path).
+		ms.yB = &dense64{v: wire.Y}
+		ms.nnB = &dense64{v: wire.NN}
+		ms.y, ms.nn = wire.Y, wire.NN
+	} else {
+		ms.yB.load(wire.Y)
+		ms.nnB.load(wire.NN)
+	}
 	ms.SV = wire.SV
 	ms.tau = wire.Tau
 	ms.exact = wire.Exact

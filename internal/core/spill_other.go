@@ -1,0 +1,11 @@
+//go:build !unix
+
+package core
+
+// Platforms without mmap fall back to the in-memory tiled float32 backend:
+// same layout, same tolerance contract, no spill. Callers can detect the
+// substitution through the store's BackendKind.
+func newSpill32(entries, rowLen int, dir string) (storeBackend, error) {
+	_ = dir
+	return newTiled32(entries, rowLen), nil
+}

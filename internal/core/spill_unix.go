@@ -1,0 +1,157 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// spill32 is the tiled float32 layout backed by an mmap'd scratch file:
+// the OS pages cold tiles out under memory pressure, so the store's
+// logical size is bounded by disk, not RAM. The heap holds only the tile
+// bookkeeping (dirty flags and the layout) — a few bytes per 256 KiB
+// tile.
+//
+// Writes land in the shared mapping; flush() msyncs the dirty tiles so a
+// crash after a completed fill loses nothing, and close() (also run by a
+// GC finalizer as a leak backstop) unmaps and deletes the scratch file.
+// The file is private per store — spill stores are rebuilt by Refresh,
+// like every other derived artifact, never shared between processes.
+type spill32 struct {
+	layout tileLayout
+	data   []float32 // the full mapping, flat row-major
+	raw    []byte    // the mmap region backing data
+	path   string
+	file   *os.File
+	// dirty flags one bit of work per tile. Tiles are row-aligned and the
+	// stores stripe writers by row, so each flag has a single writer — no
+	// atomics needed.
+	dirty  []bool
+	closed bool
+}
+
+func newSpill32(entries, rowLen int, dir string) (storeBackend, error) {
+	l := newTileLayout(entries, rowLen)
+	f, err := os.CreateTemp(dir, "dynshap-spill-*.f32")
+	if err != nil {
+		return nil, fmt.Errorf("core: creating spill file: %w", err)
+	}
+	size := int64(entries) * 4
+	sp := &spill32{layout: l, path: f.Name(), file: f, dirty: make([]bool, l.numTiles())}
+	if entries > 0 {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			os.Remove(sp.path)
+			return nil, fmt.Errorf("core: sizing spill file to %d bytes: %w", size, err)
+		}
+		raw, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+		if err != nil {
+			f.Close()
+			os.Remove(sp.path)
+			return nil, fmt.Errorf("core: mmap of %d-byte spill store: %w", size, err)
+		}
+		sp.raw = raw
+		sp.data = unsafe.Slice((*float32)(unsafe.Pointer(&raw[0])), entries)
+	}
+	// Leak backstop: a store dropped without Close (e.g. a session state
+	// discarded by an update) still releases its mapping and scratch file.
+	runtime.SetFinalizer(sp, func(s *spill32) { s.close() })
+	return sp, nil
+}
+
+func (b *spill32) at(idx int) float64 { return float64(b.data[idx]) }
+
+func (b *spill32) add(idx int, x float64) {
+	b.data[idx] = float32(float64(b.data[idx]) + x)
+	b.dirty[b.layout.tileOf(idx)] = true
+}
+
+func (b *spill32) scale(f float64) {
+	for i := range b.data {
+		b.data[i] = float32(float64(b.data[i]) * f)
+	}
+	for t := range b.dirty {
+		b.dirty[t] = true
+	}
+}
+
+func (b *spill32) logicalBytes() int64 { return int64(b.layout.entries) * 4 }
+
+// heapBytes is the bookkeeping only: the mapping is file-backed and
+// evictable, which is the whole point of the backend.
+func (b *spill32) heapBytes() int64 {
+	return int64(len(b.dirty)) + int64(unsafe.Sizeof(*b))
+}
+
+func (b *spill32) backendKind() BackendKind { return BackendSpill32 }
+
+func (b *spill32) export() []float64 {
+	out := make([]float64, len(b.data))
+	for i, v := range b.data {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func (b *spill32) load(vals []float64) {
+	for i, v := range vals {
+		b.data[i] = float32(v)
+	}
+	for t := range b.dirty {
+		b.dirty[t] = true
+	}
+}
+
+// flush msyncs every dirty tile (widened to page boundaries, as msync
+// requires) and clears the flags. Clean tiles cost nothing.
+func (b *spill32) flush() error {
+	if len(b.raw) == 0 {
+		return nil
+	}
+	page := int64(os.Getpagesize())
+	base := uintptr(unsafe.Pointer(&b.raw[0]))
+	for t, d := range b.dirty {
+		if !d {
+			continue
+		}
+		start, end := b.layout.tileSpan(t)
+		lo := (int64(start) * 4 / page) * page
+		hi := int64(end) * 4
+		if hi > int64(len(b.raw)) {
+			hi = int64(len(b.raw))
+		}
+		if _, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+			base+uintptr(lo), uintptr(hi-lo), syscall.MS_SYNC); errno != 0 {
+			return fmt.Errorf("core: msync of spill tile %d: %w", t, errno)
+		}
+		b.dirty[t] = false
+	}
+	return nil
+}
+
+func (b *spill32) close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	runtime.SetFinalizer(b, nil)
+	var first error
+	if b.raw != nil {
+		if err := syscall.Munmap(b.raw); err != nil && first == nil {
+			first = fmt.Errorf("core: munmap spill store: %w", err)
+		}
+		b.raw, b.data = nil, nil
+	}
+	if err := b.file.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := os.Remove(b.path); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -37,18 +37,49 @@ type DeletionStore struct {
 	n     int
 	tau   int
 	exact bool
-	// yn[i][j][k] for k in 0..n, nn likewise; flat layout i*(n*(n+1)) + j*(n+1) + k.
+	store StoreConfig
+	// ynB/nnB are the storage backends: yn[i][j][k] for k in 0..n, nn
+	// likewise; flat layout i*(n*(n+1)) + j*(n+1) + k.
+	ynB, nnB storeBackend
+	// yn, nn alias the dense float64 arrays when the store uses the
+	// default dense backend (nil otherwise) — the fill and merge hot loops
+	// take the direct-slice path through them, keeping the dense store
+	// bit-identical to its pre-interface self.
 	yn, nn []float64
 }
 
-// NewDeletionStore allocates an empty store for an n-player game.
+// NewDeletionStore allocates an empty store for an n-player game on the
+// default (exact, dense float64) backend.
 func NewDeletionStore(n int) *DeletionStore {
-	return &DeletionStore{
-		n:  n,
-		yn: make([]float64, n*n*(n+1)),
-		nn: make([]float64, n*n*(n+1)),
-		SV: make([]float64, n),
+	ds, err := NewDeletionStoreWith(n, StoreConfig{})
+	if err != nil {
+		panic(err) // dense allocation cannot fail with an error
 	}
+	return ds
+}
+
+// NewDeletionStoreWith allocates an empty store on the configured storage
+// backend. Only BackendSpill32 can fail (scratch-file I/O).
+func NewDeletionStoreWith(n int, cfg StoreConfig) (*DeletionStore, error) {
+	ds := &DeletionStore{
+		n:     n,
+		SV:    make([]float64, n),
+		store: cfg,
+	}
+	entries, rowLen := n*n*(n+1), n*(n+1)
+	var err error
+	if ds.ynB, err = newBackend(entries, rowLen, cfg); err != nil {
+		return nil, err
+	}
+	if ds.nnB, err = newBackend(entries, rowLen, cfg); err != nil {
+		ds.ynB.close()
+		return nil, err
+	}
+	if d, ok := ds.ynB.(*dense64); ok {
+		ds.yn = d.v
+		ds.nn = ds.nnB.(*dense64).v
+	}
+	return ds, nil
 }
 
 // N returns the number of players the store covers.
@@ -57,18 +88,44 @@ func (ds *DeletionStore) N() int { return ds.n }
 // Tau returns the number of permutations accumulated (sampled mode).
 func (ds *DeletionStore) Tau() int { return ds.tau }
 
-// MemoryBytes returns the heap footprint of the two utility arrays — the
-// quantity the paper's Table IX reports.
+// Backend identifies the storage backend holding the arrays.
+func (ds *DeletionStore) Backend() BackendKind { return ds.ynB.backendKind() }
+
+// MemoryBytes returns the logical footprint of the two utility arrays —
+// the quantity the paper's Table IX reports. For the spill backend this is
+// file bytes, not RAM; see HeapBytes.
 func (ds *DeletionStore) MemoryBytes() int64 {
-	return int64(len(ds.yn)+len(ds.nn)) * 8
+	return ds.ynB.logicalBytes() + ds.nnB.logicalBytes()
 }
 
-func (ds *DeletionStore) at(arr []float64, i, j, k int) float64 {
-	return arr[(i*ds.n+j)*(ds.n+1)+k]
+// HeapBytes returns the heap-resident share of the arrays: equal to
+// MemoryBytes for the in-memory backends, bookkeeping-only for spill.
+func (ds *DeletionStore) HeapBytes() int64 {
+	return ds.ynB.heapBytes() + ds.nnB.heapBytes()
 }
 
-func (ds *DeletionStore) add(arr []float64, i, j, k int, v float64) {
-	arr[(i*ds.n+j)*(ds.n+1)+k] += v
+// Flush writes dirty tiles to stable storage (spill backend; no-op for the
+// in-memory backends).
+func (ds *DeletionStore) Flush() error {
+	if err := ds.ynB.flush(); err != nil {
+		return err
+	}
+	return ds.nnB.flush()
+}
+
+// Close releases non-heap resources (the spill backend's mapping and
+// scratch file). The store must not be used afterwards. In-memory stores
+// need no Close; spill stores are also closed by a GC finalizer, so Close
+// is an optimisation for deterministic cleanup, not a correctness duty.
+func (ds *DeletionStore) Close() error {
+	if err := ds.ynB.close(); err != nil {
+		return err
+	}
+	return ds.nnB.close()
+}
+
+func (ds *DeletionStore) idx(i, j, k int) int {
+	return (i*ds.n+j)*(ds.n+1) + k
 }
 
 // AccumulatePermutation folds one permutation's prefix utilities into the
@@ -85,7 +142,7 @@ func (ds *DeletionStore) AccumulatePermutation(perm []int, utilities []float64, 
 		ds.SV[pt] += cur - prev
 		prev = cur
 	}
-	ds.accumulateStripe(perm, utilities, uEmpty, nil, 0, n)
+	ds.accumulateStripe(perm, utilities, uEmpty, nil, 0, n, n)
 	ds.tau++
 }
 
@@ -93,28 +150,50 @@ func (ds *DeletionStore) AccumulatePermutation(perm []int, utilities []float64, 
 // metadata.
 func (ds *DeletionStore) newAux() []int { return nil }
 
-// prepare implements stripeTarget: each permutation costs n(n+1) array
-// updates (Σ_pos 2·(n−pos)).
-func (ds *DeletionStore) prepare(perm []int, aux []int) int64 {
-	return int64(ds.n) * int64(ds.n+1)
+// prepare implements stripeTarget: a walk of length w costs
+// Σ_{pos<w} 2·(n−pos) array updates.
+func (ds *DeletionStore) prepare(perm []int, aux []int, walk int) int64 {
+	n := int64(ds.n)
+	w := int64(walk)
+	return w * (2*n - w + 1)
 }
 
 // accumulateStripe folds one permutation into the rows lo ≤ i < hi of the
 // arrays — the stripe owned by one engine worker. Row i receives its
 // additions in permutation-walk order regardless of how [0, n) is split
-// into stripes, so the striped fill is bit-identical to the serial one.
-// SV and τ are left to the producer.
-func (ds *DeletionStore) accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi int) {
+// into stripes, so the striped fill is bit-identical to the serial one —
+// for every backend, since each entry still has exactly one writer adding
+// in walk order. SV and τ are left to the producer. Only the first walk
+// positions carry valid utilities (walk < n under truncation).
+func (ds *DeletionStore) accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi, walk int) {
 	n := ds.n
+	if yn, nn := ds.yn, ds.nn; yn != nil {
+		// Dense fast path: direct slice arithmetic, the historic loop.
+		prev := uEmpty
+		for pos := 0; pos < walk; pos++ {
+			pt := perm[pos]
+			cur := utilities[pos]
+			if pt >= lo && pt < hi {
+				// Every player at a later position is absent from both prefixes.
+				for j := pos; j < n; j++ {
+					q := perm[j]
+					yn[(pt*n+q)*(n+1)+pos+1] += cur
+					nn[(pt*n+q)*(n+1)+pos] += prev
+				}
+			}
+			prev = cur
+		}
+		return
+	}
 	prev := uEmpty
-	for pos, pt := range perm {
+	for pos := 0; pos < walk; pos++ {
+		pt := perm[pos]
 		cur := utilities[pos]
 		if pt >= lo && pt < hi {
-			// Every player at a later position is absent from both prefixes.
 			for j := pos; j < n; j++ {
 				q := perm[j]
-				ds.add(ds.yn, pt, q, pos+1, cur)
-				ds.add(ds.nn, pt, q, pos, prev)
+				ds.ynB.add(ds.idx(pt, q, pos+1), cur)
+				ds.nnB.add(ds.idx(pt, q, pos), prev)
 			}
 		}
 		prev = cur
@@ -149,9 +228,15 @@ func PreprocessDeletion(g game.Game, tau int, r *rng.Source) *DeletionStore {
 // finishSampled converts accumulated sums into averages.
 func (ds *DeletionStore) finishSampled() {
 	inv := 1 / float64(ds.tau)
-	for i := range ds.yn {
-		ds.yn[i] *= inv
-		ds.nn[i] *= inv
+	if ds.yn != nil {
+		// Dense fast path: the historic interleaved loop, bit-identical.
+		for i := range ds.yn {
+			ds.yn[i] *= inv
+			ds.nn[i] *= inv
+		}
+	} else {
+		ds.ynB.scale(inv)
+		ds.nnB.scale(inv)
 	}
 	for i := range ds.SV {
 		ds.SV[i] *= inv
@@ -187,9 +272,9 @@ func PreprocessDeletionExact(g game.Game) *DeletionStore {
 					continue // j must be excluded
 				}
 				if iIn {
-					ds.add(ds.yn, i, j, k, u)
+					ds.ynB.add(ds.idx(i, j, k), u)
 				} else if i != j {
-					ds.add(ds.nn, i, j, k, u)
+					ds.nnB.add(ds.idx(i, j, k), u)
 				}
 			}
 		}
@@ -275,19 +360,42 @@ func (ds *DeletionStore) mergeWith(p, workers int) ([]float64, error) {
 			if i == p {
 				continue
 			}
-			acc := 0.0
-			for k := 1; k <= n-1; k++ {
-				d := ds.at(ds.yn, i, p, k) - ds.at(ds.nn, i, p, k-1)
+			if ds.yn != nil {
+				// Dense fast path: the historic plain accumulation, so the
+				// default backend stays bit-identical to pre-interface output.
+				acc := 0.0
+				base := (i*n + p) * (n + 1)
+				for k := 1; k <= n-1; k++ {
+					d := ds.yn[base+k] - ds.nn[base+k-1]
+					if ds.exact {
+						acc += d / coef[k]
+					} else {
+						acc += d * coef[k]
+					}
+				}
 				if ds.exact {
-					acc += d / coef[k]
+					acc /= float64(n - 1)
+				}
+				out[i] = acc
+				continue
+			}
+			// Float32 backends: Neumaier-compensated reduction, so the merge
+			// adds no error beyond the storage rounding (DESIGN.md §15).
+			var acc neumaierSum
+			base := (i*n + p) * (n + 1)
+			for k := 1; k <= n-1; k++ {
+				d := ds.ynB.at(base+k) - ds.nnB.at(base+k-1)
+				if ds.exact {
+					acc.add(d / coef[k])
 				} else {
-					acc += d * coef[k]
+					acc.add(d * coef[k])
 				}
 			}
+			v := acc.value()
 			if ds.exact {
-				acc /= float64(n - 1)
+				v /= float64(n - 1)
 			}
-			out[i] = acc
+			out[i] = v
 		}
 	})
 	return out, nil
@@ -307,11 +415,16 @@ type MultiDeletionStore struct {
 	d          int
 	tau        int
 	exact      bool
+	store      StoreConfig
 	candidates []int
 	candSlot   []int // player -> position in candidates, -1 if not a candidate
 	tuples     [][]int
-	// y[i][t][k], nn[i][t][k] flat: (i*len(tuples)+t)*(n+1)+k
-	y, nn []float64
+	// yB/nnB are the storage backends: y[i][t][k], nn[i][t][k] flat
+	// (i*len(tuples)+t)*(n+1)+k. y and nn alias the dense float64 arrays
+	// when the default backend is in use (nil otherwise); the fill and
+	// merge hot loops go through them directly.
+	yB, nnB storeBackend
+	y, nn   []float64
 	// aux is the per-permutation scratch of AccumulatePermutation, reused
 	// across calls (layout of newAux); lazily allocated, never serialised.
 	aux []int
@@ -354,8 +467,14 @@ func equalIntSlice(a, b []int) bool {
 }
 
 // NewMultiDeletionStore allocates a store for deleting exactly d of the
-// candidate players from an n-player game.
+// candidate players from an n-player game, on the dense default backend.
 func NewMultiDeletionStore(n, d int, candidates []int) (*MultiDeletionStore, error) {
+	return NewMultiDeletionStoreWith(n, d, candidates, StoreConfig{})
+}
+
+// NewMultiDeletionStoreWith is NewMultiDeletionStore with an explicit
+// storage backend.
+func NewMultiDeletionStoreWith(n, d int, candidates []int, cfg StoreConfig) (*MultiDeletionStore, error) {
 	if d < 1 {
 		return nil, fmt.Errorf("core: multi-deletion needs d ≥ 1, got %d", d)
 	}
@@ -377,6 +496,7 @@ func NewMultiDeletionStore(n, d int, candidates []int) (*MultiDeletionStore, err
 	ms := &MultiDeletionStore{
 		n:          n,
 		d:          d,
+		store:      cfg,
 		candidates: cands,
 		candSlot:   make([]int, n),
 		SV:         make([]float64, n),
@@ -406,8 +526,25 @@ func NewMultiDeletionStore(n, d int, candidates []int) (*MultiDeletionStore, err
 		}
 	}
 	rec(0, 0)
-	ms.y = make([]float64, n*len(ms.tuples)*(n+1))
-	ms.nn = make([]float64, n*len(ms.tuples)*(n+1))
+	// Rows (the striping unit) are the first axis i: rowLen entries each,
+	// so row-aligned tiles keep every tile single-writer under the engine's
+	// stripe workers.
+	rowLen := len(ms.tuples) * (n + 1)
+	entries := n * rowLen
+	var err error
+	if ms.yB, err = newBackend(entries, rowLen, cfg); err != nil {
+		return nil, err
+	}
+	if ms.nnB, err = newBackend(entries, rowLen, cfg); err != nil {
+		ms.yB.close()
+		return nil, err
+	}
+	if db, ok := ms.yB.(*dense64); ok {
+		ms.y = db.v
+	}
+	if db, ok := ms.nnB.(*dense64); ok {
+		ms.nn = db.v
+	}
 	return ms, nil
 }
 
@@ -422,9 +559,39 @@ func (ms *MultiDeletionStore) Candidates() []int {
 	return append([]int(nil), ms.candidates...)
 }
 
-// MemoryBytes returns the heap footprint of the two utility arrays.
+// Backend reports which storage implementation holds the utility arrays.
+func (ms *MultiDeletionStore) Backend() BackendKind { return ms.yB.backendKind() }
+
+// MemoryBytes returns the logical footprint of the two utility arrays
+// (heap or spill file).
 func (ms *MultiDeletionStore) MemoryBytes() int64 {
-	return int64(len(ms.y)+len(ms.nn)) * 8
+	return ms.yB.logicalBytes() + ms.nnB.logicalBytes()
+}
+
+// HeapBytes returns the RAM-resident share of MemoryBytes — what the
+// process cannot evict. Equal to MemoryBytes for the in-memory backends;
+// near zero for the spill backend.
+func (ms *MultiDeletionStore) HeapBytes() int64 {
+	return ms.yB.heapBytes() + ms.nnB.heapBytes()
+}
+
+// Flush writes dirty tiles back to stable storage (no-op for the
+// in-memory backends).
+func (ms *MultiDeletionStore) Flush() error {
+	if err := ms.yB.flush(); err != nil {
+		return err
+	}
+	return ms.nnB.flush()
+}
+
+// Close releases non-heap resources (the spill backend's mmap and scratch
+// file). The store must not be used afterwards.
+func (ms *MultiDeletionStore) Close() error {
+	err := ms.yB.close()
+	if e := ms.nnB.close(); err == nil {
+		err = e
+	}
+	return err
 }
 
 func (ms *MultiDeletionStore) idx(i, t, k int) int {
@@ -443,14 +610,14 @@ func (ms *MultiDeletionStore) AccumulatePermutation(perm []int, utilities []floa
 	if ms.aux == nil {
 		ms.aux = ms.newAux()
 	}
-	ms.prepare(perm, ms.aux)
+	ms.prepare(perm, ms.aux, n)
 	prev := uEmpty
 	for p, pt := range perm {
 		cur := utilities[p]
 		ms.SV[pt] += cur - prev
 		prev = cur
 	}
-	ms.accumulateStripe(perm, utilities, uEmpty, ms.aux, 0, n)
+	ms.accumulateStripe(perm, utilities, uEmpty, ms.aux, 0, n, n)
 	ms.tau++
 }
 
@@ -463,9 +630,9 @@ func (ms *MultiDeletionStore) newAux() []int {
 
 // prepare implements stripeTarget: it fills aux with candidate positions
 // and per-tuple minima and returns the permutation's update count
-// (2·Σ_t minPos[t], one y and one nn write for every position preceding
-// each tuple's first member).
-func (ms *MultiDeletionStore) prepare(perm []int, aux []int) int64 {
+// (2·Σ_t min(minPos[t], walk), one y and one nn write for every position
+// preceding each tuple's first member, capped at the truncation depth).
+func (ms *MultiDeletionStore) prepare(perm []int, aux []int, walk int) int64 {
 	nc := len(ms.candidates)
 	candPos := aux[:nc]
 	minPos := aux[nc:]
@@ -484,27 +651,54 @@ func (ms *MultiDeletionStore) prepare(perm []int, aux []int) int64 {
 			}
 		}
 		minPos[t] = m
+		if m > walk {
+			m = walk
+		}
 		updates += int64(m)
 	}
 	return 2 * updates
 }
 
 // accumulateStripe folds one permutation into the rows lo ≤ i < hi of the
-// arrays (SV and τ are left to the producer). Row i receives its additions
-// in permutation-walk order regardless of striping, so the striped fill is
-// bit-identical to the serial one.
-func (ms *MultiDeletionStore) accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi int) {
+// arrays (SV and τ are left to the producer), visiting only the first walk
+// positions. Row i receives its additions in permutation-walk order
+// regardless of striping, so the striped fill is bit-identical to the
+// serial one on every backend.
+func (ms *MultiDeletionStore) accumulateStripe(perm []int, utilities []float64, uEmpty float64, aux []int, lo, hi, walk int) {
 	minPos := aux[len(ms.candidates):]
+	if ms.y != nil {
+		// Dense fast path: direct slice writes, the historic hot loop.
+		prev := uEmpty
+		for p, pt := range perm {
+			if p >= walk {
+				break
+			}
+			cur := utilities[p]
+			if pt >= lo && pt < hi {
+				for t := range ms.tuples {
+					// All tuple members strictly after position p ⇒ the prefix
+					// excludes the whole tuple (and pt ∉ tuple, since pt is at p).
+					if minPos[t] > p {
+						ms.y[ms.idx(pt, t, p+1)] += cur
+						ms.nn[ms.idx(pt, t, p)] += prev
+					}
+				}
+			}
+			prev = cur
+		}
+		return
+	}
 	prev := uEmpty
 	for p, pt := range perm {
+		if p >= walk {
+			break
+		}
 		cur := utilities[p]
 		if pt >= lo && pt < hi {
 			for t := range ms.tuples {
-				// All tuple members strictly after position p ⇒ the prefix
-				// excludes the whole tuple (and pt ∉ tuple, since pt is at p).
 				if minPos[t] > p {
-					ms.y[ms.idx(pt, t, p+1)] += cur
-					ms.nn[ms.idx(pt, t, p)] += prev
+					ms.yB.add(ms.idx(pt, t, p+1), cur)
+					ms.nnB.add(ms.idx(pt, t, p), prev)
 				}
 			}
 		}
@@ -515,9 +709,15 @@ func (ms *MultiDeletionStore) accumulateStripe(perm []int, utilities []float64, 
 // finishSampled converts accumulated sums into averages.
 func (ms *MultiDeletionStore) finishSampled() {
 	inv := 1 / float64(ms.tau)
-	for i := range ms.y {
-		ms.y[i] *= inv
-		ms.nn[i] *= inv
+	if ms.y != nil {
+		// Historic interleaved loop, kept verbatim for bit-identity.
+		for i := range ms.y {
+			ms.y[i] *= inv
+			ms.nn[i] *= inv
+		}
+	} else {
+		ms.yB.scale(inv)
+		ms.nnB.scale(inv)
 	}
 	for i := range ms.SV {
 		ms.SV[i] *= inv
@@ -589,9 +789,9 @@ func PreprocessMultiDeletionExact(g game.Game, d int, candidates []int) (*MultiD
 			}
 			for i := 0; i < n; i++ {
 				if mask&(1<<uint(i)) != 0 {
-					ms.y[ms.idx(i, t, k)] += u
+					ms.yB.add(ms.idx(i, t, k), u)
 				} else if !contains(tuple, i) {
-					ms.nn[ms.idx(i, t, k)] += u
+					ms.nnB.add(ms.idx(i, t, k), u)
 				}
 			}
 		}
@@ -656,19 +856,42 @@ func (ms *MultiDeletionStore) mergeWith(workers int, points ...int) ([]float64, 
 			if contains(sorted, i) {
 				continue
 			}
-			acc := 0.0
-			for k := 1; k <= n-d; k++ {
-				dv := ms.y[ms.idx(i, t, k)] - ms.nn[ms.idx(i, t, k-1)]
+			if ms.y != nil {
+				// Dense fast path: the historic plain accumulation, kept
+				// verbatim for bit-identity with the pre-interface store.
+				acc := 0.0
+				base := ms.idx(i, t, 0)
+				for k := 1; k <= n-d; k++ {
+					dv := ms.y[base+k] - ms.nn[base+k-1]
+					if ms.exact {
+						acc += dv / coef[k]
+					} else {
+						acc += dv * coef[k]
+					}
+				}
 				if ms.exact {
-					acc += dv / coef[k]
+					acc /= float64(n - d)
+				}
+				out[i] = acc
+				continue
+			}
+			// float32 backends: compensated float64 reduction so the only
+			// error left is the storage rounding itself.
+			var acc neumaierSum
+			base := ms.idx(i, t, 0)
+			for k := 1; k <= n-d; k++ {
+				dv := ms.yB.at(base+k) - ms.nnB.at(base+k-1)
+				if ms.exact {
+					acc.add(dv / coef[k])
 				} else {
-					acc += dv * coef[k]
+					acc.add(dv * coef[k])
 				}
 			}
+			v := acc.value()
 			if ms.exact {
-				acc /= float64(n - d)
+				v /= float64(n - d)
 			}
-			out[i] = acc
+			out[i] = v
 		}
 	})
 	return out, nil

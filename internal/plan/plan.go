@@ -142,6 +142,12 @@ type Budget struct {
 	// the relative ordering of the paths, so the planner only reports
 	// them in its trace.
 	TargetEps, TargetDelta float64
+	// Truncation is the stratified-truncated walk length configured on the
+	// session's engine (0 when off). Like the adaptive parameters it
+	// scales every sampled path by the same factor — walk length t instead
+	// of n — so it shows up in the Monte Carlo cost hint and the trace,
+	// never in the path ordering.
+	Truncation int
 }
 
 // Decision is the planner's answer.
@@ -165,6 +171,18 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 	}
 	if b.TargetEps > 0 {
 		note("adaptive budget: τ≤%d with (ε=%g, δ=%g) early stop", b.UpdateTau, b.TargetEps, b.TargetDelta)
+	}
+	if b.Truncation > 0 {
+		note("stratified truncation active: recomputation walks stop at t=%d positions (arXiv 2311.05346)", b.Truncation)
+	}
+	// Recomputation honours the engine's truncation; the incremental paths
+	// walk full permutations by construction.
+	mcCost := func(n int) core.Cost {
+		if b.Truncation > 0 {
+			c := core.StratifiedMCCost(n, b.Truncation, b.UpdateTau)
+			return core.Cost{Evaluations: c.Evaluations}
+		}
+		return core.MonteCarloCost(n, b.UpdateTau)
 	}
 
 	done := func(c Choice, cost core.Cost, why string) Decision {
@@ -212,7 +230,7 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 			}
 		}
 		if bulk(req.Count, art.N) {
-			return done(ChoiceMonteCarlo, core.MonteCarloCost(art.N-req.Count, b.UpdateTau),
+			return done(ChoiceMonteCarlo, mcCost(art.N-req.Count),
 				fmt.Sprintf("deleting %d of %d players; differential updates lose their edge past half the set", req.Count, art.N))
 		}
 		cost := core.DeltaDeleteCost(art.N, b.UpdateTau).Times(req.Count)
@@ -237,7 +255,7 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 			note("pivot state sized for %d players, set has %d; unusable", art.Pivot.N(), art.N)
 		}
 		if bulk(req.Count, art.N) {
-			return done(ChoiceMonteCarlo, core.MonteCarloCost(art.N+req.Count, b.UpdateTau),
+			return done(ChoiceMonteCarlo, mcCost(art.N+req.Count),
 				fmt.Sprintf("adding %d to %d players; recomputation beats %d sequential delta passes", req.Count, art.N, req.Count))
 		}
 		if req.Count > 1 {

@@ -120,6 +120,14 @@ type config struct {
 	workers        int
 	targetEps      float64
 	targetDelta    float64
+	storeKind      core.BackendKind
+	spillDir       string
+	truncation     int
+}
+
+// storeConfig resolves the configured deletion-store backend.
+func (c config) storeConfig() core.StoreConfig {
+	return core.StoreConfig{Kind: c.storeKind, SpillDir: c.spillDir}
 }
 
 // Option configures a Session.
@@ -198,6 +206,41 @@ func WithTargetError(eps, delta float64) Option {
 	return func(c *config) { c.targetEps, c.targetDelta = eps, delta }
 }
 
+// WithStoreBackend selects the storage backend for the YN-NN / YNN-NNN
+// deletion arrays (default StoreDense64, the exact float64 layout). The
+// tiled float32 backend (StoreTiled32) halves the arrays' bytes in
+// exchange for a bounded rounding drift — see DESIGN.md §15 for the
+// tolerance contract; merged values keep rank-correlation ≥ 0.99 with the
+// dense path on the paper's scenarios.
+func WithStoreBackend(k StoreBackend) Option {
+	return func(c *config) { c.storeKind = core.BackendKind(k) }
+}
+
+// WithStoreSpill puts the deletion arrays in mmap-backed scratch files
+// under dir (the process temp dir when dir is empty): the OS pages cold
+// tiles out under memory pressure, so stores larger than RAM work. Implies
+// the tiled float32 layout and its tolerance contract. Scratch files are
+// removed when the store is closed or garbage-collected.
+func WithStoreSpill(dir string) Option {
+	return func(c *config) {
+		c.storeKind = core.BackendSpill32
+		c.spillDir = dir
+	}
+}
+
+// WithTruncation enables stratified-truncated permutation sampling for
+// initialisation and recomputation passes (arXiv 2311.05346): every
+// sampled walk stops after its first t positions, drawn in rotation
+// blocks so each player is observed inside the window once per block.
+// Cuts utility evaluations per walk from O(n) to O(t) and the YN-NN fill
+// work from O(n²) to O(t·n), at the cost of the documented tail bias
+// (strata past position t contribute zero — see ALGORITHMS.md).
+// Incompatible with WithKeepPermutations; t ≤ 0 disables, t ≥ n is a
+// no-op.
+func WithTruncation(t int) Option {
+	return func(c *config) { c.truncation = t }
+}
+
 // NewSession creates a valuation session for the given training points,
 // scored against test with models produced by trainer.
 func NewSession(train, test *Dataset, trainer Trainer, opts ...Option) *Session {
@@ -229,6 +272,9 @@ func newSessionFromConfig(train, test *dataset.Dataset, trainer ml.Trainer, cfg 
 	engineOpts := []core.EngineOption{core.WithWorkers(cfg.workers)}
 	if cfg.targetEps > 0 {
 		engineOpts = append(engineOpts, core.WithTargetError(cfg.targetEps, cfg.targetDelta))
+	}
+	if cfg.truncation > 0 {
+		engineOpts = append(engineOpts, core.WithTruncation(cfg.truncation))
 	}
 	s := &Session{
 		test:    test.Clone(),
@@ -487,11 +533,21 @@ func (s *Session) initLocked(op string) error {
 			"exact k-NN estimator present, but requested artifacts need a sampled pass (keepPerms=%v trackDeletions=%v multiDelete=%d); running τ=%d initialisation to build them",
 			s.cfg.keepPerms, s.cfg.trackDeletions, s.cfg.multiDelete, s.cfg.tau)}
 	}
+	if s.cfg.storeKind != core.BackendDense64 && (s.cfg.trackDeletions || s.cfg.multiDelete > 0) {
+		initTrace = append(initTrace, fmt.Sprintf(
+			"deletion stores on the %s backend (float32 tiles; merge within the DESIGN.md §15 tolerance of the dense path)", s.cfg.storeKind))
+	}
+	if s.cfg.truncation > 0 {
+		initTrace = append(initTrace, fmt.Sprintf(
+			"stratified-truncated sampling: walks stop at t=%d of n=%d positions, rotation-block stratified (arXiv 2311.05346)",
+			s.cfg.truncation, st.train.Len()))
+	}
 	res, err := s.engine.Initialize(s.gameOf(st), s.cfg.tau, core.InitOptions{
 		KeepPerms:      s.cfg.keepPerms,
 		TrackDeletions: s.cfg.trackDeletions,
 		MultiDelete:    s.cfg.multiDelete,
 		Candidates:     s.cfg.candidates,
+		Store:          s.cfg.storeConfig(),
 	}, r.Split())
 	if err != nil {
 		return fmt.Errorf("dynshap: init: %w", err)
@@ -532,6 +588,7 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 			UpdateTau:   s.cfg.updateTau,
 			TargetEps:   s.cfg.targetEps,
 			TargetDelta: s.cfg.targetDelta,
+			Truncation:  s.cfg.truncation,
 		},
 	)
 	var algo Algorithm

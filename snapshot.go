@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"dynshap/internal/core"
 	"dynshap/internal/dataset"
 	"dynshap/internal/journal"
 )
@@ -60,6 +61,14 @@ type SnapshotConfig struct {
 	Workers        int     `json:"workers,omitempty"`
 	TargetEps      float64 `json:"target_eps,omitempty"`
 	TargetDelta    float64 `json:"target_delta,omitempty"`
+	// StoreBackend is the deletion-store storage backend's wire name
+	// ("" / "dense64", "tiled32", "spill32") and SpillDir the spill
+	// backend's scratch directory. Truncation is the stratified-truncated
+	// walk length (0 = full walks). All three round-trip so replay after
+	// resume reproduces bit-identical values.
+	StoreBackend string `json:"store_backend,omitempty"`
+	SpillDir     string `json:"spill_dir,omitempty"`
+	Truncation   int    `json:"truncation,omitempty"`
 }
 
 // snapshotConfig serialises a session config. Fields matching the
@@ -77,6 +86,11 @@ func snapshotConfig(cfg config, n int) *SnapshotConfig {
 		Workers:        cfg.workers,
 		TargetEps:      cfg.targetEps,
 		TargetDelta:    cfg.targetDelta,
+		SpillDir:       cfg.spillDir,
+		Truncation:     cfg.truncation,
+	}
+	if cfg.storeKind != StoreDense64 {
+		sc.StoreBackend = cfg.storeKind.String()
 	}
 	if cfg.updateTau != cfg.tau {
 		sc.UpdateSamples = cfg.updateTau
@@ -113,6 +127,11 @@ func (sc *SnapshotConfig) apply(cfg *config) {
 	cfg.workers = sc.Workers
 	cfg.targetEps = sc.TargetEps
 	cfg.targetDelta = sc.TargetDelta
+	if k, err := core.ParseBackendKind(sc.StoreBackend); err == nil {
+		cfg.storeKind = k
+	}
+	cfg.spillDir = sc.SpillDir
+	cfg.truncation = sc.Truncation
 }
 
 // Snapshot captures the session's durable state — a non-blocking read of
