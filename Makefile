@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet cover bench bench-diff bench-large bench-mem profile examples experiments clean
+.PHONY: all build test lint vet cover fuzz-short bench bench-diff bench-large bench-mem profile examples experiments clean
 
 all: build lint test
 
@@ -35,6 +35,19 @@ lint:
 
 vet:
 	$(GO) vet ./...
+
+# Short guided-fuzzing pass: every fuzz target in the repo runs for 10s.
+# `go test -fuzz` accepts one target per invocation, so each runs alone
+# against its package. Seeds already run under `make test`; this buys a
+# little corpus exploration on every CI run without a dedicated fuzz farm.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzReadSnapshot -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzKernelScratchEquality -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzExactKNNEquality -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzSemivalueHeadEquality -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzBatchSequentialEquality -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzStoreBackendEquality -fuzztime 10s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s ./internal/dataset/
 
 cover:
 	$(GO) test ./... -cover

@@ -136,6 +136,38 @@ func BenchmarkYNNNMergeN100(b *testing.B) {
 	}
 }
 
+// Multi-head fill: the identical Monte Carlo pass over a KNN utility
+// pricing one semivalue (the native Shapley head) versus four (plus
+// Banzhaf, Beta(4,1), Absolute Shapley). Extra heads are producer-side
+// bookkeeping folded as each walk completes — no extra utility
+// evaluations, no extra randomness — so the 4-head row must stay within
+// 1.3× of the single-head row. benchsnap canonicalises the h<N>
+// sub-benchmark as @h<N>, keeping head-count variants from diffing
+// against each other across snapshots.
+func BenchmarkMonteCarloKNNHeadsN100Tau50(b *testing.B) {
+	for _, hc := range []struct {
+		name  string
+		heads []dynshap.Semivalue
+	}{
+		{"h1", nil},
+		{"h4", []dynshap.Semivalue{dynshap.Banzhaf(), dynshap.Beta(4, 1), dynshap.AbsoluteShapley()}},
+	} {
+		b.Run(hc.name, func(b *testing.B) {
+			u := knnWalkUtility(100)
+			opts := []core.EngineOption{core.WithWorkers(1)}
+			if len(hc.heads) > 0 {
+				opts = append(opts, core.WithSemivalues(hc.heads...))
+			}
+			e := core.NewEngine(opts...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.MonteCarlo(u, 50, rng.New(uint64(i)+1))
+			}
+		})
+	}
+}
+
 func BenchmarkExactShapleyN16(b *testing.B) {
 	g := syntheticGame(16)
 	b.ReportAllocs()

@@ -16,6 +16,10 @@
 // multi-core machines every benchmark also runs under -cpu=1,<max>: the
 // single-proc rows keep the bare benchmark name (so they diff against
 // historical snapshots), the max-proc rows are recorded as name@p<max>.
+// Benchmarks that vary the number of semivalue heads a pass maintains use
+// an h<N> sub-benchmark, canonicalised as name@h<N> — the head count
+// changes the work per walk, so h1 and h4 rows must never diff against
+// each other.
 //
 // The benchmark output is also streamed to stdout as it arrives, so the
 // command doubles as a plain `make bench` run. The diff subcommand
@@ -189,17 +193,26 @@ func parseBenchLine(line string) (entry, bool) {
 // @p<procs>. Single-proc rows carry no suffix (go test omits it at
 // GOMAXPROCS 1) and keep the bare name, so the reproducible -cpu=1 baseline
 // diffs cleanly against snapshots taken before multi-proc variants existed
-// or on machines with different core counts.
+// or on machines with different core counts. An h<N> sub-benchmark (the
+// semivalue head count, `Benchmark…/h4`) is folded into the same schema as
+// @h<N>, before any @p suffix, so head-count variants pair like with like
+// across snapshots.
 func canonicalName(name string) string {
-	i := strings.LastIndexByte(name, '-')
-	if i <= 0 {
-		return name
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p >= 1 {
+			name = name[:i] + "@p" + name[i+1:]
+		}
 	}
-	p, err := strconv.Atoi(name[i+1:])
-	if err != nil || p < 1 {
-		return name
+	if i := strings.LastIndex(name, "/h"); i > 0 {
+		rest := name[i+2:]
+		if j := strings.IndexByte(rest, '@'); j >= 0 {
+			rest = rest[:j]
+		}
+		if h, err := strconv.Atoi(rest); err == nil && h >= 1 && !strings.ContainsRune(rest, '/') {
+			name = name[:i] + "@h" + name[i+2:]
+		}
 	}
-	return name[:i] + "@p" + name[i+1:]
+	return name
 }
 
 // regressionThreshold is the fractional ns/op increase past which diff

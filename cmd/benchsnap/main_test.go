@@ -96,6 +96,12 @@ func TestCanonicalName(t *testing.T) {
 		"BenchmarkFoo-0":    "BenchmarkFoo-0", // procs start at 1
 		"BenchmarkFoo-8-16": "BenchmarkFoo-8@p16",
 		"-8":                "-8", // leading dash: not a suffix
+		// Semivalue head-count sub-benchmarks fold into the schema as @h<N>.
+		"BenchmarkFill/h1":     "BenchmarkFill@h1",
+		"BenchmarkFill/h4-8":   "BenchmarkFill@h4@p8",
+		"BenchmarkFill/h0":     "BenchmarkFill/h0",      // head counts start at 1
+		"BenchmarkFill/hot":    "BenchmarkFill/hot",     // non-numeric: a real sub-benchmark name
+		"BenchmarkFill/h2/x-8": "BenchmarkFill/h2/x@p8", // h segment not last: untouched
 	}
 	for in, want := range cases {
 		if got := canonicalName(in); got != want {

@@ -148,6 +148,45 @@ func cmdGen(args []string) error {
 	return nil
 }
 
+// parseSemivalueList splits a -semivalue argument into weightings. Commas
+// separate entries except inside parentheses, so "banzhaf,beta(4,1)" is
+// two heads, not three.
+func parseSemivalueList(arg string) ([]dynshap.Semivalue, error) {
+	var out []dynshap.Semivalue
+	depth, start := 0, 0
+	flush := func(end int) error {
+		name := strings.TrimSpace(arg[start:end])
+		if name == "" {
+			return nil
+		}
+		sv, err := dynshap.ParseSemivalue(name)
+		if err != nil {
+			return err
+		}
+		out = append(out, sv)
+		return nil
+	}
+	for i, c := range arg {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if err := flush(len(arg)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func cmdCompute(args []string) error {
 	fs := flag.NewFlagSet("compute", flag.ExitOnError)
 	trainPath := fs.String("train", "", "training CSV (points to value; required)")
@@ -155,6 +194,7 @@ func cmdCompute(args []string) error {
 	model := fs.String("model", "svm", "utility model: svm, knn, softknn, logreg")
 	tau := fs.Int("tau", 0, "permutation samples (default 20·n)")
 	seed := fs.Uint64("seed", 1, "RNG seed")
+	semis := fs.String("semivalue", "", "extra semivalue heads to price from the same pass, comma-separated (banzhaf, beta(α,β), abs-shapley)")
 	out := fs.String("o", "", "snapshot output path (required)")
 	fs.Parse(args)
 	if *trainPath == "" || *testPath == "" || *out == "" {
@@ -176,6 +216,13 @@ func cmdCompute(args []string) error {
 	if *tau > 0 {
 		opts = append(opts, dynshap.WithSamples(*tau))
 	}
+	heads, err := parseSemivalueList(*semis)
+	if err != nil {
+		return fmt.Errorf("compute: %w", err)
+	}
+	if len(heads) > 0 {
+		opts = append(opts, dynshap.WithSemivalues(heads...))
+	}
 	s := dynshap.NewSession(train, test, trainer, opts...)
 	if err := s.Init(); err != nil {
 		return err
@@ -184,8 +231,21 @@ func cmdCompute(args []string) error {
 		return err
 	}
 	printValues(s.Values())
+	for _, w := range s.Semivalues() {
+		if vals, err := s.ValuesFor(w); err == nil {
+			fmt.Printf("  [%s head priced from the same pass: Σ=%+.6f]\n", w, sumValues(vals))
+		}
+	}
 	fmt.Printf("snapshot written to %s (%d model trainings)\n", *out, s.ModelTrainings())
 	return nil
+}
+
+func sumValues(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
 }
 
 // resumeSession loads a snapshot and resumes a session around it.
@@ -345,8 +405,20 @@ func cmdShow(args []string) error {
 	if *top > 0 && *top < len(entries) {
 		entries = entries[:*top]
 	}
+	// Stable head order for the extra semivalue columns, if any.
+	headNames := make([]string, 0, len(sn.Heads))
+	for name := range sn.Heads {
+		headNames = append(headNames, name)
+	}
+	sort.Strings(headNames)
 	for _, e := range entries {
-		fmt.Printf("  point %4d  label %d  SV %+.6f\n", e.idx, sn.Train[e.idx].Y, e.sv)
+		fmt.Printf("  point %4d  label %d  SV %+.6f", e.idx, sn.Train[e.idx].Y, e.sv)
+		for _, name := range headNames {
+			if vals := sn.Heads[name]; e.idx < len(vals) {
+				fmt.Printf("  %s %+.6f", name, vals[e.idx])
+			}
+		}
+		fmt.Println()
 	}
 	return nil
 }
@@ -388,6 +460,18 @@ func cmdHistory(args []string) error {
 		}
 		fmt.Printf("  v%-3d %-8s %-14s%s  (%d trainings, %d prefix adds, %d perms%s)\n",
 			u.Version, u.Op, algo, detail, u.Trainings, u.PrefixAdds, u.Permutations, secs)
+		// Multi-head adds journal each appended point's worth under every
+		// extra semivalue head; show the per-head attribution.
+		if len(u.HeadValues) > 0 {
+			names := make([]string, 0, len(u.HeadValues))
+			for name := range u.HeadValues {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Printf("        · %s attribution: %s\n", name, formatVals(u.HeadValues[name]))
+			}
+		}
 		if *verbose {
 			for _, line := range u.Decision {
 				fmt.Printf("        · %s\n", line)
@@ -453,6 +537,23 @@ func cmdSampleSize(args []string) error {
 	fmt.Printf("Theorem 2 (delta addition):   τ ≥ %d\n", dynshap.DeltaAddSampleSize(*n, *dRange, *eps, *delta))
 	fmt.Printf("Theorem 4 (delta deletion):   τ ≥ %d\n", dynshap.DeltaDeleteSampleSize(*n, *dRange, *eps, *delta))
 	return nil
+}
+
+func formatVals(vals []float64) string {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%+.6f", v)
+		if i >= 7 && len(vals) > 9 {
+			fmt.Fprintf(&b, " …(%d more)", len(vals)-i-1)
+			break
+		}
+	}
+	b.WriteString("]")
+	return b.String()
 }
 
 func printValues(values []float64) {

@@ -49,6 +49,7 @@ import (
 	"dynshap/internal/journal"
 	"dynshap/internal/ml"
 	"dynshap/internal/rng"
+	"dynshap/internal/semivalue"
 	"dynshap/internal/stat"
 )
 
@@ -417,15 +418,64 @@ func SoftKNNGame(train, test *Dataset, k int) Game {
 	return core.NewSoftKNNUtility(train, test, k)
 }
 
+// Semivalue selects a probabilistic weighting over coalition sizes — the
+// family of attribution rules (Shapley, Banzhaf, Beta(α,β), Absolute
+// Shapley) the engine's permutation passes can price simultaneously. Pass
+// them to WithSemivalues and read the results with Session.ValuesFor; the
+// game-level estimators below accept them directly.
+type Semivalue = semivalue.Weighting
+
+// Shapley is the Shapley weighting — the session's native head and the
+// paper's compensation rule (every position weighted equally).
+func Shapley() Semivalue { return semivalue.Shapley() }
+
+// Banzhaf is the Banzhaf weighting: every coalition equally likely, the
+// classical alternative that forgoes the balance (efficiency) axiom.
+func Banzhaf() Semivalue { return semivalue.Banzhaf() }
+
+// Beta is the Beta(α,β) semivalue family (Kwon & Zou's Beta Shapley):
+// coalition sizes weighted by a Beta prior. Beta(1,1) is exactly Shapley;
+// larger β emphasises small coalitions, larger α large ones.
+func Beta(alpha, beta float64) Semivalue { return semivalue.Beta(alpha, beta) }
+
+// AbsoluteShapley is Absolute Shapley (arXiv 2003.10076): Shapley's
+// position weights over |marginal| — credits magnitude of influence,
+// ignoring sign. It is not linear in the utility, so the YN-NN deletion
+// arrays cannot re-price it.
+func AbsoluteShapley() Semivalue { return semivalue.AbsoluteShapley() }
+
+// ParseSemivalue resolves a semivalue's wire name ("shapley", "banzhaf",
+// "beta(4,1)", "abs-shapley") — the inverse of Semivalue.String, used by
+// the CLI's -semivalue flag and the snapshot config.
+func ParseSemivalue(name string) (Semivalue, error) { return semivalue.Parse(name) }
+
+// ExactSemivalue returns exact values under any semivalue weighting by
+// complete enumeration (≤ 24 players). ExactShapley and ExactBanzhaf are
+// this with the corresponding weighting.
+func ExactSemivalue(g Game, sv Semivalue) []float64 { return core.ExactSemivalue(g, sv) }
+
+// MonteCarloSemivalues prices every given weighting with ONE permutation
+// pass of tau walks: each head folds the same sampled marginals with its
+// own position weights, so the incremental cost per extra head is
+// bookkeeping, not utility evaluations. The Shapley head (if present) is
+// bit-identical to MonteCarloShapley at the same seed.
+func MonteCarloSemivalues(g Game, svs []Semivalue, tau int, seed uint64) [][]float64 {
+	return core.MonteCarloSemivalues(g, svs, tau, rng.NewStream(seed, 0))
+}
+
 // ExactBanzhaf returns exact Banzhaf values by complete enumeration
 // (≤ 24 players) — the other classical semivalue, offered for comparison;
 // it forgoes the balance axiom, so Shapley remains the compensation rule.
 func ExactBanzhaf(g Game) []float64 { return core.ExactBanzhaf(g) }
 
-// MonteCarloBanzhaf approximates Banzhaf values with tau uniformly sampled
-// coalitions per player.
+// MonteCarloBanzhaf approximates Banzhaf values from tau sampled
+// permutations — one multi-head pass with only the Banzhaf head, so the
+// same walks could price Shapley for free. Sampling draws from
+// rng.NewStream(seed, 0), the same (seed, version)-keyed stream discipline
+// every session estimator uses, so results are reproducible under journal
+// replay.
 func MonteCarloBanzhaf(g Game, tau int, seed uint64) []float64 {
-	return core.MonteCarloBanzhaf(g, tau, rng.New(seed))
+	return core.MonteCarloBanzhaf(g, tau, rng.NewStream(seed, 0))
 }
 
 // ShapleyShubik returns the exact power indices of a weighted voting game

@@ -2,7 +2,11 @@
 // tasks and settles compensation from each task's revenue. The additivity
 // axiom guarantees per-task values sum to the value on the combined
 // business, so the ledger is just a sum over tasks. Snapshots persist each
-// task's valuation across broker restarts.
+// task's valuation across broker restarts. Each session also prices a
+// Banzhaf head from the same permutation passes (WithSemivalues) and
+// reports the Shapley/Banzhaf rank correlation after every update step —
+// a cheap sanity check that the settlement ordering is not an artifact of
+// the Shapley weighting.
 package main
 
 import (
@@ -45,12 +49,14 @@ func main() {
 	sessions := make([]*dynshap.Session, len(tasks))
 	for ti, tk := range tasks {
 		s := dynshap.NewSession(train, test, tk.trainer,
-			dynshap.WithSamples(800), dynshap.WithSeed(uint64(100+ti)))
+			dynshap.WithSamples(800), dynshap.WithSeed(uint64(100+ti)),
+			dynshap.WithSemivalues(dynshap.Banzhaf()))
 		fmt.Printf("valuing task %q…\n", tk.name)
 		if err := s.Init(); err != nil {
 			log.Fatal(err)
 		}
 		sessions[ti] = s
+		headCorr(s, tk.name, "after init")
 		// Persist per-task state: the broker can restart and resume.
 		snapPath := filepath.Join(dir, tk.name+".json")
 		if err := s.Snapshot().Save(snapPath); err != nil {
@@ -81,6 +87,7 @@ func main() {
 			log.Fatal(err)
 		}
 		sessions[ti] = s
+		headCorr(s, tk.name, "after withdrawal")
 	}
 
 	totalPay = make([]float64, sessions[0].N())
@@ -97,6 +104,20 @@ func addRevenue(pay, values []float64, revenue float64) {
 	for i, p := range dynshap.Allocate(values, revenue) {
 		pay[i] += p
 	}
+}
+
+// headCorr prints the Spearman rank correlation between the session's
+// Shapley values and its Banzhaf head — both filled by the same walks, so
+// the comparison costs nothing beyond the print. The Banzhaf head survives
+// snapshot/Resume (the snapshot records configured heads), so the
+// post-withdrawal rows read resumed sessions.
+func headCorr(s *dynshap.Session, name, stage string) {
+	bz, err := s.ValuesFor(dynshap.Banzhaf())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s %s: Shapley/Banzhaf rank correlation %+.3f\n",
+		name, stage, dynshap.RankCorrelation(s.Values(), bz))
 }
 
 func payout(stage string, pay []float64) {

@@ -211,6 +211,72 @@ func FuzzExactKNNEquality(f *testing.F) {
 	})
 }
 
+// FuzzSemivalueHeadEquality asserts the multi-head accumulator's
+// bit-identity contract on fuzzer-chosen workloads: a pass pricing four
+// semivalue heads (Shapley plus Banzhaf, Beta(4,1), Absolute Shapley) must
+// return EXACTLY (==, no tolerance) the Shapley values of a single-head
+// pass over the same permutation stream, at every worker count — the extra
+// heads are producer-side bookkeeping that consumes no randomness and adds
+// no arithmetic to the Shapley path. The heads themselves must also be
+// worker-count invariant. Seeds run as regular tests; use
+// `go test -fuzz FuzzSemivalueHeadEquality .` for guided exploration.
+func FuzzSemivalueHeadEquality(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(20), uint8(1))
+	f.Add(uint64(7), uint8(15), uint8(9), uint8(3))
+	f.Add(uint64(42), uint8(2), uint8(0), uint8(7))
+	f.Add(uint64(99), uint8(23), uint8(14), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, tauRaw, wRaw uint8) {
+		n := 2 + int(nRaw)%20
+		tau := 1 + int(tauRaw)%25
+		workers := 1 + int(wRaw)%6
+
+		r := rng.New(seed)
+		mk := func(count int) *dataset.Dataset {
+			pts := make([]dataset.Point, count)
+			for i := range pts {
+				x := make([]float64, 3)
+				for j := range x {
+					x[j] = float64(r.Intn(7)) / 2
+				}
+				pts[i] = dataset.Point{X: x, Y: r.Intn(3)}
+			}
+			d := dataset.New(pts)
+			d.Classes = 3
+			return d
+		}
+		train, test := mk(n), mk(1+r.Intn(8))
+		u := utility.NewModelUtility(train, test, ml.KNN{K: 1 + r.Intn(4)})
+		heads := []dynshap.Semivalue{dynshap.Banzhaf(), dynshap.Beta(4, 1), dynshap.AbsoluteShapley()}
+
+		plain := core.NewEngine(core.WithWorkers(workers))
+		multi := core.NewEngine(core.WithWorkers(workers), core.WithSemivalues(heads...))
+		want := plain.MonteCarlo(u, tau, rng.New(seed+1))
+		got := multi.MonteCarlo(u, tau, rng.New(seed+1))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("4-head Shapley[%d] = %v, single-head %v (n=%d τ=%d workers=%d)",
+					i, got[i], want[i], n, tau, workers)
+			}
+		}
+
+		// The extra heads must not depend on the worker count either.
+		ref := core.NewEngine(core.WithWorkers(1), core.WithSemivalues(heads...))
+		ref.MonteCarlo(u, tau, rng.New(seed+1))
+		rh, mh := ref.HeadValues(), multi.HeadValues()
+		if len(rh) != len(heads) || len(mh) != len(heads) {
+			t.Fatalf("head counts: serial %d, striped %d, want %d", len(rh), len(mh), len(heads))
+		}
+		for h := range heads {
+			for i := range rh[h] {
+				if mh[h][i] != rh[h][i] {
+					t.Fatalf("head %v[%d] = %v at %d workers, %v serial",
+						heads[h], i, mh[h][i], workers, rh[h][i])
+				}
+			}
+		}
+	})
+}
+
 // FuzzBatchSequentialEquality asserts the batched update walks' bit-identity
 // contract on fuzzer-chosen workloads: for random bases, batch sizes, τ
 // budgets, and worker counts, the engine's one-pass batched walks must

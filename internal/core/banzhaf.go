@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"dynshap/internal/bitset"
 	"dynshap/internal/game"
 	"dynshap/internal/rng"
 )
@@ -12,9 +11,17 @@ import (
 // a player's marginal contribution over permutations (sizes weighted like
 // Shapley), it averages over all 2^{n−1} coalitions of the other players
 // with EQUAL weight. Data-valuation practice sometimes prefers it because
-// each Monte Carlo sample is a single independent coalition, making
-// variance analysis elementary. It forgoes the balance axiom (values don't
-// sum to U(N) − U(∅)), which is why Shapley remains the compensation rule.
+// its per-coalition weight is size-independent, making variance analysis
+// elementary. It forgoes the balance axiom (values don't sum to
+// U(N) − U(∅)), which is why Shapley remains the compensation rule.
+//
+// Both estimators are heads of the semivalue layer: exact enumeration
+// folds the utility table with the Banzhaf subset weight 2^{1−n}
+// (a power of two, so the fold is bit-identical to the historic
+// divide-by-2^{n−1} loop), and the Monte Carlo estimator is a permutation
+// pass re-weighted with the Banzhaf position coefficients
+// ω(pos) = n·C(n−1,pos)/2^{n−1} — the same walks that price Shapley, so a
+// multi-head pass gets Banzhaf for free.
 
 // ExactBanzhaf returns exact Banzhaf values by complete enumeration
 // (n ≤ MaxExactPlayers).
@@ -26,55 +33,19 @@ func ExactBanzhaf(g game.Game) []float64 {
 	if n == 0 {
 		return nil
 	}
-	size := 1 << uint(n)
-	util := make([]float64, size)
-	s := bitset.New(n)
-	for mask := 0; mask < size; mask++ {
-		s.Clear()
-		for i := 0; i < n; i++ {
-			if mask&(1<<uint(i)) != 0 {
-				s.Add(i)
-			}
-		}
-		util[mask] = g.Value(s)
-	}
-	bv := make([]float64, n)
-	denom := float64(int(1) << uint(n-1))
-	for mask := 0; mask < size; mask++ {
-		for i := 0; i < n; i++ {
-			bit := 1 << uint(i)
-			if mask&bit == 0 {
-				bv[i] += (util[mask|bit] - util[mask]) / denom
-			}
-		}
-	}
-	return bv
+	return ExactSemivalue(g, semivalueBanzhaf)
 }
 
-// MonteCarloBanzhaf approximates Banzhaf values with tau uniformly sampled
-// coalitions per player: each sample draws S ⊆ N∖{i} by independent fair
-// coin flips and records U(S∪{i}) − U(S).
+// MonteCarloBanzhaf approximates Banzhaf values by permutation sampling
+// through the semivalue layer: each of the τ walks re-weights its observed
+// marginals with the Banzhaf position coefficients. Historically this
+// estimator drew one independent coalition per player per sample; the
+// permutation form observes all n players per walk from the same samples
+// Shapley uses, which is what lets one pass price both.
 func MonteCarloBanzhaf(g game.Game, tau int, r *rng.Source) []float64 {
 	n := g.N()
-	bv := make([]float64, n)
 	if n == 0 || tau <= 0 {
-		return bv
+		return make([]float64, n)
 	}
-	s := bitset.New(n)
-	for i := 0; i < n; i++ {
-		var sum float64
-		for t := 0; t < tau; t++ {
-			s.Clear()
-			for j := 0; j < n; j++ {
-				if j != i && r.Uint64()&1 == 1 {
-					s.Add(j)
-				}
-			}
-			without := g.Value(s)
-			s.Add(i)
-			sum += g.Value(s) - without
-		}
-		bv[i] = sum / float64(tau)
-	}
-	return bv
+	return MonteCarloSemivalues(g, banzhafHead, tau, r)[0]
 }

@@ -20,11 +20,10 @@
 package core
 
 import (
-	"fmt"
-
 	"dynshap/internal/bitset"
 	"dynshap/internal/game"
 	"dynshap/internal/rng"
+	"dynshap/internal/semivalue"
 )
 
 // MaxExactPlayers bounds the exact enumerator: it tabulates all 2^n
@@ -33,45 +32,16 @@ const MaxExactPlayers = 24
 
 // Exact returns the exact Shapley values of every player by complete
 // enumeration of the 2^n coalitions. It panics if g has more than
-// MaxExactPlayers players.
+// MaxExactPlayers players. It is the Shapley head of the generalised
+// enumerator: the Shapley subset weights are built by the same recurrence
+// (w[0] = 1/n, w[s] = w[s−1]·s/(n−s)) and folded with the same
+// weight·marginal expression this function used before the semivalue
+// layer, so the delegation is bit-identical.
 func Exact(g game.Game) []float64 {
-	n := g.N()
-	if n > MaxExactPlayers {
-		panic(fmt.Sprintf("core: Exact limited to %d players, got %d", MaxExactPlayers, n))
-	}
-	if n == 0 {
+	if g.N() == 0 {
 		return nil
 	}
-	size := 1 << uint(n)
-	util := make([]float64, size)
-	s := bitset.New(n)
-	for mask := 0; mask < size; mask++ {
-		s.Clear()
-		for i := 0; i < n; i++ {
-			if mask&(1<<uint(i)) != 0 {
-				s.Add(i)
-			}
-		}
-		util[mask] = g.Value(s)
-	}
-	// weight[s] = s!(n−1−s)!/n! computed stably via the recurrence
-	// weight[0] = 1/n, weight[s] = weight[s−1]·s/(n−s).
-	weight := make([]float64, n)
-	weight[0] = 1 / float64(n)
-	for s := 1; s < n; s++ {
-		weight[s] = weight[s-1] * float64(s) / float64(n-s)
-	}
-	sv := make([]float64, n)
-	for mask := 0; mask < size; mask++ {
-		sz := popcount(mask)
-		for i := 0; i < n; i++ {
-			bit := 1 << uint(i)
-			if mask&bit == 0 {
-				sv[i] += weight[sz] * (util[mask|bit] - util[mask])
-			}
-		}
-	}
-	return sv
+	return ExactSemivalue(g, semivalue.Shapley())
 }
 
 func popcount(x int) int {

@@ -149,6 +149,18 @@ func StratifiedMCCost(n, t, tau int) Cost {
 	}
 }
 
+// HeadFillCost is the bookkeeping a sampled pass pays to price `heads`
+// extra semivalue weightings from its walks: one weighted fold per head
+// per walked position, zero additional utility evaluations. It is why the
+// multi-head pass is nearly free next to any path that re-evaluates
+// coalitions — the currency that matters never moves.
+func HeadFillCost(heads, n, tau int) Cost {
+	if heads <= 0 {
+		return Cost{}
+	}
+	return Cost{ArrayOps: int64(heads) * int64(tau) * int64(n)}
+}
+
 // ExactKNNCost is the cost of maintaining exact closed-form k-NN Shapley
 // values (Jia et al.) through an update touching count points of an
 // n-point set valued against m test points: per test column, a binary

@@ -10,6 +10,7 @@ import (
 	"dynshap/internal/bitset"
 	"dynshap/internal/game"
 	"dynshap/internal/rng"
+	"dynshap/internal/semivalue"
 )
 
 // This file implements the shared permutation engine behind the sampled
@@ -64,6 +65,17 @@ type Engine struct {
 	delta   float64
 	trunc   int
 
+	// heads are the extra semivalue weightings every head-capable pass
+	// folds alongside the Shapley estimate (WithSemivalues). They are pure
+	// producer-side bookkeeping: no randomness consumed, no stripe-worker
+	// involvement, so the Shapley output is bit-identical with or without
+	// them. headBase feeds the differential passes (DeltaAdd/DeltaDelete/
+	// BatchDeltaAdd: new = base + observed change); headVals holds the most
+	// recent pass's per-head results.
+	heads    []semivalue.Weighting
+	headBase [][]float64
+	headVals [][]float64
+
 	stats EngineStats
 }
 
@@ -110,6 +122,19 @@ func WithTargetError(eps, delta float64) EngineOption {
 // permutations (InitOptions.KeepPerms) — truncated walks don't carry full
 // prefix information.
 func WithTruncation(t int) EngineOption { return func(e *Engine) { e.trunc = t } }
+
+// WithSemivalues configures extra semivalue heads: every head-capable pass
+// (Initialize, MonteCarlo, TruncatedMonteCarlo, DeltaAdd, DeltaDelete,
+// BatchDeltaAdd, the preprocessing fills) prices each weighting from the
+// same permutation walks and exposes the results through HeadValues.
+// Shapley itself needs no head — it is the pass's native output; passing
+// it anyway just prices it a second time through the weighted fold.
+// Pivot-based passes (BatchAddSame) cannot carry heads: their suffix walks
+// never observe the old players' marginals, and their LSV reuse recurrence
+// is Shapley-specific — they leave HeadValues nil.
+func WithSemivalues(ws ...semivalue.Weighting) EngineOption {
+	return func(e *Engine) { e.heads = append([]semivalue.Weighting(nil), ws...) }
+}
 
 // NewEngine returns an Engine with the given options.
 func NewEngine(opts ...EngineOption) *Engine {
@@ -162,6 +187,21 @@ func (s EngineStats) Throughput() float64 {
 
 // Stats returns the statistics of the engine's most recent pass.
 func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Heads returns the configured extra semivalue heads.
+func (e *Engine) Heads() []semivalue.Weighting { return e.heads }
+
+// SetHeadBase supplies the per-head values the next differential pass
+// (DeltaAdd, DeltaDelete, BatchDeltaAdd) updates from, aligned with the
+// configured heads. A nil base — or a pass over a game the base was not
+// sized for — treats missing entries as zero. Full passes ignore it.
+func (e *Engine) SetHeadBase(base [][]float64) { e.headBase = base }
+
+// HeadValues returns the extra heads' values from the most recent pass,
+// aligned with the configured heads, or nil when the pass carried none
+// (no heads configured, or a head-incapable pass). The caller owns the
+// returned slices; the next pass replaces them.
+func (e *Engine) HeadValues() [][]float64 { return e.headVals }
 
 func (e *Engine) adaptive() bool { return e.eps > 0 }
 
@@ -271,6 +311,9 @@ type fillRun struct {
 	// freshPerms allocates a new permutation slice per sample so perPerm
 	// may retain it (KeepPerms); otherwise one buffer is reused.
 	freshPerms bool
+	// heads are the extra semivalue weightings this pass folds from the
+	// same walks (producer-side, after perPerm, consuming no randomness).
+	heads []semivalue.Weighting
 }
 
 // run executes the pass and returns the number of permutations issued.
@@ -292,13 +335,18 @@ func (e *Engine) run(fr fillRun) int {
 	if e.adaptive() {
 		trk = newAdaptiveTracker(n, e.eps, e.delta)
 	}
+	// Extra semivalue heads fold in the producer after perPerm — behind
+	// all randomness draws, outside all stripes — so they change neither
+	// the random stream nor any Shapley-path arithmetic.
+	hf := newHeadFold(fr.heads, n)
+	e.headVals = nil
 
 	start := time.Now()
 	var issued int
 	if workers == 1 {
-		issued = e.runSerial(fr, w, uEmpty, trk)
+		issued = e.runSerial(fr, w, uEmpty, trk, hf)
 	} else {
-		issued = e.runStriped(fr, w, uEmpty, trk, workers)
+		issued = e.runStriped(fr, w, uEmpty, trk, hf, workers)
 	}
 	e.stats.Seconds = time.Since(start).Seconds()
 	e.stats.Issued = issued
@@ -306,13 +354,16 @@ func (e *Engine) run(fr fillRun) int {
 	if trk != nil {
 		e.stats.Bound = trk.lastBound
 	}
+	if hf != nil {
+		e.headVals = hf.finish(issued)
+	}
 	return issued
 }
 
 // runSerial is the single-goroutine path: produce and accumulate inline.
 // It performs exactly the accumulation sequence of the historic serial
 // fills, so delegating the serial entry points here changes nothing.
-func (e *Engine) runSerial(fr fillRun, w *prefixWalker, uEmpty float64, trk *adaptiveTracker) int {
+func (e *Engine) runSerial(fr fillRun, w *prefixWalker, uEmpty float64, trk *adaptiveTracker, hf *headFold) int {
 	n := fr.g.N()
 	walk := e.walkLen(n)
 	sampler := newPermSampler(fr.r, n, walk)
@@ -334,6 +385,9 @@ func (e *Engine) runSerial(fr fillRun, w *prefixWalker, uEmpty float64, trk *ada
 		}
 		if fr.perPerm != nil {
 			fr.perPerm(perm, utilities, uEmpty, walk)
+		}
+		if hf != nil {
+			hf.foldWalk(perm, utilities, uEmpty, walk)
 		}
 		for ti, t := range fr.targets {
 			e.stats.Updates += t.prepare(perm, auxes[ti], walk)
@@ -366,7 +420,7 @@ type fillChunk struct {
 // stripe. The producer overlaps sampling chunk c+1 with the accumulation
 // of chunk c; the adaptive bound is producer-side, so the stop decision
 // never waits on workers and is identical at every worker count.
-func (e *Engine) runStriped(fr fillRun, w *prefixWalker, uEmpty float64, trk *adaptiveTracker, workers int) int {
+func (e *Engine) runStriped(fr fillRun, w *prefixWalker, uEmpty float64, trk *adaptiveTracker, hf *headFold, workers int) int {
 	n := fr.g.N()
 	walk := e.walkLen(n)
 	sampler := newPermSampler(fr.r, n, walk)
@@ -433,6 +487,9 @@ func (e *Engine) runStriped(fr fillRun, w *prefixWalker, uEmpty float64, trk *ad
 			if fr.perPerm != nil {
 				fr.perPerm(perm, u, uEmpty, walk)
 			}
+			if hf != nil {
+				hf.foldWalk(perm, u, uEmpty, walk)
+			}
 			for ti, t := range fr.targets {
 				e.stats.Updates += t.prepare(perm, c.aux[p][ti], walk)
 			}
@@ -481,6 +538,7 @@ func (e *Engine) PreprocessDeletionWith(g game.Game, tau int, r *rng.Source, cfg
 	issued := e.run(fillRun{
 		g: g, tau: tau, r: r,
 		targets: []stripeTarget{ds},
+		heads:   e.heads,
 		// The producer owns the Shapley sums; the store's striped
 		// accumulation covers only the arrays.
 		perPerm: func(perm []int, utilities []float64, uEmpty float64, walk int) {
@@ -512,6 +570,7 @@ func (e *Engine) PreprocessMultiDeletionWith(g game.Game, d int, candidates []in
 	issued := e.run(fillRun{
 		g: g, tau: tau, r: r,
 		targets: []stripeTarget{ms},
+		heads:   e.heads,
 		perPerm: func(perm []int, utilities []float64, uEmpty float64, walk int) {
 			accumulateMarginals(perm, utilities, uEmpty, ms.SV, walk)
 		},
@@ -556,6 +615,7 @@ func (e *Engine) Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source
 		res.Multi = ms
 	}
 	e.stats = EngineStats{Budget: tau}
+	e.headVals = nil
 	if n == 0 || tau <= 0 {
 		return res, nil
 	}
@@ -567,11 +627,16 @@ func (e *Engine) Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source
 	if res.Multi != nil {
 		targets = append(targets, res.Multi)
 	}
+	heads := opt.Heads
+	if heads == nil {
+		heads = e.heads
+	}
 	st := res.Pivot
 	issued := e.run(fillRun{
 		g: g, tau: tau, r: r,
 		targets:    targets,
 		freshPerms: opt.KeepPerms,
+		heads:      heads,
 		perPerm: func(perm []int, utilities []float64, uEmpty float64, walk int) {
 			// Same randomness order as the historic loop: the slot draw
 			// follows the permutation draw (the walker consumes none).
@@ -594,6 +659,7 @@ func (e *Engine) Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source
 		},
 	})
 	st.Tau = issued
+	res.HeadValues = e.headVals
 	// The stores' SV sums equal the pivot's (same marginals, same order);
 	// install them before the pivot divides, then let each store apply
 	// its own historic normalisation (multiply by 1/τ).
@@ -626,6 +692,7 @@ func (e *Engine) MonteCarlo(g game.Game, tau int, r *rng.Source) []float64 {
 	}
 	issued := e.run(fillRun{
 		g: g, tau: tau, r: r,
+		heads: e.heads,
 		perPerm: func(perm []int, utilities []float64, uEmpty float64, walk int) {
 			accumulateMarginals(perm, utilities, uEmpty, sv, walk)
 		},
@@ -657,6 +724,7 @@ func (e *Engine) TruncatedMonteCarlo(g game.Game, tau int, tol float64, r *rng.S
 	n := g.N()
 	sv := make([]float64, n)
 	e.stats = EngineStats{Budget: tau, Workers: 1}
+	e.headVals = nil
 	if n == 0 || tau <= 0 {
 		return sv
 	}
@@ -669,6 +737,9 @@ func (e *Engine) TruncatedMonteCarlo(g game.Game, tau int, tol float64, r *rng.S
 	if e.adaptive() {
 		trk = newAdaptiveTracker(n, e.eps, e.delta)
 	}
+	// Extra heads see the same truncation as the Shapley estimate: a
+	// position past the cut is credited zero for every weighting.
+	hf := newHeadFold(e.heads, n)
 	start := time.Now()
 	issued := 0
 	for issued < tau {
@@ -686,6 +757,9 @@ func (e *Engine) TruncatedMonteCarlo(g game.Game, tau int, tol float64, r *rng.S
 			}
 			cur := w.add(p)
 			sv[p] += cur - prev
+			if hf != nil {
+				hf.foldPos(pos, p, cur-prev)
+			}
 			if trk != nil {
 				trk.observe(p, cur-prev)
 			}
@@ -706,6 +780,9 @@ func (e *Engine) TruncatedMonteCarlo(g game.Game, tau int, tol float64, r *rng.S
 	if trk != nil {
 		e.stats.Bound = trk.lastBound
 	}
+	if hf != nil {
+		e.headVals = hf.finish(issued)
+	}
 	for i := range sv {
 		sv[i] /= float64(issued)
 	}
@@ -725,6 +802,7 @@ func (e *Engine) DeltaAdd(gPlus game.Game, oldSV []float64, tau int, r *rng.Sour
 		return nil, fmt.Errorf("core: DeltaAdd requires tau > 0, got %d", tau)
 	}
 	e.stats = EngineStats{Budget: tau, Workers: 1}
+	e.headVals = nil
 	pivot := n
 	m := n + 1
 	dsv := make([]float64, n)
@@ -739,6 +817,10 @@ func (e *Engine) DeltaAdd(gPlus game.Game, oldSV []float64, tau int, r *rng.Sour
 	if e.adaptive() {
 		trk = newAdaptiveTracker(m, e.eps, e.delta)
 	}
+	// Extra heads ride the same differential walk: each head has its own
+	// n → n+1 transition coefficients (semivalue.AddCoeffs) folded over the
+	// pivot-free and pivot-included marginals already being computed.
+	hs := newAddHeadSums(newAddHeadTables(e.heads, n), n)
 
 	start := time.Now()
 	issued := 0
@@ -751,6 +833,9 @@ func (e *Engine) DeltaAdd(gPlus game.Game, oldSV []float64, tau int, r *rng.Sour
 		d0 := prevWith - prevNo
 		newSV += d0 // S=∅ stratum of the new point's value
 		permNew := d0
+		if hs != nil {
+			hs.foldD0(d0)
+		}
 		for pos, p := range perm {
 			curNo := wNo.add(p)
 			curWith := wWith.add(p)
@@ -763,6 +848,9 @@ func (e *Engine) DeltaAdd(gPlus game.Game, oldSV []float64, tau int, r *rng.Sour
 			dd := curWith - curNo
 			newSV += dd
 			permNew += dd
+			if hs != nil {
+				hs.foldPos(pos, p, curNo-prevNo, curWith-prevWith, dd)
+			}
 			prevNo, prevWith = curNo, curWith
 		}
 		if trk != nil {
@@ -784,6 +872,9 @@ func (e *Engine) DeltaAdd(gPlus game.Game, oldSV []float64, tau int, r *rng.Sour
 		e.stats.Bound = trk.lastBound
 	}
 
+	if hs != nil {
+		e.headVals = hs.finishAdd(e.headBase, issued)
+	}
 	out := make([]float64, m)
 	for i := 0; i < n; i++ {
 		out[i] = oldSV[i] + dsv[i]/float64(issued)
@@ -807,7 +898,14 @@ func (e *Engine) DeltaDelete(g game.Game, oldSV []float64, p, tau int, r *rng.So
 		return nil, fmt.Errorf("core: DeltaDelete requires tau > 0, got %d", tau)
 	}
 	e.stats = EngineStats{Budget: tau, Workers: 1}
+	e.headVals = nil
 	if n == 1 {
+		if len(e.heads) > 0 {
+			e.headVals = make([][]float64, len(e.heads))
+			for h := range e.headVals {
+				e.headVals[h] = make([]float64, 1)
+			}
+		}
 		return []float64{0}, nil
 	}
 	survivors := make([]int, 0, n-1)
@@ -826,6 +924,9 @@ func (e *Engine) DeltaDelete(g game.Game, oldSV []float64, p, tau int, r *rng.So
 	if e.adaptive() {
 		trk = newAdaptiveTracker(n, e.eps, e.delta)
 	}
+	// Extra heads ride the same differential walk with their own n → n−1
+	// transition coefficients (semivalue.DeleteCoeffs).
+	hf := newDelHeadFold(e.heads, n)
 
 	start := time.Now()
 	issued := 0
@@ -845,6 +946,9 @@ func (e *Engine) DeltaDelete(g game.Game, oldSV []float64, p, tau int, r *rng.So
 			if trk != nil {
 				trk.observe(q, -x)
 			}
+			if hf != nil {
+				hf.foldPos(pos, q, curNo-prevNo, curWith-prevWith)
+			}
 			prevNo, prevWith = curNo, curWith
 		}
 		if trk != nil {
@@ -863,6 +967,9 @@ func (e *Engine) DeltaDelete(g game.Game, oldSV []float64, p, tau int, r *rng.So
 		e.stats.Bound = trk.lastBound
 	}
 
+	if hf != nil {
+		e.headVals = hf.finishDelete(e.headBase, p, issued)
+	}
 	out := make([]float64, n)
 	for _, q := range survivors {
 		out[q] = oldSV[q] + dsv[q]/float64(issued)

@@ -63,6 +63,7 @@ func (e *Engine) BatchDeltaAdd(gPlus game.Game, oldSV []float64, k, tau int, r *
 	m := n + k
 	workers := e.effectiveWorkers(k)
 	e.stats = EngineStats{Budget: tau, Workers: workers}
+	e.headVals = nil
 
 	uEmpty := gPlus.Value(bitset.New(m))
 	uPivot := make([]float64, k)
@@ -74,6 +75,19 @@ func (e *Engine) BatchDeltaAdd(gPlus game.Game, oldSV []float64, k, tau int, r *
 		dsv[j] = make([]float64, n)
 	}
 	newSV := make([]float64, k)
+	// Extra heads mirror the Shapley batch semantics: each pending point's
+	// head differential is measured against the shared n-player no-pivot
+	// chain (the same n → n+1 tables for every j) and the deltas are summed
+	// in arrival order at the end. Each point's sums are owned by exactly
+	// one worker, like its dsv/newSV.
+	ht := newAddHeadTables(e.heads, n)
+	var hsums []*addHeadSums
+	if ht != nil {
+		hsums = make([]*addHeadSums, k)
+		for j := range hsums {
+			hsums[j] = newAddHeadSums(ht, n)
+		}
+	}
 
 	start := time.Now()
 	if workers == 1 {
@@ -88,11 +102,15 @@ func (e *Engine) BatchDeltaAdd(gPlus game.Game, oldSV []float64, k, tau int, r *
 				utils[pos] = wBase.add(p)
 			}
 			for j := 0; j < k; j++ {
-				batchDeltaStep(wWith, perm, utils, uEmpty, uPivot[j], n+j, n, dsv[j], &newSV[j])
+				var hs *addHeadSums
+				if hsums != nil {
+					hs = hsums[j]
+				}
+				batchDeltaStep(wWith, perm, utils, uEmpty, uPivot[j], n+j, n, dsv[j], &newSV[j], hs)
 			}
 		}
 	} else {
-		e.runDeltaBatchStriped(gPlus, n, k, tau, r, uEmpty, uPivot, dsv, newSV, workers)
+		e.runDeltaBatchStriped(gPlus, n, k, tau, r, uEmpty, uPivot, dsv, newSV, hsums, workers)
 	}
 	e.stats.Seconds = time.Since(start).Seconds()
 	e.stats.Issued = tau
@@ -106,23 +124,48 @@ func (e *Engine) BatchDeltaAdd(gPlus game.Game, oldSV []float64, k, tau int, r *
 		}
 		out[n+j] = newSV[j] / float64(tau) / float64(n+1)
 	}
+	if hsums != nil {
+		hv := make([][]float64, len(e.heads))
+		for h := range e.heads {
+			vals := make([]float64, m)
+			if e.headBase != nil && h < len(e.headBase) {
+				copy(vals, e.headBase[h])
+			}
+			for j := 0; j < k; j++ {
+				for i := 0; i < n; i++ {
+					vals[i] += hsums[j].sums[h][i] / float64(tau)
+				}
+				vals[n+j] = hsums[j].pivot[h] / float64(tau)
+			}
+			hv[h] = vals
+		}
+		e.headVals = hv
+	}
 	return out, nil
 }
 
 // batchDeltaStep runs one pending point's with-chain over one walked
 // permutation — exactly DeltaAdd's inner loop with the no-pivot chain's
 // utilities read from the shared buffer instead of re-walked.
-func batchDeltaStep(w *prefixWalker, perm []int, utils []float64, uEmpty, uPivot float64, pivot, n int, dsv []float64, newSV *float64) {
+func batchDeltaStep(w *prefixWalker, perm []int, utils []float64, uEmpty, uPivot float64, pivot, n int, dsv []float64, newSV *float64, hs *addHeadSums) {
 	w.reset()
 	prevNo := uEmpty
 	prevWith := w.seed(pivot, uPivot)
-	*newSV += prevWith - prevNo
+	d0 := prevWith - prevNo
+	*newSV += d0
+	if hs != nil {
+		hs.foldD0(d0)
+	}
 	for pos, p := range perm {
 		curNo := utils[pos]
 		curWith := w.add(p)
 		dmc := (curWith - curNo) - (prevWith - prevNo)
 		dsv[p] += dmc * float64(pos+1) / float64(n+1)
-		*newSV += curWith - curNo
+		dd := curWith - curNo
+		*newSV += dd
+		if hs != nil {
+			hs.foldPos(pos, p, curNo-prevNo, curWith-prevWith, dd)
+		}
 		prevNo, prevWith = curNo, curWith
 	}
 }
@@ -142,7 +185,7 @@ type deltaBatchChunk struct {
 // stripe jlo ≤ j < jhi and runs only those with-chains. Each dsv[j] /
 // newSV[j] is written by exactly one worker, in chunk issue order, so the
 // accumulation order — and therefore every bit — matches the serial path.
-func (e *Engine) runDeltaBatchStriped(gPlus game.Game, n, k, tau int, r *rng.Source, uEmpty float64, uPivot []float64, dsv [][]float64, newSV []float64, workers int) {
+func (e *Engine) runDeltaBatchStriped(gPlus game.Game, n, k, tau int, r *rng.Source, uEmpty float64, uPivot []float64, dsv [][]float64, newSV []float64, hsums []*addHeadSums, workers int) {
 	const depth = 2
 	slots := make([]*deltaBatchChunk, depth)
 	for s := range slots {
@@ -169,7 +212,11 @@ func (e *Engine) runDeltaBatchStriped(gPlus game.Game, n, k, tau int, r *rng.Sou
 			for c := range ch {
 				for p := 0; p < c.count; p++ {
 					for j := jlo; j < jhi; j++ {
-						batchDeltaStep(w, c.perms[p], c.utils[p], uEmpty, uPivot[j], n+j, n, dsv[j], &newSV[j])
+						var hs *addHeadSums
+						if hsums != nil {
+							hs = hsums[j]
+						}
+						batchDeltaStep(w, c.perms[p], c.utils[p], uEmpty, uPivot[j], n+j, n, dsv[j], &newSV[j], hs)
 					}
 				}
 				c.wg.Done()
@@ -250,6 +297,10 @@ func (e *Engine) BatchAddSame(st *PivotState, gPlus game.Game, k int, rs []*rng.
 	m := n + k
 	workers := e.effectiveWorkers(k)
 	e.stats = EngineStats{Budget: st.Tau, Workers: workers}
+	// The pivot walk cannot carry extra heads: its suffix walks and LSV
+	// recurrence are Shapley-specific (the planner never routes a
+	// multi-head update here).
+	e.headVals = nil
 
 	rsv := make([][]float64, k)
 	dlsv := make([][]float64, k)

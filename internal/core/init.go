@@ -4,6 +4,7 @@ import (
 	"dynshap/internal/bitset"
 	"dynshap/internal/game"
 	"dynshap/internal/rng"
+	"dynshap/internal/semivalue"
 )
 
 // InitOptions selects which dynamic-update structures a combined
@@ -24,6 +25,10 @@ type InitOptions struct {
 	// Store selects the storage backend for the deletion stores. The zero
 	// value is the exact dense float64 default.
 	Store StoreConfig
+	// Heads lists extra semivalue weightings to price from the same pass
+	// (see HeadValues). Heads consume no randomness, so the Shapley output
+	// is bit-identical with or without them.
+	Heads []semivalue.Weighting
 }
 
 // InitResult bundles the structures produced by Initialize. Pivot is always
@@ -32,6 +37,9 @@ type InitResult struct {
 	Pivot    *PivotState
 	Deletion *DeletionStore
 	Multi    *MultiDeletionStore
+	// HeadValues holds one estimate slice per requested head, in the order
+	// of InitOptions.Heads; nil when no heads were requested.
+	HeadValues [][]float64
 }
 
 // SV returns the Shapley estimates of the initialisation pass.
@@ -79,6 +87,7 @@ func Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source) (*InitResu
 	w := newPrefixWalker(g)
 	uEmpty := g.Value(bitset.New(n))
 	utilities := make([]float64, n)
+	hf := newHeadFold(opt.Heads, n)
 	st := res.Pivot
 	for k := 0; k < tau; k++ {
 		perm := r.PermN(n)
@@ -105,6 +114,12 @@ func Initialize(g game.Game, tau int, opt InitOptions, r *rng.Source) (*InitResu
 		if res.Multi != nil {
 			res.Multi.AccumulatePermutation(perm, utilities, uEmpty)
 		}
+		if hf != nil {
+			hf.foldWalk(perm, utilities, uEmpty, n)
+		}
+	}
+	if hf != nil {
+		res.HeadValues = hf.finish(tau)
 	}
 	for i := 0; i < n; i++ {
 		st.SV[i] /= float64(tau)

@@ -9,6 +9,7 @@ import (
 	"dynshap/internal/bitset"
 	"dynshap/internal/game"
 	"dynshap/internal/rng"
+	"dynshap/internal/semivalue"
 )
 
 // DeletionStore is the YN-NN data structure (Algorithm 6 / Definition 1):
@@ -396,6 +397,57 @@ func (ds *DeletionStore) mergeWith(p, workers int) ([]float64, error) {
 				v /= float64(n - 1)
 			}
 			out[i] = v
+		}
+	})
+	return out, nil
+}
+
+// MergeSemivalue derives the post-deletion values of a LINEAR semivalue
+// head from the same stored arrays Merge reads: the YN−NN difference
+// isolates the survivor game's strata, so any untransformed weighting can
+// re-price them (semivalue.MergeCoeffs). Absolute-transform heads are
+// rejected — |·| does not distribute over the stored sums. The Shapley
+// weighting is NOT routed through Merge: its coefficients are the same
+// values the historic loop derives, but applied as multiplications, so
+// use Merge when bit-compatibility with pre-semivalue output matters.
+func (ds *DeletionStore) MergeSemivalue(p int, w semivalue.Weighting) ([]float64, error) {
+	return ds.mergeSemivalueWith(p, w, mergeWorkers(ds.n*ds.n))
+}
+
+// mergeSemivalueWith is MergeSemivalue with an explicit worker count.
+func (ds *DeletionStore) mergeSemivalueWith(p int, w semivalue.Weighting, workers int) ([]float64, error) {
+	n := ds.n
+	if p < 0 || p >= n {
+		return nil, fmt.Errorf("core: MergeSemivalue point %d out of range [0,%d)", p, n)
+	}
+	if w.Abs() {
+		return nil, fmt.Errorf("core: MergeSemivalue cannot recover %v from the deletion store (absolute transform)", w)
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		return out, nil
+	}
+	coef := w.MergeCoeffs(n, ds.exact)
+	parallelRows(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == p {
+				continue
+			}
+			if ds.yn != nil {
+				acc := 0.0
+				base := (i*n + p) * (n + 1)
+				for k := 1; k <= n-1; k++ {
+					acc += (ds.yn[base+k] - ds.nn[base+k-1]) * coef[k]
+				}
+				out[i] = acc
+				continue
+			}
+			var acc neumaierSum
+			base := (i*n + p) * (n + 1)
+			for k := 1; k <= n-1; k++ {
+				acc.add((ds.ynB.at(base+k) - ds.nnB.at(base+k-1)) * coef[k])
+			}
+			out[i] = acc.value()
 		}
 	})
 	return out, nil

@@ -52,6 +52,13 @@ type Update struct {
 	// deterministic from (seed, version) — but auditors reading the
 	// journal see what each point of a batch was individually worth.
 	BatchValues []float64 `json:"batch_values,omitempty"`
+	// HeadValues holds, for sessions pricing extra semivalue heads, each
+	// head's attribution of the appended points (key = the weighting's wire
+	// name, value aligned with Points) — what each arriving point was worth
+	// under Banzhaf, Beta(α,β), … the moment it landed. Replay does not
+	// consume it: head folds are deterministic bookkeeping over the same
+	// walks, so re-running the operation reproduces every head bit for bit.
+	HeadValues map[string][]float64 `json:"head_values,omitempty"`
 	// RemovedValues holds the pre-delete Shapley values of the removed
 	// points, aligned with Indices (exact k-NN deletions only, where the
 	// estimator knows every point's exact value at removal time). Replay
@@ -226,6 +233,13 @@ func cloneEntry(u Update) Update {
 	u.Points = clonePoints(u.Points)
 	u.Indices = append([]int(nil), u.Indices...)
 	u.BatchValues = append([]float64(nil), u.BatchValues...)
+	if u.HeadValues != nil {
+		hv := make(map[string][]float64, len(u.HeadValues))
+		for k, v := range u.HeadValues {
+			hv[k] = append([]float64(nil), v...)
+		}
+		u.HeadValues = hv
+	}
 	u.RemovedValues = append([]float64(nil), u.RemovedValues...)
 	u.Decision = append([]string(nil), u.Decision...)
 	return u

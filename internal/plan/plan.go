@@ -124,6 +124,17 @@ type Artifacts struct {
 	// StoresFresh reports whether the deletion arrays still match the
 	// current player set (any update since the last fill stales them).
 	StoresFresh bool
+	// Heads is the number of EXTRA semivalue heads the session maintains
+	// beyond Shapley (Banzhaf, Beta(α,β), Absolute Shapley). Heads ride the
+	// sampled walks for array-op cost only, but they disqualify the paths
+	// that cannot produce them: the exact k-NN fast path and the pivot
+	// replays are Shapley-specific, and the multi-deletion merge recovers
+	// only Shapley.
+	Heads int
+	// HeadsLinear reports whether every extra head is linear in the
+	// marginals (no |·| transform). Only linear heads can be recovered from
+	// the YN-NN deletion arrays.
+	HeadsLinear bool
 	// Pivot is the maintained pivot state (survives additions, dies on
 	// deletion).
 	Pivot *core.PivotState
@@ -189,12 +200,30 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 		note("chose %s (%s): %s", c, cost, why)
 		return Decision{Choice: c, Cost: cost, Trace: trace}
 	}
+	// Sampled paths price the extra heads from the same walks; fold the
+	// bookkeeping into their cost so the trace shows what riding along
+	// actually adds (array ops only, never evaluations).
+	withHeads := func(cost core.Cost, n int) core.Cost {
+		if art.Heads > 0 {
+			cost = cost.Plus(core.HeadFillCost(art.Heads, n, b.UpdateTau))
+		}
+		return cost
+	}
+	if art.Heads > 0 {
+		note("%d extra semivalue head(s) ride every sampled pass (+%s bookkeeping, zero extra evaluations)",
+			art.Heads, core.HeadFillCost(art.Heads, art.N, b.UpdateTau))
+	}
 
 	// The exact estimator dominates every sampled path outright: it keeps
 	// the values EXACT through any update shape and spends zero utility
 	// evaluations, only array maintenance. Record the sampled
 	// alternative's price so the journal shows what the closed form saved.
-	if art.ExactKNN {
+	// It is Shapley-only, though — a session carrying extra heads must take
+	// a sampled path so the heads keep moving with the data.
+	if art.ExactKNN && art.Heads > 0 {
+		note("exact k-NN fast path available but Shapley-only; %d configured semivalue head(s) require a sampled pass", art.Heads)
+	}
+	if art.ExactKNN && art.Heads == 0 {
 		var alt core.Cost
 		var altName string
 		if req.Op == OpDelete {
@@ -212,15 +241,23 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 	switch req.Op {
 	case OpDelete:
 		if req.Count == 1 && art.Deletion != nil {
-			if art.StoresFresh {
-				return done(ChoiceExact, art.Deletion.MergeCost(),
-					"YN-NN arrays fresh; exact recovery with zero model trainings")
+			if !art.StoresFresh {
+				note("YN-NN arrays present but stale (an update ran since the fill); exact merge unavailable")
+			} else if art.Heads > 0 && !art.HeadsLinear {
+				note("YN-NN arrays fresh but an absolute-transform head is configured; |·| does not distribute over the stored sums, so the merge cannot recover it")
+			} else {
+				why := "YN-NN arrays fresh; exact recovery with zero model trainings"
+				if art.Heads > 0 {
+					why += fmt.Sprintf("; %d linear head(s) re-priced from the same arrays", art.Heads)
+				}
+				return done(ChoiceExact, art.Deletion.MergeCost(), why)
 			}
-			note("YN-NN arrays present but stale (an update ran since the fill); exact merge unavailable")
 		}
 		if req.Count > 1 && art.Multi != nil {
 			if !art.StoresFresh {
 				note("YNN-NNN arrays present but stale; exact merge unavailable")
+			} else if art.Heads > 0 {
+				note("YNN-NNN merge is Shapley-only; %d configured head(s) force the sampled path", art.Heads)
 			} else if !art.Multi.Covers(req.Indices...) {
 				note("YNN-NNN arrays fresh but tuple %v outside the prepared d=%d candidate subsets",
 					req.Indices, art.Multi.D())
@@ -230,15 +267,17 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 			}
 		}
 		if bulk(req.Count, art.N) {
-			return done(ChoiceMonteCarlo, mcCost(art.N-req.Count),
+			return done(ChoiceMonteCarlo, withHeads(mcCost(art.N-req.Count), art.N-req.Count),
 				fmt.Sprintf("deleting %d of %d players; differential updates lose their edge past half the set", req.Count, art.N))
 		}
-		cost := core.DeltaDeleteCost(art.N, b.UpdateTau).Times(req.Count)
+		cost := withHeads(core.DeltaDeleteCost(art.N, b.UpdateTau).Times(req.Count), art.N)
 		return done(ChoiceDelta, cost,
 			"no exact artifact applies; delta deletion (Algorithm 8) converges at small τ (Theorem 4)")
 
 	default: // OpAdd
-		if art.Pivot != nil && art.Pivot.N() == art.N {
+		if art.Pivot != nil && art.Pivot.N() == art.N && art.Heads > 0 {
+			note("pivot replays are Shapley-specific (suffix walks + LSV recurrence); %d configured head(s) force the delta path", art.Heads)
+		} else if art.Pivot != nil && art.Pivot.N() == art.N {
 			if art.Pivot.HasPermutations() {
 				if req.Count > 1 {
 					cost := art.Pivot.AddSameBatchCost(req.Count)
@@ -255,17 +294,17 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 			note("pivot state sized for %d players, set has %d; unusable", art.Pivot.N(), art.N)
 		}
 		if bulk(req.Count, art.N) {
-			return done(ChoiceMonteCarlo, mcCost(art.N+req.Count),
+			return done(ChoiceMonteCarlo, withHeads(mcCost(art.N+req.Count), art.N+req.Count),
 				fmt.Sprintf("adding %d to %d players; recomputation beats %d sequential delta passes", req.Count, art.N, req.Count))
 		}
 		if req.Count > 1 {
-			cost := core.BatchDeltaAddCost(art.N, req.Count, b.UpdateTau)
+			cost := withHeads(core.BatchDeltaAddCost(art.N, req.Count, b.UpdateTau), art.N)
 			note("batch of %d: shared no-pivot chain cuts the walk to %s from the sequential loop's %s",
 				req.Count, cost, core.DeltaAddCost(art.N, b.UpdateTau).Times(req.Count))
 			return done(ChoiceDeltaBatch, cost,
 				"batched delta walk (Algorithm 5, one permutation pass for all pending points)")
 		}
-		cost := core.DeltaAddCost(art.N, b.UpdateTau).Times(req.Count)
+		cost := withHeads(core.DeltaAddCost(art.N, b.UpdateTau).Times(req.Count), art.N)
 		return done(ChoiceDelta, cost,
 			"no reusable addition artifact; delta addition (Algorithm 5) converges at small τ (Theorem 2)")
 	}

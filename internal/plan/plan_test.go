@@ -206,3 +206,64 @@ func TestOpAndChoiceStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanHeadsDisqualifyShapleyOnlyPaths(t *testing.T) {
+	// Extra heads must force the sampled path off the exact k-NN fast path.
+	art := Artifacts{N: 20, ExactKNN: true, TestPoints: 50, Heads: 3, HeadsLinear: true}
+	d := Plan(Request{Op: OpAdd, Count: 1}, art, Budget{UpdateTau: 100})
+	if d.Choice == ChoiceExactKNN {
+		t.Fatalf("choice = %v; heads must disqualify the Shapley-only exact path", d.Choice)
+	}
+	if !strings.Contains(strings.Join(d.Trace, " "), "Shapley-only") {
+		t.Fatalf("trace should explain the exact k-NN rejection: %v", d.Trace)
+	}
+
+	// Pivot replays are Shapley-specific too.
+	art = artifacts(t, 10, true, false, 0, nil)
+	art.Heads, art.HeadsLinear = 2, true
+	d = Plan(Request{Op: OpAdd, Count: 1}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("choice = %v, want delta (pivot replay cannot carry heads)", d.Choice)
+	}
+
+	// The multi-deletion merge recovers only Shapley.
+	art = artifacts(t, 10, false, false, 2, []int{1, 2, 3})
+	art.Heads, art.HeadsLinear = 1, true
+	d = Plan(Request{Op: OpDelete, Count: 2, Indices: []int{1, 2}}, art, Budget{UpdateTau: 100})
+	if d.Choice == ChoiceExact {
+		t.Fatalf("choice = %v; YNN-NNN merge is Shapley-only", d.Choice)
+	}
+}
+
+func TestPlanHeadsKeepLinearDeletionMerge(t *testing.T) {
+	// Linear heads CAN be recovered from the YN-NN arrays, so the exact
+	// merge survives; an absolute-transform head kills it.
+	art := artifacts(t, 10, false, true, 0, nil)
+	art.Heads, art.HeadsLinear = 2, true
+	d := Plan(Request{Op: OpDelete, Count: 1, Indices: []int{3}}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceExact {
+		t.Fatalf("choice = %v, want exact (linear heads merge from the arrays)", d.Choice)
+	}
+
+	art.HeadsLinear = false
+	d = Plan(Request{Op: OpDelete, Count: 1, Indices: []int{3}}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("choice = %v, want delta (absolute head cannot merge)", d.Choice)
+	}
+	if !strings.Contains(strings.Join(d.Trace, " "), "absolute-transform") {
+		t.Fatalf("trace should explain the abs rejection: %v", d.Trace)
+	}
+}
+
+func TestPlanHeadsPriceBookkeeping(t *testing.T) {
+	art := Artifacts{N: 12, Heads: 3, HeadsLinear: true}
+	d := Plan(Request{Op: OpAdd, Count: 1}, art, Budget{UpdateTau: 100})
+	base := core.DeltaAddCost(12, 100)
+	want := base.Plus(core.HeadFillCost(3, 12, 100))
+	if d.Cost != want {
+		t.Fatalf("cost = %v, want %v (delta plus head fill)", d.Cost, want)
+	}
+	if !strings.Contains(strings.Join(d.Trace, " "), "head(s) ride") {
+		t.Fatalf("trace should price the head fill: %v", d.Trace)
+	}
+}

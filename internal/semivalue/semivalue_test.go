@@ -1,0 +1,186 @@
+package semivalue
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, w := range []Weighting{Shapley(), Banzhaf(), Beta(4, 1), Beta(0.5, 2.5), AbsoluteShapley()} {
+		got, err := Parse(w.Key())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", w.Key(), err)
+		}
+		if got != w {
+			t.Fatalf("Parse(%q) = %v, want %v", w.Key(), got, w)
+		}
+	}
+	for _, s := range []string{"Shapley", " banzhaf ", "ABS-SHAPLEY", "absolute-shapley", "beta(16, 1)"} {
+		if _, err := Parse(s); err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+	}
+	for _, s := range []string{"", "owen", "beta", "beta(0,1)", "beta(1)", "beta(a,b)"} {
+		if _, err := Parse(s); err == nil {
+			t.Fatalf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+// Σ_k C(n−1,k)·p_n(k) = 1 for every weighting family (semivalue
+// normalisation), equivalently mean position weight 1.
+func TestWeightNormalisation(t *testing.T) {
+	for _, w := range []Weighting{Shapley(), Banzhaf(), Beta(1, 1), Beta(4, 1), Beta(1, 16), AbsoluteShapley()} {
+		for _, n := range []int{1, 2, 3, 7, 20, 150} {
+			sum := 0.0
+			for _, omega := range w.PosWeights(n) {
+				sum += omega
+			}
+			if !almost(sum/float64(n), 1, 1e-9) {
+				t.Errorf("%v n=%d: mean position weight %g, want 1", w, n, sum/float64(n))
+			}
+		}
+	}
+}
+
+// Beta(1,1) is mathematically the Shapley weighting; the Beta tables come
+// from lgamma so equality is numerical, not bit-exact.
+func TestBetaOneOneIsShapley(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 12, 64} {
+		sh, be := Shapley().PosWeights(n), Beta(1, 1).PosWeights(n)
+		for pos := range sh {
+			if !almost(sh[pos], be[pos], 1e-9) {
+				t.Fatalf("n=%d pos=%d: shapley ω=%g beta(1,1) ω=%g", n, pos, sh[pos], be[pos])
+			}
+		}
+		shS, beS := Shapley().SubsetWeights(n), Beta(1, 1).SubsetWeights(n)
+		for k := range shS {
+			if !almost(shS[k]/beS[k], 1, 1e-9) {
+				t.Fatalf("n=%d k=%d: shapley p=%g beta(1,1) p=%g", n, k, shS[k], beS[k])
+			}
+		}
+	}
+}
+
+func TestShapleyTablesExact(t *testing.T) {
+	n := 9
+	for pos, omega := range Shapley().PosWeights(n) {
+		if omega != 1 {
+			t.Fatalf("Shapley ω(%d) = %g, want exactly 1", pos, omega)
+		}
+	}
+	// The historic core.Exact recurrence.
+	want := make([]float64, n)
+	want[0] = 1 / float64(n)
+	for k := 1; k < n; k++ {
+		want[k] = want[k-1] * float64(k) / float64(n-k)
+	}
+	got := Shapley().SubsetWeights(n)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Shapley p(%d) = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestBanzhafSubsetWeights(t *testing.T) {
+	n := 10
+	for k, p := range Banzhaf().SubsetWeights(n) {
+		if p != 1.0/512 {
+			t.Fatalf("Banzhaf p(%d) = %g, want 2^-9", k, p)
+		}
+	}
+}
+
+// The Shapley add tables must be the historic DeltaAdd coefficients in
+// closed form, and general tables must agree with the defining formulas.
+func TestAddCoeffs(t *testing.T) {
+	n := 7
+	cNo, cWith, wNew := Shapley().AddCoeffs(n)
+	for pos := 0; pos < n; pos++ {
+		c := float64(pos+1) / float64(n+1)
+		if cNo[pos] != -c || cWith[pos] != c {
+			t.Fatalf("Shapley add pos %d: cNo=%g cWith=%g, want ∓%g", pos, cNo[pos], cWith[pos], c)
+		}
+	}
+	for k := 0; k <= n; k++ {
+		if wNew[k] != 1/float64(n+1) {
+			t.Fatalf("Shapley wNew[%d] = %g, want 1/%d", k, wNew[k], n+1)
+		}
+	}
+	// Beta(1,1) numerically matches the Shapley closed forms.
+	bNo, bWith, bNew := Beta(1, 1).AddCoeffs(n)
+	for pos := 0; pos < n; pos++ {
+		if !almost(bNo[pos], cNo[pos], 1e-9) || !almost(bWith[pos], cWith[pos], 1e-9) {
+			t.Fatalf("Beta(1,1) add pos %d: (%g,%g) want (%g,%g)", pos, bNo[pos], bWith[pos], cNo[pos], cWith[pos])
+		}
+	}
+	for k := 0; k <= n; k++ {
+		if !almost(bNew[k], wNew[k], 1e-9) {
+			t.Fatalf("Beta(1,1) wNew[%d] = %g, want %g", k, bNew[k], wNew[k])
+		}
+	}
+	// Banzhaf: a(pos) + published ω consistency — the pivot's weights must
+	// sum to 1 ... Σ_k C(n,k)·2^{-n} = 1.
+	_, _, zNew := Banzhaf().AddCoeffs(n)
+	sum := 0.0
+	for k := 0; k <= n; k++ {
+		sum += zNew[k]
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Fatalf("Banzhaf Σ wNew = %g, want 1", sum)
+	}
+}
+
+func TestDeleteCoeffs(t *testing.T) {
+	n := 8
+	cNo, cWith := Shapley().DeleteCoeffs(n)
+	for pos := 0; pos < n-1; pos++ {
+		c := float64(pos+1) / float64(n)
+		if cNo[pos] != c || cWith[pos] != -c {
+			t.Fatalf("Shapley delete pos %d: cNo=%g cWith=%g, want ±%g", pos, cNo[pos], cWith[pos], c)
+		}
+	}
+	bNo, bWith := Beta(1, 1).DeleteCoeffs(n)
+	for pos := 0; pos < n-1; pos++ {
+		if !almost(bNo[pos], cNo[pos], 1e-9) || !almost(bWith[pos], cWith[pos], 1e-9) {
+			t.Fatalf("Beta(1,1) delete pos %d: (%g,%g) want (%g,%g)", pos, bNo[pos], bWith[pos], cNo[pos], cWith[pos])
+		}
+	}
+}
+
+// Sampled merge coefficients must reduce to the historic n/(n−k) for
+// Shapley, and exact coefficients to the survivor game's subset weights.
+func TestMergeCoeffs(t *testing.T) {
+	n := 9
+	sampled := Shapley().MergeCoeffs(n, false)
+	for k := 1; k <= n-1; k++ {
+		if !almost(sampled[k], float64(n)/float64(n-k), 1e-9) {
+			t.Fatalf("Shapley sampled coef[%d] = %g, want %g", k, sampled[k], float64(n)/float64(n-k))
+		}
+	}
+	exact := Banzhaf().MergeCoeffs(n, true)
+	sw := Banzhaf().SubsetWeights(n - 1)
+	for k := 1; k <= n-1; k++ {
+		if exact[k] != sw[k-1] {
+			t.Fatalf("Banzhaf exact coef[%d] = %g, want %g", k, exact[k], sw[k-1])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeCoeffs on abs-shapley did not panic")
+		}
+	}()
+	AbsoluteShapley().MergeCoeffs(n, false)
+}
+
+func TestTransform(t *testing.T) {
+	if AbsoluteShapley().Transform(-2) != 2 || Shapley().Transform(-2) != -2 {
+		t.Fatal("marginal transform wrong")
+	}
+	if !AbsoluteShapley().Abs() || Banzhaf().Abs() || AbsoluteShapley().Linear() {
+		t.Fatal("Abs/Linear flags wrong")
+	}
+}

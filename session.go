@@ -3,6 +3,7 @@ package dynshap
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"dynshap/internal/ml"
 	"dynshap/internal/plan"
 	"dynshap/internal/rng"
+	"dynshap/internal/semivalue"
 	"dynshap/internal/utility"
 )
 
@@ -63,7 +65,12 @@ type sessionState struct {
 	util  *utility.ModelUtility
 	cache *game.Cached
 
-	sv    []float64
+	sv []float64
+	// heads holds the extra semivalue heads' current estimates, one slice
+	// per configured weighting (see WithSemivalues), index-aligned with sv.
+	// nil when no heads are configured or before Init. Like sv, a published
+	// heads matrix is never mutated — updates install fresh slices.
+	heads [][]float64
 	pivot *core.PivotState
 	del   *core.DeletionStore
 	multi *core.MultiDeletionStore
@@ -123,6 +130,25 @@ type config struct {
 	storeKind      core.BackendKind
 	spillDir       string
 	truncation     int
+	// semivalues are the extra heads every sampled pass prices alongside
+	// the Shapley estimate (Shapley itself is the native output and is
+	// normalised out of this list).
+	semivalues []semivalue.Weighting
+}
+
+// headCount is the number of extra semivalue heads the session maintains.
+func (c config) headCount() int { return len(c.semivalues) }
+
+// headsLinear reports whether every configured head is a linear semivalue
+// (no |·| transform) — the condition for recovering heads from the YN-NN
+// deletion arrays.
+func (c config) headsLinear() bool {
+	for _, w := range c.semivalues {
+		if w.Abs() {
+			return false
+		}
+	}
+	return true
 }
 
 // storeConfig resolves the configured deletion-store backend.
@@ -241,6 +267,43 @@ func WithTruncation(t int) Option {
 	return func(c *config) { c.truncation = t }
 }
 
+// WithSemivalues makes every sampled pass of the session price the given
+// semivalue weightings alongside the Shapley estimate, for the cost of the
+// bookkeeping alone: the heads fold the same permutation walks the Shapley
+// accumulator observes, consume no randomness, and add zero utility
+// evaluations. Read them with ValuesFor / RankFor / TopKFor; Values keeps
+// returning the Shapley estimates, bit-identical to a session without
+// heads.
+//
+// A Shapley weighting in the list is ignored (it is the session's native
+// output and always readable), and duplicate weightings collapse to one
+// head. Configured heads restrict the update paths AlgoAuto considers —
+// the exact k-NN fast path, pivot replays and the multi-point YNN-NNN
+// merge are Shapley-specific, so the planner routes every update through a
+// sampled pass (or, for single deletions with linear-only heads, the YN-NN
+// merge); requesting such an algorithm explicitly returns an error.
+func WithSemivalues(ws ...Semivalue) Option {
+	return func(c *config) {
+		var out []semivalue.Weighting
+		for _, w := range ws {
+			if w.IsShapley() {
+				continue
+			}
+			dup := false
+			for _, o := range out {
+				if o.Key() == w.Key() {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, w)
+			}
+		}
+		c.semivalues = out
+	}
+}
+
 // NewSession creates a valuation session for the given training points,
 // scored against test with models produced by trainer.
 func NewSession(train, test *Dataset, trainer Trainer, opts ...Option) *Session {
@@ -275,6 +338,9 @@ func newSessionFromConfig(train, test *dataset.Dataset, trainer ml.Trainer, cfg 
 	}
 	if cfg.truncation > 0 {
 		engineOpts = append(engineOpts, core.WithTruncation(cfg.truncation))
+	}
+	if cfg.headCount() > 0 {
+		engineOpts = append(engineOpts, core.WithSemivalues(cfg.semivalues...))
 	}
 	s := &Session{
 		test:    test.Clone(),
@@ -433,6 +499,13 @@ func (s *Session) PrefixAdds() int64 { return s.state.Load().totalPrefixAdds() }
 // array-fill throughput.
 func (s *Session) EngineStats() core.EngineStats { return s.state.Load().engineStats }
 
+// Semivalues returns the extra semivalue weightings the session maintains
+// heads for (WithSemivalues), in head order. The Shapley head is implicit
+// and always readable through Values / ValuesFor(Shapley()).
+func (s *Session) Semivalues() []Semivalue {
+	return append([]Semivalue(nil), s.cfg.semivalues...)
+}
+
 // History returns the session's journal: one Update record per successful
 // mutation, versions ascending. See ReplayTo for reproducing any of them.
 func (s *Session) History() []UpdateRecord { return s.journal.History() }
@@ -462,6 +535,33 @@ var ErrStaleStores = errors.New("dynshap: deletion arrays are stale after a prev
 // WithoutDistanceKernel). AlgoAuto never hits this — the planner only
 // routes onto the exact path when the estimator exists.
 var ErrExactUnavailable = errors.New("dynshap: exact k-NN estimator unavailable; it requires SoftKNNClassifier and the distance kernel")
+
+// checkHeads rejects explicitly requested algorithms that cannot maintain
+// the configured semivalue heads. The sampled passes (MC, TMC, Delta,
+// Delta-batch) fold every head for free; the YN-NN merge re-prices linear
+// heads from the same arrays (single deletions only); everything else —
+// exact k-NN, pivot replays, the YNN-NNN multi-merge, Base, and the KNN
+// heuristics — is Shapley-specific, and silently letting the heads go
+// stale would corrupt ValuesFor. AlgoAuto never hits this: the planner
+// only routes onto head-capable paths when heads are configured.
+func (s *Session) checkHeads(algo Algorithm, deleteCount int) error {
+	if s.cfg.headCount() == 0 {
+		return nil
+	}
+	switch algo {
+	case AlgoMonteCarlo, AlgoTruncatedMC, AlgoDelta, AlgoDeltaBatch:
+		return nil
+	case AlgoYNNN:
+		if deleteCount > 1 {
+			return fmt.Errorf("dynshap: the YNN-NNN multi-point merge is Shapley-only and cannot re-price the configured semivalue heads %v; delete points one at a time or use AlgoDelta", semivalue.Keys(s.cfg.semivalues))
+		}
+		if !s.cfg.headsLinear() {
+			return fmt.Errorf("dynshap: AlgoYNNN cannot re-price an absolute-transform head (|·| does not distribute over the YN-NN sums); use AlgoDelta or a recompute")
+		}
+		return nil
+	}
+	return fmt.Errorf("dynshap: algorithm %v is Shapley-specific and cannot maintain the configured semivalue heads %v; use AlgoAuto, MC, TMC, Delta or Delta-batch", algo, semivalue.Keys(s.cfg.semivalues))
+}
 
 // publish installs the successor state and journals the update that
 // produced it.
@@ -509,7 +609,7 @@ func (s *Session) initLocked(op string) error {
 	// reduction: exact values, zero model trainings, zero permutations.
 	needsSampledArtifacts := s.cfg.keepPerms || s.cfg.trackDeletions || s.cfg.multiDelete > 0
 	var initTrace []string
-	if st.exact != nil && !needsSampledArtifacts {
+	if st.exact != nil && !needsSampledArtifacts && s.cfg.headCount() == 0 {
 		st.sv = st.exact.Values()
 		st.pivot, st.del, st.multi = nil, nil, nil
 		st.initialized = true
@@ -529,9 +629,20 @@ func (s *Session) initLocked(op string) error {
 		return nil
 	}
 	if st.exact != nil {
-		initTrace = []string{fmt.Sprintf(
-			"exact k-NN estimator present, but requested artifacts need a sampled pass (keepPerms=%v trackDeletions=%v multiDelete=%d); running τ=%d initialisation to build them",
-			s.cfg.keepPerms, s.cfg.trackDeletions, s.cfg.multiDelete, s.cfg.tau)}
+		if needsSampledArtifacts {
+			initTrace = []string{fmt.Sprintf(
+				"exact k-NN estimator present, but requested artifacts need a sampled pass (keepPerms=%v trackDeletions=%v multiDelete=%d); running τ=%d initialisation to build them",
+				s.cfg.keepPerms, s.cfg.trackDeletions, s.cfg.multiDelete, s.cfg.tau)}
+		} else {
+			initTrace = []string{fmt.Sprintf(
+				"exact k-NN estimator present, but it is Shapley-only and %d semivalue head(s) are configured; running τ=%d initialisation to fill every head",
+				s.cfg.headCount(), s.cfg.tau)}
+		}
+	}
+	if s.cfg.headCount() > 0 {
+		initTrace = append(initTrace, fmt.Sprintf(
+			"%d extra semivalue head(s) [%s] fold the same walks — zero additional evaluations, Shapley output unchanged",
+			s.cfg.headCount(), strings.Join(semivalue.Keys(s.cfg.semivalues), " ")))
 	}
 	if s.cfg.storeKind != core.BackendDense64 && (s.cfg.trackDeletions || s.cfg.multiDelete > 0) {
 		initTrace = append(initTrace, fmt.Sprintf(
@@ -556,6 +667,7 @@ func (s *Session) initLocked(op string) error {
 	st.del = res.Deletion
 	st.multi = res.Multi
 	st.sv = res.SV()
+	st.heads = res.HeadValues
 	st.initialized = true
 	st.storesFresh = true
 	s.publish(st, journal.Update{
@@ -583,6 +695,8 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 			Pivot:       st.pivot,
 			Deletion:    st.del,
 			Multi:       st.multi,
+			Heads:       s.cfg.headCount(),
+			HeadsLinear: s.cfg.headsLinear(),
 		},
 		plan.Budget{
 			UpdateTau:   s.cfg.updateTau,
@@ -658,6 +772,9 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 	if algo == AlgoAuto {
 		algo, trace = s.planUpdate(st, plan.OpAdd, len(points), nil)
 	}
+	if err := s.checkHeads(algo, 0); err != nil {
+		return nil, err
+	}
 	var ops opMetrics
 	begin := time.Now()
 	var err error
@@ -709,6 +826,18 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 	if algo == AlgoDeltaBatch || algo == AlgoPivotSameBatch || algo == AlgoExactKNN {
 		batchVals = append([]float64(nil), st.sv[len(st.sv)-len(points):]...)
 	}
+	// Multi-head sessions additionally journal what each appended point was
+	// worth under every extra head — the per-head attribution History and
+	// the CLI display. Replay does not consume it (the folds are
+	// deterministic from the walks).
+	var headAttr map[string][]float64
+	if s.cfg.headCount() > 0 && len(st.heads) == s.cfg.headCount() {
+		headAttr = make(map[string][]float64, s.cfg.headCount())
+		for h, w := range s.cfg.semivalues {
+			vals := st.heads[h]
+			headAttr[w.Key()] = append([]float64(nil), vals[len(vals)-len(points):]...)
+		}
+	}
 	s.publish(st, journal.Update{
 		Version:      st.version,
 		Op:           "add",
@@ -716,6 +845,7 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 		Algo:         algo.String(),
 		Points:       points,
 		BatchValues:  batchVals,
+		HeadValues:   headAttr,
 		Trainings:    st.totalFits() - startFits,
 		PrefixAdds:   st.totalPrefixAdds() - startPrefix,
 		Permutations: ops.perms,
@@ -787,8 +917,17 @@ func (s *Session) addRecompute(st *sessionState, points []Point, algo Algorithm,
 	} else {
 		st.sv = s.engine.MonteCarlo(s.gameOf(st), s.cfg.updateTau, r.Split())
 	}
+	s.captureHeads(st)
 	ops.perms += s.engine.Stats().Issued
 	return nil
+}
+
+// captureHeads installs the engine's freshly folded head values into the
+// successor state. A no-op for head-less sessions.
+func (s *Session) captureHeads(st *sessionState) {
+	if s.cfg.headCount() > 0 {
+		st.heads = s.engine.HeadValues()
+	}
 }
 
 func (s *Session) addPivot(st *sessionState, points []Point, algo Algorithm, r *rng.Source, ops *opMetrics) error {
@@ -868,12 +1007,14 @@ func (s *Session) addPivotBatch(st *sessionState, points []Point, r *rng.Source,
 func (s *Session) addDeltaBatch(st *sessionState, points []Point, r *rng.Source, ops *opMetrics) error {
 	uPlus := st.util.Append(points...)
 	gPlus := s.gameFor(st, uPlus)
+	s.engine.SetHeadBase(st.heads)
 	sv, err := s.engine.BatchDeltaAdd(gPlus, st.sv, len(points), s.cfg.updateTau, r.Split())
 	if err != nil {
 		return err
 	}
 	ops.perms += s.engine.Stats().Issued
 	st.sv = sv
+	s.captureHeads(st)
 	s.applyAppendBuilt(st, uPlus, points...)
 	return nil
 }
@@ -882,12 +1023,14 @@ func (s *Session) addDelta(st *sessionState, points []Point, r *rng.Source, ops 
 	for _, p := range points {
 		uPlus := st.util.Append(p)
 		gPlus := s.gameFor(st, uPlus)
+		s.engine.SetHeadBase(st.heads)
 		sv, err := s.engine.DeltaAdd(gPlus, st.sv, s.cfg.updateTau, r.Split())
 		if err != nil {
 			return err
 		}
 		ops.perms += s.engine.Stats().Issued
 		st.sv = sv
+		s.captureHeads(st)
 		s.applyAppendBuilt(st, uPlus, p)
 	}
 	return nil
@@ -946,11 +1089,17 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 	if algo == AlgoAuto {
 		algo, trace = s.planUpdate(st, plan.OpDelete, len(indices), indices)
 	}
+	if err := s.checkHeads(algo, len(indices)); err != nil {
+		return nil, err
+	}
 
 	var ops opMetrics
 	begin := time.Now()
 	var (
 		expanded []float64 // old indexing, zeros at deleted points
+		// headsExp carries the extra semivalue heads in the same expanded
+		// form, one slice per configured head; compacted alongside sv.
+		headsExp [][]float64
 		err      error
 	)
 	switch algo {
@@ -963,9 +1112,9 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 			err = ErrExactUnavailable
 		}
 	case AlgoYNNN:
-		expanded, err = s.deleteYNNN(st, indices)
+		expanded, headsExp, err = s.deleteYNNN(st, indices)
 	case AlgoDelta:
-		expanded, err = s.deleteDelta(st, indices, r, &ops)
+		expanded, headsExp, err = s.deleteDelta(st, indices, r, &ops)
 	case AlgoKNN:
 		expanded, err = core.KNNDelete(st.sv, st.train, indices, s.cfg.knnK)
 	case AlgoKNNPlus:
@@ -982,6 +1131,21 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 		expanded = make([]float64, n)
 		for ri, orig := range restricted.Keep() {
 			expanded[orig] = sub[ri]
+		}
+		// The engine folded the heads over the same restricted walks; its
+		// output is in the survivors' (restricted) numbering.
+		if s.cfg.headCount() > 0 {
+			headsExp = make([][]float64, s.cfg.headCount())
+			hv := s.engine.HeadValues()
+			for h := range headsExp {
+				headsExp[h] = make([]float64, n)
+				if hv == nil || h >= len(hv) {
+					continue
+				}
+				for ri, orig := range restricted.Keep() {
+					headsExp[h][orig] = hv[h][ri]
+				}
+			}
 		}
 	default:
 		err = fmt.Errorf("dynshap: algorithm %v does not support deletions", algo)
@@ -1013,6 +1177,19 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 			}
 		}
 		st.sv = compact
+		if headsExp != nil {
+			heads := make([][]float64, len(headsExp))
+			for h, hv := range headsExp {
+				c := make([]float64, 0, n-len(indices))
+				for i := 0; i < n; i++ {
+					if !seen[i] {
+						c = append(c, hv[i])
+					}
+				}
+				heads[h] = c
+			}
+			st.heads = heads
+		}
 	}
 	st.train = st.train.Remove(indices...)
 	s.deriveRemove(st, indices) // indices shifted: the old cache keys are invalid
@@ -1045,26 +1222,57 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 	return append([]float64(nil), st.sv...), nil
 }
 
-func (s *Session) deleteYNNN(st *sessionState, indices []int) ([]float64, error) {
+func (s *Session) deleteYNNN(st *sessionState, indices []int) ([]float64, [][]float64, error) {
 	if !st.storesFresh {
-		return nil, ErrStaleStores
+		return nil, nil, ErrStaleStores
 	}
 	if len(indices) == 1 {
 		if st.del == nil {
-			return nil, errors.New("dynshap: AlgoYNNN needs WithTrackDeletions")
+			return nil, nil, errors.New("dynshap: AlgoYNNN needs WithTrackDeletions")
 		}
-		return st.del.Merge(indices[0])
+		sv, err := st.del.Merge(indices[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		// The YN-NN arrays hold raw utility sums, so every LINEAR head can
+		// be re-priced from the same arrays with its own coefficient sweep —
+		// still zero utility evaluations. (checkHeads rejected |·| heads.)
+		var heads [][]float64
+		if s.cfg.headCount() > 0 {
+			heads = make([][]float64, s.cfg.headCount())
+			for h, w := range s.cfg.semivalues {
+				hv, err := st.del.MergeSemivalue(indices[0], w)
+				if err != nil {
+					return nil, nil, err
+				}
+				heads[h] = hv
+			}
+		}
+		return sv, heads, nil
 	}
 	if st.multi == nil {
-		return nil, errors.New("dynshap: multi-point AlgoYNNN needs WithMultiDelete")
+		return nil, nil, errors.New("dynshap: multi-point AlgoYNNN needs WithMultiDelete")
 	}
-	return st.multi.Merge(indices...)
+	sv, err := st.multi.Merge(indices...)
+	return sv, nil, err
 }
 
-func (s *Session) deleteDelta(st *sessionState, indices []int, r *rng.Source, ops *opMetrics) ([]float64, error) {
+func (s *Session) deleteDelta(st *sessionState, indices []int, r *rng.Source, ops *opMetrics) ([]float64, [][]float64, error) {
 	// Apply sequentially; between steps, work in the shrinking restricted
 	// game but keep original indexing via an index map.
 	cur := append([]float64(nil), st.sv...)
+	// curHeads tracks the extra heads through the same shrinking numbering.
+	var curHeads [][]float64
+	if s.cfg.headCount() > 0 {
+		curHeads = make([][]float64, s.cfg.headCount())
+		for h := range curHeads {
+			if h < len(st.heads) {
+				curHeads[h] = append([]float64(nil), st.heads[h]...)
+			} else {
+				curHeads[h] = make([]float64, st.train.Len())
+			}
+		}
+	}
 	g := s.gameOf(st)
 	// alive maps restricted index -> original index.
 	alive := make([]int, st.train.Len())
@@ -1083,15 +1291,23 @@ func (s *Session) deleteDelta(st *sessionState, indices []int, r *rng.Source, op
 			}
 		}
 		if ri == -1 {
-			return nil, fmt.Errorf("dynshap: internal: point %d already deleted", orig)
+			return nil, nil, fmt.Errorf("dynshap: internal: point %d already deleted", orig)
 		}
+		s.engine.SetHeadBase(curHeads)
 		sub, err := s.engine.DeltaDelete(rg, cur, ri, s.cfg.updateTau, r.Split())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ops.perms += s.engine.Stats().Issued
 		// Drop the deleted slot.
 		cur = append(sub[:ri:ri], sub[ri+1:]...)
+		if curHeads != nil {
+			hv := s.engine.HeadValues()
+			for h := range curHeads {
+				hs := hv[h]
+				curHeads[h] = append(hs[:ri:ri], hs[ri+1:]...)
+			}
+		}
 		alive = append(alive[:ri:ri], alive[ri+1:]...)
 		gone[orig] = true
 		removed := make([]int, 0, len(gone))
@@ -1104,18 +1320,37 @@ func (s *Session) deleteDelta(st *sessionState, indices []int, r *rng.Source, op
 	for i, orig := range alive {
 		expanded[orig] = cur[i]
 	}
-	return expanded, nil
+	var headsExp [][]float64
+	if curHeads != nil {
+		headsExp = make([][]float64, len(curHeads))
+		for h, hs := range curHeads {
+			headsExp[h] = make([]float64, st.train.Len())
+			for i, orig := range alive {
+				headsExp[h][orig] = hs[i]
+			}
+		}
+	}
+	return expanded, headsExp, nil
 }
 
 // installBase publishes a state holding externally supplied values at the
 // given version — how Resume and ReplayTo install history instead of
-// recomputing it. An empty sv leaves the session uninitialised.
-func (s *Session) installBase(sv []float64, version int) {
+// recomputing it. An empty sv leaves the session uninitialised. heads, when
+// non-nil, installs the extra semivalue heads' values alongside (Resume
+// restores them from the snapshot; ReplayTo passes nil and lets the
+// replayed operations rebuild them).
+func (s *Session) installBase(sv []float64, heads [][]float64, version int) {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 	st := s.state.Load().next()
 	st.version = version
 	st.sv = append([]float64(nil), sv...)
+	if heads != nil {
+		st.heads = make([][]float64, len(heads))
+		for h, hv := range heads {
+			st.heads[h] = append([]float64(nil), hv...)
+		}
+	}
 	st.initialized = len(sv) > 0
 	st.storesFresh = false
 	s.state.Store(st)
@@ -1146,7 +1381,7 @@ func (s *Session) ReplayTo(version int) (*Session, error) {
 	s2 := newSessionFromConfig(train, s.test, s.trainer, s.cfg)
 	s2.journal = journal.New(jst.Base, jst.Classes, jst.BaseValues)
 	if len(jst.BaseValues) > 0 || base != 0 {
-		s2.installBase(jst.BaseValues, base)
+		s2.installBase(jst.BaseValues, nil, base)
 	}
 	for _, u := range jst.Entries {
 		if u.Version > version {

@@ -9,6 +9,7 @@ import (
 	"dynshap/internal/core"
 	"dynshap/internal/dataset"
 	"dynshap/internal/journal"
+	"dynshap/internal/semivalue"
 )
 
 // Snapshot is a serialisable record of a valuation session: the points, the
@@ -35,6 +36,11 @@ type Snapshot struct {
 	Classes int `json:"classes"`
 	// Values holds the Shapley estimates (nil before Init).
 	Values []float64 `json:"values,omitempty"`
+	// Heads holds the extra semivalue heads' current estimates, keyed by
+	// the weighting's wire name ("banzhaf", "beta(4,1)", …), each
+	// index-aligned with Train (multi-head sessions, format ≥ 2). Resume
+	// restores them so ValuesFor keeps answering without a Refresh.
+	Heads map[string][]float64 `json:"heads,omitempty"`
 	// Samples is the initialisation τ the estimates were computed with.
 	Samples int `json:"samples"`
 	// Config carries the session options format 1 silently dropped —
@@ -69,6 +75,11 @@ type SnapshotConfig struct {
 	StoreBackend string `json:"store_backend,omitempty"`
 	SpillDir     string `json:"spill_dir,omitempty"`
 	Truncation   int    `json:"truncation,omitempty"`
+	// Semivalues lists the extra heads the session prices alongside Shapley
+	// (WithSemivalues), by wire name. Round-trips so a resumed session
+	// keeps filling the same heads — and replay reproduces them bit for
+	// bit, since heads are deterministic folds over the same walks.
+	Semivalues []string `json:"semivalues,omitempty"`
 }
 
 // snapshotConfig serialises a session config. Fields matching the
@@ -91,6 +102,9 @@ func snapshotConfig(cfg config, n int) *SnapshotConfig {
 	}
 	if cfg.storeKind != StoreDense64 {
 		sc.StoreBackend = cfg.storeKind.String()
+	}
+	if cfg.headCount() > 0 {
+		sc.Semivalues = semivalue.Keys(cfg.semivalues)
 	}
 	if cfg.updateTau != cfg.tau {
 		sc.UpdateSamples = cfg.updateTau
@@ -132,6 +146,9 @@ func (sc *SnapshotConfig) apply(cfg *config) {
 	}
 	cfg.spillDir = sc.SpillDir
 	cfg.truncation = sc.Truncation
+	if ws, err := semivalue.ParseAll(sc.Semivalues); err == nil {
+		cfg.semivalues = ws
+	}
 }
 
 // Snapshot captures the session's durable state — a non-blocking read of
@@ -146,6 +163,13 @@ func (s *Session) Snapshot() *Snapshot {
 	for i := range jst.Entries {
 		jst.Entries[i].Seconds = 0
 	}
+	var heads map[string][]float64
+	if s.cfg.headCount() > 0 && len(st.heads) == s.cfg.headCount() {
+		heads = make(map[string][]float64, s.cfg.headCount())
+		for h, w := range s.cfg.semivalues {
+			heads[w.Key()] = append([]float64(nil), st.heads[h]...)
+		}
+	}
 	return &Snapshot{
 		Format:  2,
 		Version: st.version,
@@ -153,6 +177,7 @@ func (s *Session) Snapshot() *Snapshot {
 		Test:    test.Points,
 		Classes: train.Classes,
 		Values:  append([]float64(nil), st.sv...),
+		Heads:   heads,
 		Samples: s.cfg.tau,
 		Config:  snapshotConfig(s.cfg, train.Len()),
 		Journal: &jst,
@@ -258,7 +283,17 @@ func (sn *Snapshot) Resume(trainer Trainer, opts ...Option) (*Session, error) {
 		s.journal = journal.New(train.Points, train.Classes, sn.Values)
 	}
 	if len(sn.Values) > 0 || version > 0 {
-		s.installBase(sn.Values, version)
+		// Re-order the snapshot's named head values into the resumed
+		// config's head order so ValuesFor answers immediately; heads the
+		// snapshot lacks resume empty and refill on the next sampled pass.
+		var heads [][]float64
+		if cfg.headCount() > 0 && sn.Heads != nil {
+			heads = make([][]float64, cfg.headCount())
+			for h, w := range cfg.semivalues {
+				heads[h] = append([]float64(nil), sn.Heads[w.Key()]...)
+			}
+		}
+		s.installBase(sn.Values, heads, version)
 	}
 	return s, nil
 }

@@ -1,6 +1,7 @@
 package dynshap
 
 import (
+	"fmt"
 	"sort"
 
 	"dynshap/internal/ml"
@@ -70,6 +71,46 @@ func (s *Session) Rank() []Ranked { return Rank(s.state.Load().sv) }
 // TopK returns the indices of the session's k most valuable points under
 // the latest published values.
 func (s *Session) TopK(k int) []int { return TopK(s.state.Load().sv, k) }
+
+// ValuesFor returns the session's current estimates under the given
+// semivalue weighting — a non-blocking read of the latest published
+// version, like Values. The Shapley weighting is always available (it is
+// the session's native head); any other weighting must have been
+// configured with WithSemivalues, whose heads every sampled pass fills for
+// free. Returns nil (no error) before Init, mirroring Values.
+func (s *Session) ValuesFor(sv Semivalue) ([]float64, error) {
+	st := s.state.Load()
+	if sv.IsShapley() {
+		return append([]float64(nil), st.sv...), nil
+	}
+	for h, w := range s.cfg.semivalues {
+		if w.Key() == sv.Key() {
+			if h >= len(st.heads) {
+				return nil, nil
+			}
+			return append([]float64(nil), st.heads[h]...), nil
+		}
+	}
+	return nil, fmt.Errorf("dynshap: semivalue %v is not maintained by this session; pass it to WithSemivalues", sv)
+}
+
+// RankFor is Rank under the given semivalue weighting.
+func (s *Session) RankFor(sv Semivalue) ([]Ranked, error) {
+	vals, err := s.ValuesFor(sv)
+	if err != nil {
+		return nil, err
+	}
+	return Rank(vals), nil
+}
+
+// TopKFor is TopK under the given semivalue weighting.
+func (s *Session) TopKFor(k int, sv Semivalue) ([]int, error) {
+	vals, err := s.ValuesFor(sv)
+	if err != nil {
+		return nil, err
+	}
+	return TopK(vals, k), nil
+}
 
 // Allocate distributes revenue over the data owners in proportion to their
 // positive Shapley values — the compensation rule of the paper's market
