@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint vet cover fuzz-short bench bench-diff bench-large bench-mem profile examples experiments clean
+.PHONY: all build test lint vet cover fuzz-short bench bench-diff bench-large bench-mem loadgen-smoke profile examples experiments clean
 
 all: build lint test
 
@@ -77,6 +77,26 @@ bench-large:
 # to the in-heap float32 tiles). Small n, seconds to run, blocking.
 bench-mem:
 	$(GO) test -run TestSpillStoreMemorySmoke -count=1 -v ./internal/core/
+
+# Serving smoke for CI (~2s): boot dynshapd on a local port, drive it over
+# HTTP with a short closed-loop loadgen run (small n), then round-trip the
+# p50/p99 snapshot through `benchsnap diff` against itself — proving the
+# server binary boots, the HTTP session lifecycle works end to end, and the
+# latency/throughput schema still parses and gates. Blocking, seconds to run.
+loadgen-smoke:
+	$(GO) build -o /tmp/dynshapd-smoke ./cmd/dynshapd
+	@set -e; \
+	/tmp/dynshapd-smoke -addr 127.0.0.1:18089 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18089/healthz >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	$(GO) run ./cmd/loadgen -addr 127.0.0.1:18089 -duration 1s \
+		-n 60 -samples 60 -update-samples 30 -writers 4 -readers 1 \
+		-o /tmp/loadgen-smoke.json; \
+	$(GO) run ./cmd/benchsnap diff /tmp/loadgen-smoke.json /tmp/loadgen-smoke.json
 
 # Capture a CPU profile of the n = 300 KNN preprocessing walk
 # (BenchmarkPreprocessDeletionKNNN300) into cpu.out for hot-path analysis.

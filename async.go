@@ -1,0 +1,153 @@
+package dynshap
+
+// Async write pipeline: SubmitAdd/SubmitDelete enqueue updates and return
+// a future, and a per-session coalescer (internal/coalesce) batches
+// concurrent submissions into admission windows executed through the
+// batched walks. The versioned-store contract is untouched — windows
+// execute through the same updateMu-serialised addJournaled path every
+// synchronous writer uses, and reads (Values, Rank, TopK, the *For head
+// variants) keep observing the last published version without blocking
+// behind an open window.
+
+import (
+	"time"
+
+	"dynshap/internal/coalesce"
+	"dynshap/internal/dataset"
+)
+
+// Default admission-window bounds for sessions that never called
+// WithCoalescing: windows close at 16 points (the batched walks' measured
+// sweet spot at n≈200) or after 2ms, whichever comes first.
+const (
+	DefaultCoalesceBatch = 16
+	DefaultCoalesceDelay = 2 * time.Millisecond
+)
+
+// UpdateHandle is the future an async submission returns; it resolves
+// when the submission's admission window has executed.
+type UpdateHandle = coalesce.Handle
+
+// UpdateResult is a resolved submission's report: the version its window
+// produced, the algorithm that ran, the window size, and — for adds —
+// the submitted point's index and per-point attributed value.
+type UpdateResult = coalesce.Result
+
+// ErrSubmitClosed is the failure every submission after Close resolves
+// with.
+var ErrSubmitClosed = coalesce.ErrClosed
+
+// WithCoalescing bounds the session's async admission windows: a window
+// executes once it holds maxBatch points or maxDelay after it opened,
+// whichever comes first. maxBatch 1 disables coalescing (every SubmitAdd
+// executes alone); maxDelay ≤ 0 never waits — a window executes as soon
+// as the submit queue is momentarily empty. Zero values select the
+// package defaults. The option only shapes windowing; it never changes
+// the values an executed sequence produces, so it is not persisted in
+// snapshots.
+func WithCoalescing(maxBatch int, maxDelay time.Duration) Option {
+	return func(c *config) {
+		c.coalesceBatch = maxBatch
+		c.coalesceDelay = maxDelay
+	}
+}
+
+// sessionExecutor adapts the session's journaled write path to the
+// coalescer's Executor interface. It runs only on the drainer goroutine,
+// one window at a time, through the same updateMu the synchronous
+// writers take.
+type sessionExecutor struct{ s *Session }
+
+func (e sessionExecutor) ExecAdd(points []dataset.Point) (coalesce.Batch, error) {
+	vals, u, err := e.s.addJournaled(points, AlgoAuto, true)
+	if err != nil {
+		return coalesce.Batch{}, err
+	}
+	b := coalesce.Batch{Version: u.Version, Algo: u.Algo, Base: len(vals) - len(points)}
+	if u.BatchValues != nil {
+		// Batched walks journal per-point attribution directly.
+		b.Values = u.BatchValues
+	} else {
+		// Singleton windows may resolve to a non-batch algorithm; the
+		// point's value is the tail of the published estimates.
+		b.Values = vals[len(vals)-len(points):]
+	}
+	return b, nil
+}
+
+func (e sessionExecutor) ExecDelete(indices []int) (coalesce.Batch, error) {
+	_, u, err := e.s.deleteJournaled(indices, AlgoAuto, true)
+	if err != nil {
+		return coalesce.Batch{}, err
+	}
+	return coalesce.Batch{Version: u.Version, Algo: u.Algo}, nil
+}
+
+// coalescer lazily starts the session's write pipeline on first use.
+func (s *Session) coalescer() *coalesce.Coalescer {
+	s.coalMu.Lock()
+	defer s.coalMu.Unlock()
+	if s.coal == nil {
+		cfg := coalesce.Config{
+			MaxBatch:   s.cfg.coalesceBatch,
+			MaxDelay:   s.cfg.coalesceDelay,
+			QueueDepth: s.cfg.coalesceDepth,
+		}
+		if cfg.MaxBatch == 0 {
+			cfg.MaxBatch = DefaultCoalesceBatch
+		}
+		if cfg.MaxDelay == 0 {
+			cfg.MaxDelay = DefaultCoalesceDelay
+		}
+		s.coal = coalesce.New(sessionExecutor{s}, cfg)
+	}
+	return s.coal
+}
+
+// SubmitAdd enqueues one training point for insertion and returns a
+// future. The point lands in the coalescer's open admission window; when
+// the window executes (at the configured size or delay bound, whichever
+// first) as ONE batched update, the handle resolves with the produced
+// version, the point's index in the post-window numbering, and its
+// per-point attributed value from the window's journal record. Execution
+// order is the admitted order; for the stored-permutation path the final
+// state is bit-identical to the same submissions applied one at a time.
+func (s *Session) SubmitAdd(p Point) *UpdateHandle {
+	return s.coalescer().SubmitAdd(p)
+}
+
+// SubmitDelete enqueues a deletion barrier: every previously admitted
+// add executes first, then the delete runs alone, so the indices are
+// interpreted against the state all earlier submissions produced. The
+// handle resolves with the version the delete produced.
+func (s *Session) SubmitDelete(indices []int) *UpdateHandle {
+	return s.coalescer().SubmitDelete(indices)
+}
+
+// Flush blocks until every submission admitted before the call has
+// executed and its handle resolved. A session that never submitted
+// asynchronously returns immediately.
+func (s *Session) Flush() error {
+	s.coalMu.Lock()
+	c := s.coal
+	s.coalMu.Unlock()
+	if c == nil {
+		return nil
+	}
+	return c.Flush()
+}
+
+// Close drains the async write pipeline — everything already admitted
+// executes — and stops it; later submissions resolve with
+// ErrSubmitClosed. Synchronous use of the session (Add, Delete, reads)
+// remains valid after Close. Safe to call more than once, and a no-op
+// for sessions that never submitted asynchronously.
+func (s *Session) Close() error {
+	s.coalMu.Lock()
+	c := s.coal
+	s.coalMu.Unlock()
+	if c == nil {
+		return nil
+	}
+	return c.Close()
+}

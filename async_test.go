@@ -1,0 +1,189 @@
+package dynshap
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The async write pipeline's session-level contracts: a full admission
+// window executes bit-identically to the same points handed to one
+// synchronous Add call (same version, same RNG stream), every handle
+// resolves with its point's journal attribution, reads never block behind
+// an open window, deletes act as barriers, and the journal marks
+// coalesced records so replay reproduces them exactly.
+
+// TestSubmitAddWindowBitIdenticalToAdd is the determinism acceptance
+// gate: k submissions coalesced into one window produce the same version-2
+// state, bit for bit, as one Add(pts, AlgoPivotSame) call — across worker
+// counts, on the stored-permutation path where even the retained LSV/perm
+// state is partition-independent.
+func TestSubmitAddWindowBitIdenticalToAdd(t *testing.T) {
+	const n, k = 14, 5
+	pts := batchTestPoints(k, 4)
+	for _, workers := range []int{1, 4} {
+		async := newTestSession(t, n, WithKeepPermutations(), WithWorkers(workers),
+			WithCoalescing(k, time.Hour))
+		seq := newTestSession(t, n, WithKeepPermutations(), WithWorkers(workers))
+		if err := async.Init(); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.Init(); err != nil {
+			t.Fatal(err)
+		}
+		handles := make([]*UpdateHandle, k)
+		for i, p := range pts {
+			handles[i] = async.SubmitAdd(p)
+		}
+		if err := async.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := seq.Add(pts, AlgoPivotSame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := async.Values(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: coalesced window diverged from sequential Add:\n got %v\nwant %v", workers, got, want)
+		}
+		// Every future carries its point's attribution from the window's
+		// journal record.
+		rec, err := async.At(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Coalesced {
+			t.Fatal("journal record of a coalesced window lacks the coalesced mark")
+		}
+		if len(rec.BatchValues) != k {
+			t.Fatalf("BatchValues has %d entries, want %d", len(rec.BatchValues), k)
+		}
+		for i, h := range handles {
+			res, err := h.Wait()
+			if err != nil {
+				t.Fatalf("handle %d: %v", i, err)
+			}
+			if res.Version != 2 || res.Window != k {
+				t.Fatalf("handle %d resolved %+v, want version 2 window %d", i, res, k)
+			}
+			if res.Index != n+i {
+				t.Fatalf("handle %d index %d, want %d", i, res.Index, n+i)
+			}
+			if res.Value != rec.BatchValues[i] {
+				t.Fatalf("handle %d value %g != journal attribution %g", i, res.Value, rec.BatchValues[i])
+			}
+			if res.Algo != AlgoPivotSameBatch.String() {
+				t.Fatalf("handle %d ran %q, want %q", i, res.Algo, AlgoPivotSameBatch)
+			}
+		}
+		if err := async.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSubmitReadsNeverBlock: with a window held open (huge MaxDelay,
+// unfilled), reads observe the last published version immediately.
+func TestSubmitReadsNeverBlock(t *testing.T) {
+	const n = 12
+	s := newTestSession(t, n, WithCoalescing(16, time.Hour))
+	defer s.Close()
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Values()
+	h := s.SubmitAdd(batchTestPoints(1, 4)[0])
+	// The window is open and will not close for an hour; reads must not
+	// wait for it.
+	if got := s.Version(); got != 1 {
+		t.Fatalf("version %d while window open, want 1", got)
+	}
+	if got := s.Values(); !reflect.DeepEqual(got, before) {
+		t.Fatal("Values changed before the window executed")
+	}
+	// Flush is the barrier that forces the window out.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Version(); got != 2 {
+		t.Fatalf("version %d after flush, want 2", got)
+	}
+}
+
+// TestSubmitDeleteBarrier: a submitted delete sees the state every prior
+// submission produced, and the whole async history replays bit for bit.
+func TestSubmitDeleteBarrier(t *testing.T) {
+	const n, k = 12, 3
+	s := newTestSession(t, n, WithCoalescing(k, time.Hour))
+	defer s.Close()
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range batchTestPoints(k, 4) {
+		s.SubmitAdd(p)
+	}
+	// Deleting index n+k−1 names the last window point — only valid if the
+	// window executed before the delete.
+	h := s.SubmitDelete([]int{n + k - 1})
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 3 || res.Index != -1 {
+		t.Fatalf("delete resolved %+v, want version 3 index -1", res)
+	}
+	rec, err := s.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Op != "delete" || !rec.Coalesced {
+		t.Fatalf("journal record %+v, want coalesced delete", rec)
+	}
+	// Replay of the coalesced history is bit-identical and keeps the
+	// coalesced marks.
+	rep, err := s.ReplayTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Values(), s.Values()) {
+		t.Fatalf("replayed coalesced history diverged:\n got %v\nwant %v", rep.Values(), s.Values())
+	}
+	repRec, err := rep.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repRec.Coalesced {
+		t.Fatal("replay dropped the coalesced mark")
+	}
+}
+
+// TestSubmitAfterClose: Close drains, later submissions fail with
+// ErrSubmitClosed, and the synchronous API keeps working.
+func TestSubmitAfterClose(t *testing.T) {
+	const n = 12
+	s := newTestSession(t, n, WithCoalescing(4, time.Millisecond))
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	h := s.SubmitAdd(batchTestPoints(1, 4)[0])
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatalf("pre-close submission failed: %v", err)
+	}
+	if _, err := s.SubmitAdd(batchTestPoints(1, 4)[0]).Wait(); err != ErrSubmitClosed {
+		t.Fatalf("post-close submit err = %v, want ErrSubmitClosed", err)
+	}
+	if _, err := s.Add(batchTestPoints(1, 4), AlgoAuto); err != nil {
+		t.Fatalf("synchronous Add after Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

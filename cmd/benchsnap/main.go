@@ -23,16 +23,21 @@
 //
 // The benchmark output is also streamed to stdout as it arrives, so the
 // command doubles as a plain `make bench` run. The diff subcommand
-// compares two snapshots per benchmark on ns/op and exits non-zero when
-// any shared benchmark regressed by more than 10%. Memory metrics — B/op,
-// the derived total-alloc-bytes, the deletion-store store-bytes/heap-bytes
-// gauges, and the suite's recorded peak RSS — are compared at the same
-// threshold but only warn; they do not fail the diff.
+// compares two snapshots per benchmark and exits non-zero when any shared
+// benchmark got WORSE by more than 10% in its unit's own direction:
+// ns/op and the load harness's latency percentiles (units ending "-ns")
+// regress by rising, rate metrics (units ending "/s" — cellups/s,
+// loadgen's add-ops/s and read-ops/s) regress by DROPPING. A throughput
+// improvement is never flagged. Memory metrics — B/op, the derived
+// total-alloc-bytes, the deletion-store store-bytes/heap-bytes gauges,
+// and the suite's recorded peak RSS — are compared at the same threshold
+// but only warn; they do not fail the diff. Snapshots written by
+// cmd/loadgen use the same schema (internal/benchfmt), so server load
+// results gate through the identical diff.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,29 +47,29 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"dynshap/internal/benchfmt"
 )
 
-// entry is one benchmark result: the iteration count and every reported
-// metric keyed by its unit (ns/op, B/op, allocs/op, plus custom units
-// such as cellups/s from ReportMetric).
-type entry struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+// Local names for the shared schema (internal/benchfmt); the parsing and
+// diff logic lives there so cmd/loadgen writes byte-compatible snapshots.
+type (
+	entry     = benchfmt.Entry
+	snapshot  = benchfmt.Snapshot
+	diffEntry = benchfmt.DiffEntry
+)
+
+func parseBenchLine(line string) (entry, bool) { return benchfmt.ParseBenchLine(line) }
+func canonicalName(name string) string         { return benchfmt.CanonicalName(name) }
+
+func diffSnapshots(oldS, newS snapshot, unit string) (shared []diffEntry, onlyOld, onlyNew []string) {
+	return benchfmt.Diff(oldS, newS, unit)
 }
 
-// snapshot is the file layout of BENCH_<date>.json.
-type snapshot struct {
-	Date       string `json:"date"`
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	BenchTime  string `json:"benchtime"`
-	Procs      []int  `json:"procs,omitempty"`
-	// PeakRSSBytes is the suite run's high-water resident set size (the
-	// `go test` process tree), the number the large-n store work budgets
-	// against. 0 on platforms without rusage.
-	PeakRSSBytes int64   `json:"peak_rss_bytes,omitempty"`
-	Benchmarks   []entry `json:"benchmarks"`
+// regressed filters the comparisons that worsened past the threshold in
+// the unit's direction.
+func regressed(shared []diffEntry, threshold float64, unit string) []diffEntry {
+	return benchfmt.Regressed(shared, threshold, unit)
 }
 
 func main() {
@@ -139,84 +144,14 @@ func main() {
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark results parsed"))
 	}
-
-	buf, err := json.MarshalIndent(&snap, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+	if err := snap.Save(path); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(snap.Benchmarks), path)
 }
 
-// parseBenchLine parses one `go test -bench` result line:
-//
-//	BenchmarkName-8   3   123456 ns/op   789 B/op   2 allocs/op   1.5e+07 cellups/s
-//
-// i.e. the name, the iteration count, then (value, unit) pairs — which is
-// exactly how custom testing.B.ReportMetric units are printed too.
-func parseBenchLine(line string) (entry, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return entry{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return entry{}, false
-	}
-	e := entry{
-		Name:       canonicalName(fields[0]),
-		Iterations: iters,
-		Metrics:    make(map[string]float64),
-	}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return entry{}, false
-		}
-		e.Metrics[fields[i+1]] = v
-	}
-	if len(e.Metrics) == 0 {
-		return entry{}, false
-	}
-	// Derive the benchmark's total allocation volume: B/op is a rate, but
-	// a memory regression hunt wants the absolute bytes the measured loop
-	// churned through.
-	if bop, ok := e.Metrics["B/op"]; ok {
-		e.Metrics["total-alloc-bytes"] = bop * float64(e.Iterations)
-	}
-	return e, true
-}
-
-// canonicalName rewrites go test's -<procs> benchmark-name suffix as
-// @p<procs>. Single-proc rows carry no suffix (go test omits it at
-// GOMAXPROCS 1) and keep the bare name, so the reproducible -cpu=1 baseline
-// diffs cleanly against snapshots taken before multi-proc variants existed
-// or on machines with different core counts. An h<N> sub-benchmark (the
-// semivalue head count, `Benchmark…/h4`) is folded into the same schema as
-// @h<N>, before any @p suffix, so head-count variants pair like with like
-// across snapshots.
-func canonicalName(name string) string {
-	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if p, err := strconv.Atoi(name[i+1:]); err == nil && p >= 1 {
-			name = name[:i] + "@p" + name[i+1:]
-		}
-	}
-	if i := strings.LastIndex(name, "/h"); i > 0 {
-		rest := name[i+2:]
-		if j := strings.IndexByte(rest, '@'); j >= 0 {
-			rest = rest[:j]
-		}
-		if h, err := strconv.Atoi(rest); err == nil && h >= 1 && !strings.ContainsRune(rest, '/') {
-			name = name[:i] + "@h" + name[i+2:]
-		}
-	}
-	return name
-}
-
-// regressionThreshold is the fractional ns/op increase past which diff
-// flags a benchmark and exits non-zero.
+// regressionThreshold is the fractional worsening past which diff flags a
+// benchmark and exits non-zero.
 const regressionThreshold = 0.10
 
 // memoryUnits are the per-benchmark metrics diff additionally compares for
@@ -225,73 +160,24 @@ const regressionThreshold = 0.10
 // timing, so they gate manually until the signal proves stable.
 var memoryUnits = []string{"B/op", "total-alloc-bytes", "store-bytes", "heap-bytes"}
 
-// diffEntry is one benchmark's old/new comparison on a single unit.
-type diffEntry struct {
-	Name     string
-	Old, New float64
-	// Delta is the fractional change (New−Old)/Old; regressions are
-	// positive (the benchmark got slower).
-	Delta float64
-}
-
-// diffSnapshots pairs the two snapshots' benchmarks by name on the given
-// unit and returns the shared comparisons plus the names present on only
-// one side. Shared entries keep the new snapshot's order.
-func diffSnapshots(oldS, newS snapshot, unit string) (shared []diffEntry, onlyOld, onlyNew []string) {
-	oldVals := make(map[string]float64, len(oldS.Benchmarks))
-	for _, e := range oldS.Benchmarks {
-		if v, ok := e.Metrics[unit]; ok {
-			oldVals[e.Name] = v
-		}
-	}
-	seen := make(map[string]bool, len(newS.Benchmarks))
-	for _, e := range newS.Benchmarks {
-		v, ok := e.Metrics[unit]
-		if !ok {
+// gatedUnits returns the units diff fails on, in report order: ns/op
+// first, then every latency unit (ending "-ns") and every rate unit
+// (ending "/s") present in either snapshot. Memory units warn only;
+// allocs/op tracks B/op and stays advisory too.
+func gatedUnits(oldS, newS snapshot) []string {
+	units := []string{"ns/op"}
+	for _, u := range benchfmt.Units(oldS, newS) {
+		if u == "ns/op" {
 			continue
 		}
-		seen[e.Name] = true
-		old, both := oldVals[e.Name]
-		if !both {
-			onlyNew = append(onlyNew, e.Name)
-			continue
-		}
-		d := diffEntry{Name: e.Name, Old: old, New: v}
-		if old != 0 {
-			d.Delta = (v - old) / old
-		}
-		shared = append(shared, d)
-	}
-	for _, e := range oldS.Benchmarks {
-		if _, ok := e.Metrics[unit]; ok && !seen[e.Name] {
-			onlyOld = append(onlyOld, e.Name)
+		if strings.HasSuffix(u, "-ns") || benchfmt.HigherIsBetter(u) {
+			units = append(units, u)
 		}
 	}
-	return shared, onlyOld, onlyNew
+	return units
 }
 
-// regressed filters the comparisons that slowed down past the threshold.
-func regressed(shared []diffEntry, threshold float64) []diffEntry {
-	var out []diffEntry
-	for _, d := range shared {
-		if d.Delta > threshold {
-			out = append(out, d)
-		}
-	}
-	return out
-}
-
-func loadSnapshot(path string) (snapshot, error) {
-	var s snapshot
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return s, err
-	}
-	if err := json.Unmarshal(raw, &s); err != nil {
-		return s, fmt.Errorf("%s: %w", path, err)
-	}
-	return s, nil
-}
+func loadSnapshot(path string) (snapshot, error) { return benchfmt.Load(path) }
 
 func runDiff(args []string) {
 	if len(args) != 2 {
@@ -305,32 +191,51 @@ func runDiff(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	shared, onlyOld, onlyNew := diffSnapshots(oldS, newS, "ns/op")
-	if len(shared) == 0 {
+	anyShared, totalBad := 0, 0
+	for _, unit := range gatedUnits(oldS, newS) {
+		shared, onlyOld, onlyNew := diffSnapshots(oldS, newS, unit)
+		if len(shared) == 0 && len(onlyOld) == 0 && len(onlyNew) == 0 {
+			continue
+		}
+		anyShared += len(shared)
+		direction := "lower is better"
+		if benchfmt.HigherIsBetter(unit) {
+			direction = "higher is better"
+		}
+		fmt.Printf("%-50s %14s %14s %8s\n",
+			fmt.Sprintf("benchmark [%s, %s]", unit, direction),
+			"old "+unit, "new "+unit, "delta")
+		bad := regressed(shared, regressionThreshold, unit)
+		isBad := make(map[string]bool, len(bad))
+		for _, d := range bad {
+			isBad[d.Name] = true
+		}
+		for _, d := range shared {
+			marker := ""
+			if isBad[d.Name] {
+				marker = "  REGRESSION"
+			}
+			fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%%s\n", d.Name, d.Old, d.New, d.Delta*100, marker)
+		}
+		for _, name := range onlyOld {
+			fmt.Printf("%-50s removed (only in %s)\n", name, args[0])
+		}
+		for _, name := range onlyNew {
+			fmt.Printf("%-50s added (only in %s)\n", name, args[1])
+		}
+		totalBad += len(bad)
+	}
+	if anyShared == 0 {
 		fatal(fmt.Errorf("no shared benchmarks between %s and %s", args[0], args[1]))
 	}
-	fmt.Printf("%-50s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
-	for _, d := range shared {
-		marker := ""
-		if d.Delta > regressionThreshold {
-			marker = "  REGRESSION"
-		}
-		fmt.Printf("%-50s %14.0f %14.0f %+7.1f%%%s\n", d.Name, d.Old, d.New, d.Delta*100, marker)
-	}
-	for _, name := range onlyOld {
-		fmt.Printf("%-50s removed (only in %s)\n", name, args[0])
-	}
-	for _, name := range onlyNew {
-		fmt.Printf("%-50s added (only in %s)\n", name, args[1])
-	}
 	warnMemoryRegressions(oldS, newS)
-	if bad := regressed(shared, regressionThreshold); len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "benchsnap: %d benchmark(s) regressed more than %.0f%%\n",
-			len(bad), regressionThreshold*100)
+	if totalBad > 0 {
+		fmt.Fprintf(os.Stderr, "benchsnap: %d benchmark metric(s) worsened more than %.0f%%\n",
+			totalBad, regressionThreshold*100)
 		os.Exit(1)
 	}
-	fmt.Printf("%d benchmarks compared, none regressed more than %.0f%%\n",
-		len(shared), regressionThreshold*100)
+	fmt.Printf("%d benchmark comparisons, none worsened more than %.0f%%\n",
+		anyShared, regressionThreshold*100)
 }
 
 // warnMemoryRegressions prints (without failing) every shared benchmark
@@ -340,7 +245,7 @@ func warnMemoryRegressions(oldS, newS snapshot) {
 	warned := 0
 	for _, unit := range memoryUnits {
 		shared, _, _ := diffSnapshots(oldS, newS, unit)
-		for _, d := range regressed(shared, regressionThreshold) {
+		for _, d := range regressed(shared, regressionThreshold, unit) {
 			fmt.Printf("MEMORY WARNING: %s %s %+.1f%% (%.0f -> %.0f)\n",
 				d.Name, unit, d.Delta*100, d.Old, d.New)
 			warned++

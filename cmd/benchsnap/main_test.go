@@ -36,13 +36,13 @@ func TestDiffSnapshots(t *testing.T) {
 		t.Fatalf("onlyNew = %v", onlyNew)
 	}
 
-	bad := regressed(shared, 0.10)
+	bad := regressed(shared, 0.10, "ns/op")
 	if len(bad) != 1 || bad[0].Name != "BenchmarkB" {
 		t.Fatalf("regressed = %v, want only BenchmarkB", bad)
 	}
 	// Exactly at the threshold is not a regression; improvements never are.
 	atEdge := []diffEntry{{Name: "X", Delta: 0.10}, {Name: "Y", Delta: -0.5}}
-	if got := regressed(atEdge, 0.10); len(got) != 0 {
+	if got := regressed(atEdge, 0.10, "ns/op"); len(got) != 0 {
 		t.Fatalf("threshold edge flagged: %v", got)
 	}
 }
@@ -139,14 +139,38 @@ func TestMemoryDiffIsAdvisory(t *testing.T) {
 	// The memory unit regressed 50%, but the blocking ns/op comparison is
 	// flat: regressed() on ns/op — the only exit-code input — stays empty.
 	shared, _, _ := diffSnapshots(oldS, newS, "ns/op")
-	if bad := regressed(shared, regressionThreshold); len(bad) != 0 {
+	if bad := regressed(shared, regressionThreshold, "ns/op"); len(bad) != 0 {
 		t.Fatalf("ns/op regressions = %v, want none", bad)
 	}
 	shared, _, _ = diffSnapshots(oldS, newS, "store-bytes")
-	if bad := regressed(shared, regressionThreshold); len(bad) != 1 {
+	if bad := regressed(shared, regressionThreshold, "store-bytes"); len(bad) != 1 {
 		t.Fatalf("store-bytes regressions = %v, want 1", bad)
 	}
 	// warnMemoryRegressions only prints; it must not panic on either shape.
 	warnMemoryRegressions(oldS, newS)
 	warnMemoryRegressions(snapshot{}, snapshot{})
+}
+
+func TestGatedUnitsIncludeRatesAndLatencies(t *testing.T) {
+	oldS := snapshot{Benchmarks: []entry{{Name: "L", Iterations: 1, Metrics: map[string]float64{
+		"ns/op": 1, "add-ops/s": 100, "p99-ns": 5, "B/op": 64,
+	}}}}
+	newS := snapshot{Benchmarks: []entry{{Name: "L", Iterations: 1, Metrics: map[string]float64{
+		"ns/op": 1, "add-ops/s": 50, "p99-ns": 5, "B/op": 64,
+	}}}}
+	units := gatedUnits(oldS, newS)
+	want := map[string]bool{"ns/op": true, "add-ops/s": true, "p99-ns": true}
+	if len(units) != len(want) {
+		t.Fatalf("gatedUnits = %v, want exactly %v (memory units advisory)", units, want)
+	}
+	for _, u := range units {
+		if !want[u] {
+			t.Fatalf("gatedUnits includes %q unexpectedly (full: %v)", u, units)
+		}
+	}
+	// The halved throughput must count as a regression under the rate unit.
+	shared, _, _ := diffSnapshots(oldS, newS, "add-ops/s")
+	if bad := regressed(shared, regressionThreshold, "add-ops/s"); len(bad) != 1 {
+		t.Fatalf("throughput drop not flagged: %v", bad)
+	}
 }

@@ -12,6 +12,7 @@
 //	history    print the snapshot's update journal (algorithms, costs, planner traces)
 //	undo       roll the snapshot back one version by deterministic replay
 //	samplesize print the (ϵ, δ) sample-size bounds of Theorems 1, 2 and 4
+//	serve      print where the HTTP serving layer lives (the dynshapd binary)
 //
 // With -model softknn (the soft k-NN utility) the session maintains the
 // exact closed-form k-NN Shapley estimator: compute, add and delete are
@@ -55,6 +56,8 @@ func main() {
 		err = cmdUndo(os.Args[2:])
 	case "samplesize":
 		err = cmdSampleSize(os.Args[2:])
+	case "serve":
+		err = cmdServe()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -68,8 +71,56 @@ func main() {
 	}
 }
 
+// usageText is what `dynshap help` prints. It is covered by a golden test
+// (testdata/usage.golden) so the subcommand list and the advertised -algo
+// names — the batch families in particular — cannot drift from what
+// algoFor actually accepts.
+const usageText = `usage: dynshap <subcommand> [flags]
+
+Subcommands:
+  gen         generate a synthetic Iris-like or Adult-like CSV dataset
+  compute     value a training CSV against a test CSV, write a snapshot
+  add         append points from a CSV to a snapshot's valuation
+              (-algo auto, delta, delta-batch, pivot-d, pivot-s,
+               pivot-s-batch, knn, knn+, exact, mc, tmc, base)
+  delete      remove points (by index) from a snapshot's valuation
+              (-algo auto, delta, ynnn, knn, knn+, exact, mc, tmc)
+  show        print a snapshot's values
+  history     print the snapshot's update journal (algorithms, costs, traces)
+  undo        roll the snapshot back one version by deterministic replay
+  samplesize  print the (ϵ, δ) sample-size bounds of Theorems 1, 2 and 4
+  serve       print where the HTTP serving layer lives (dynshapd)
+
+This CLI operates on one snapshot file at a time. Long-running serving —
+many named sessions, write-coalesced updates, non-blocking reads — is the
+separate dynshapd binary:
+
+  go run ./cmd/dynshapd -addr :8089 -data ./sessions
+
+and cmd/loadgen drives it with closed-loop traffic, reporting p50/p99
+update latency; see the README's "Serving valuations" section.
+
+Run 'dynshap <subcommand> -h' for flags.
+`
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dynshap <gen|compute|add|delete|show|history|undo|samplesize> [flags]`)
+	fmt.Fprint(os.Stderr, usageText)
+}
+
+// cmdServe is a signpost, not a server: the serving layer has its own
+// binary (session registry, coalescers, graceful drain), and folding it in
+// here would drag an HTTP dependency into every snapshot-file invocation.
+func cmdServe() error {
+	fmt.Print(`dynshap does not serve HTTP itself; the serving layer is the dynshapd binary:
+
+  go run ./cmd/dynshapd -addr :8089 -data ./sessions
+
+It manages many named sessions over REST (create/add/remove/values/topk/
+history/snapshot), coalesces concurrent adds into batched permutation
+walks, and restarts from snapshot + journal tail. Benchmark it with
+cmd/loadgen. See the README's "Serving valuations" section.
+`)
+	return nil
 }
 
 func trainerFor(model string) (dynshap.Trainer, error) {

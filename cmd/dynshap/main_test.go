@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 
 	"dynshap"
@@ -21,18 +23,21 @@ func TestTrainerFor(t *testing.T) {
 
 func TestAlgoFor(t *testing.T) {
 	cases := map[string]dynshap.Algorithm{
-		"mc":      dynshap.AlgoMonteCarlo,
-		"TMC":     dynshap.AlgoTruncatedMC,
-		"base":    dynshap.AlgoBase,
-		"pivot-s": dynshap.AlgoPivotSame,
-		"pivot-d": dynshap.AlgoPivotDifferent,
-		"pivot":   dynshap.AlgoPivotDifferent,
-		"delta":   dynshap.AlgoDelta,
-		"ynnn":    dynshap.AlgoYNNN,
-		"YN-NN":   dynshap.AlgoYNNN,
-		"knn":     dynshap.AlgoKNN,
-		"knn+":    dynshap.AlgoKNNPlus,
-		"auto":    dynshap.AlgoAuto,
+		"mc":            dynshap.AlgoMonteCarlo,
+		"TMC":           dynshap.AlgoTruncatedMC,
+		"base":          dynshap.AlgoBase,
+		"pivot-s":       dynshap.AlgoPivotSame,
+		"pivot-d":       dynshap.AlgoPivotDifferent,
+		"pivot":         dynshap.AlgoPivotDifferent,
+		"delta":         dynshap.AlgoDelta,
+		"delta-batch":   dynshap.AlgoDeltaBatch,
+		"pivot-s-batch": dynshap.AlgoPivotSameBatch,
+		"ynnn":          dynshap.AlgoYNNN,
+		"YN-NN":         dynshap.AlgoYNNN,
+		"knn":           dynshap.AlgoKNN,
+		"knn+":          dynshap.AlgoKNNPlus,
+		"exact":         dynshap.AlgoExactKNN,
+		"auto":          dynshap.AlgoAuto,
 	}
 	for name, want := range cases {
 		got, err := algoFor(name)
@@ -42,6 +47,52 @@ func TestAlgoFor(t *testing.T) {
 	}
 	if _, err := algoFor("magic"); err == nil {
 		t.Error("unknown algorithm should fail")
+	}
+}
+
+// TestUsageGolden pins the help text to testdata/usage.golden and then
+// cross-checks every -algo name the text advertises — the batch families
+// delta-batch and pivot-s-batch included — against algoFor, so the help
+// and the parser cannot drift apart silently.
+func TestUsageGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "usage.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usageText != string(want) {
+		t.Fatalf("usage text diverged from testdata/usage.golden:\n got:\n%s\nwant:\n%s",
+			usageText, want)
+	}
+	// Pull the advertised algorithm lists out of the "(-algo …)"
+	// parentheticals; the char class crosses the wrapped line.
+	matches := regexp.MustCompile(`\(-algo ([^)]*)\)`).FindAllStringSubmatch(usageText, -1)
+	if len(matches) != 2 {
+		t.Fatalf("found %d advertised -algo lists in usage text, want 2 (add, delete)", len(matches))
+	}
+	advertised := map[string]bool{}
+	for _, m := range matches {
+		for _, name := range strings.Split(m[1], ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				advertised[name] = true
+			}
+		}
+	}
+	for _, must := range []string{"delta-batch", "pivot-s-batch"} {
+		if !advertised[must] {
+			t.Errorf("batch algorithm %q missing from the usage text", must)
+		}
+	}
+	for name := range advertised {
+		if _, err := algoFor(name); err != nil {
+			t.Errorf("usage advertises -algo %s but algoFor rejects it: %v", name, err)
+		}
+	}
+}
+
+// The serve subcommand is a signpost to dynshapd, never an error.
+func TestServeSignpost(t *testing.T) {
+	if err := cmdServe(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,79 @@
+// Command dynshapd serves dynamic Shapley valuation sessions over HTTP.
+//
+// It manages many named sessions, each with its own write-coalescing
+// pipeline: concurrent adds from independent clients land in one admission
+// window and are priced by a single batched permutation pass, while reads
+// are served from the latest published version without ever waiting behind
+// an open window. State survives restarts through snapshot-v2 documents
+// plus a journal tail (see internal/serve).
+//
+// Usage:
+//
+//	dynshapd [-addr :8089] [-data DIR]
+//
+// Endpoints (JSON bodies; see internal/serve for schemas):
+//
+//	POST   /v1/sessions                  create a session (synthetic or explicit data)
+//	GET    /v1/sessions                  list sessions
+//	GET    /v1/sessions/{name}           session info
+//	DELETE /v1/sessions/{name}           drain, persist, and unregister
+//	POST   /v1/sessions/{name}/add       submit one point (coalesced; returns its attribution)
+//	POST   /v1/sessions/{name}/remove    delete points by index (a window barrier)
+//	POST   /v1/sessions/{name}/flush     execute everything admitted
+//	POST   /v1/sessions/{name}/snapshot  persist a snapshot and reset the journal tail
+//	GET    /v1/sessions/{name}/values    latest values (non-blocking)
+//	GET    /v1/sessions/{name}/topk?k=   top-k indices by value
+//	GET    /v1/sessions/{name}/history   journaled update records
+//
+// On SIGINT/SIGTERM the server stops accepting requests, drains every
+// session's admission queue, and persists final snapshots before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynshap/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8089", "listen address")
+	data := flag.String("data", "", "data directory for snapshots and journal tails (empty: memory-only)")
+	flag.Parse()
+
+	sv, err := serve.New(serve.Config{DataDir: *data})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynshapd:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: sv}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "dynshapd: draining sessions...")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		if err := sv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dynshapd: drain:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "dynshapd: listening on %s (data=%q)\n", *addr, *data)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dynshapd:", err)
+		os.Exit(1)
+	}
+	<-done
+}

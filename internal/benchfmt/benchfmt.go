@@ -1,0 +1,229 @@
+// Package benchfmt defines the benchmark-snapshot JSON schema shared by
+// cmd/benchsnap (which records `go test -bench` suites) and cmd/loadgen
+// (which records server load-test results): entries of named metric maps
+// inside a dated snapshot, plus the diff primitives that compare two
+// snapshots metric by metric.
+//
+// Metrics carry their direction in the unit name: ns/op, B/op,
+// allocs/op and any unit ending in "-ns" (the load harness's latency
+// percentiles) are lower-is-better; any unit ending in "/s" (cellups/s,
+// add-ops/s, read-ops/s) is a rate and higher-is-better. Diff consumers
+// must flag rate DROPS, not rises — a throughput improvement is not a
+// regression.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result: the iteration count and every reported
+// metric keyed by its unit (ns/op, B/op, allocs/op, plus custom units such
+// as cellups/s from ReportMetric or add-ops/s from the load harness).
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file layout of BENCH_<date>.json and loadgen's output.
+type Snapshot struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	BenchTime  string `json:"benchtime,omitempty"`
+	Procs      []int  `json:"procs,omitempty"`
+	// PeakRSSBytes is the suite run's high-water resident set size (the
+	// `go test` process tree), the number the large-n store work budgets
+	// against. 0 on platforms without rusage.
+	PeakRSSBytes int64   `json:"peak_rss_bytes,omitempty"`
+	Benchmarks   []Entry `json:"benchmarks"`
+}
+
+// Load reads a snapshot from the file at path.
+func Load(path string) (Snapshot, error) {
+	var s Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes the snapshot to the file at path as indented JSON.
+func (s *Snapshot) Save(path string) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// HigherIsBetter reports the unit's direction: rate units (ending "/s")
+// improve upward, everything else — times, latencies, allocation counts —
+// improves downward.
+func HigherIsBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+// ParseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   3   123456 ns/op   789 B/op   2 allocs/op   1.5e+07 cellups/s
+//
+// i.e. the name, the iteration count, then (value, unit) pairs — which is
+// exactly how custom testing.B.ReportMetric units are printed too.
+func ParseBenchLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{
+		Name:       CanonicalName(fields[0]),
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	if len(e.Metrics) == 0 {
+		return Entry{}, false
+	}
+	// Derive the benchmark's total allocation volume: B/op is a rate, but
+	// a memory regression hunt wants the absolute bytes the measured loop
+	// churned through.
+	if bop, ok := e.Metrics["B/op"]; ok {
+		e.Metrics["total-alloc-bytes"] = bop * float64(e.Iterations)
+	}
+	return e, true
+}
+
+// CanonicalName rewrites go test's -<procs> benchmark-name suffix as
+// @p<procs>. Single-proc rows carry no suffix (go test omits it at
+// GOMAXPROCS 1) and keep the bare name, so the reproducible -cpu=1 baseline
+// diffs cleanly against snapshots taken before multi-proc variants existed
+// or on machines with different core counts. An h<N> sub-benchmark (the
+// semivalue head count, `Benchmark…/h4`) is folded into the same schema as
+// @h<N>, before any @p suffix, so head-count variants pair like with like
+// across snapshots.
+func CanonicalName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p >= 1 {
+			name = name[:i] + "@p" + name[i+1:]
+		}
+	}
+	if i := strings.LastIndex(name, "/h"); i > 0 {
+		rest := name[i+2:]
+		if j := strings.IndexByte(rest, '@'); j >= 0 {
+			rest = rest[:j]
+		}
+		if h, err := strconv.Atoi(rest); err == nil && h >= 1 && !strings.ContainsRune(rest, '/') {
+			name = name[:i] + "@h" + name[i+2:]
+		}
+	}
+	return name
+}
+
+// DiffEntry is one benchmark's old/new comparison on a single unit.
+type DiffEntry struct {
+	Name     string
+	Old, New float64
+	// Delta is the fractional change (New−Old)/Old. Whether positive is a
+	// regression depends on the unit's direction — see Regressed.
+	Delta float64
+}
+
+// Diff pairs the two snapshots' benchmarks by name on the given unit and
+// returns the shared comparisons plus the names present on only one side.
+// Shared entries keep the new snapshot's order.
+func Diff(oldS, newS Snapshot, unit string) (shared []DiffEntry, onlyOld, onlyNew []string) {
+	oldVals := make(map[string]float64, len(oldS.Benchmarks))
+	for _, e := range oldS.Benchmarks {
+		if v, ok := e.Metrics[unit]; ok {
+			oldVals[e.Name] = v
+		}
+	}
+	seen := make(map[string]bool, len(newS.Benchmarks))
+	for _, e := range newS.Benchmarks {
+		v, ok := e.Metrics[unit]
+		if !ok {
+			continue
+		}
+		seen[e.Name] = true
+		old, both := oldVals[e.Name]
+		if !both {
+			onlyNew = append(onlyNew, e.Name)
+			continue
+		}
+		d := DiffEntry{Name: e.Name, Old: old, New: v}
+		if old != 0 {
+			d.Delta = (v - old) / old
+		}
+		shared = append(shared, d)
+	}
+	for _, e := range oldS.Benchmarks {
+		if _, ok := e.Metrics[unit]; ok && !seen[e.Name] {
+			onlyOld = append(onlyOld, e.Name)
+		}
+	}
+	return shared, onlyOld, onlyNew
+}
+
+// Regressed filters the comparisons that got WORSE past the threshold in
+// the unit's own direction: for lower-is-better units a rise beyond
+// +threshold, for rate units (HigherIsBetter) a drop beyond −threshold.
+// Improvements are never regressions, whichever way they point.
+func Regressed(shared []DiffEntry, threshold float64, unit string) []DiffEntry {
+	var out []DiffEntry
+	for _, d := range shared {
+		if worsened(d.Delta, threshold, unit) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func worsened(delta, threshold float64, unit string) bool {
+	if HigherIsBetter(unit) {
+		return delta < -threshold
+	}
+	return delta > threshold
+}
+
+// Units returns every metric unit present in either snapshot, sorted for
+// deterministic iteration.
+func Units(snaps ...Snapshot) []string {
+	set := map[string]bool{}
+	for _, s := range snaps {
+		for _, e := range s.Benchmarks {
+			for u := range e.Metrics {
+				set[u] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func rateEntry(name string, ops float64) Entry {
+	return Entry{Name: name, Iterations: 1, Metrics: map[string]float64{"add-ops/s": ops}}
+}
+
+func TestHigherIsBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"ns/op": false, "B/op": false, "allocs/op": false,
+		"p50-ns": false, "p99-ns": false, "total-alloc-bytes": false,
+		"cellups/s": true, "add-ops/s": true, "read-ops/s": true, "ops/s": true,
+	} {
+		if got := HigherIsBetter(unit); got != want {
+			t.Errorf("HigherIsBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+// TestRateRegressionDirection is the satellite's point: a throughput DROP
+// fails, a throughput improvement never does — the opposite polarity of
+// ns/op.
+func TestRateRegressionDirection(t *testing.T) {
+	oldS := Snapshot{Benchmarks: []Entry{
+		rateEntry("LoadgenAdd", 1000),
+		rateEntry("LoadgenRead", 5000),
+	}}
+	newS := Snapshot{Benchmarks: []Entry{
+		rateEntry("LoadgenAdd", 800),   // −20%: a real regression
+		rateEntry("LoadgenRead", 9000), // +80%: an improvement, never flagged
+	}}
+	shared, _, _ := Diff(oldS, newS, "add-ops/s")
+	if bad := Regressed(shared, 0.10, "add-ops/s"); len(bad) != 1 || bad[0].Name != "LoadgenAdd" {
+		t.Fatalf("rate drop: regressed = %v, want only LoadgenAdd", bad)
+	}
+	// The same comparisons judged with lower-is-better polarity would have
+	// flagged the improvement instead — guard the asymmetry explicitly.
+	shared, _, _ = Diff(oldS, newS, "add-ops/s")
+	for _, d := range shared {
+		if d.Name == "LoadgenRead" && worsened(d.Delta, 0.10, "add-ops/s") {
+			t.Fatal("throughput improvement flagged as regression")
+		}
+	}
+	// Latency percentiles regress by rising, like ns/op.
+	lat := []DiffEntry{{Name: "p99", Delta: 0.5}, {Name: "p50", Delta: -0.5}}
+	if bad := Regressed(lat, 0.10, "p99-ns"); len(bad) != 1 || bad[0].Name != "p99" {
+		t.Fatalf("latency rise: regressed = %v, want only p99", bad)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	s := Snapshot{
+		Date:       "2026-08-08",
+		GoVersion:  "go1.24.0",
+		GOMAXPROCS: 1,
+		Benchmarks: []Entry{
+			{Name: "LoadgenAddK16N200", Iterations: 412, Metrics: map[string]float64{
+				"add-ops/s": 123.4, "p50-ns": 9.1e6, "p99-ns": 4.4e7, "read-ops/s": 88000,
+			}},
+		},
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestUnits(t *testing.T) {
+	a := Snapshot{Benchmarks: []Entry{{Metrics: map[string]float64{"ns/op": 1, "B/op": 2}}}}
+	b := Snapshot{Benchmarks: []Entry{{Metrics: map[string]float64{"add-ops/s": 3}}}}
+	got := Units(a, b)
+	want := []string{"B/op", "add-ops/s", "ns/op"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Units = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,367 @@
+// Package coalesce turns a stream of single-point updates into
+// size/time-bounded windows fed to the session's batched walks.
+//
+// The paper's delta-based algorithms make each update cheap, but a session
+// still serialises writers: under concurrent traffic every caller pays a
+// full permutation pass for one point, and the batched walks' ~2× win
+// (one pass prices k insertions) is unreachable. The coalescer is the
+// admission-control primitive that unlocks it: writers submit updates and
+// receive a future; a single drainer goroutine closes a window when it
+// holds MaxBatch points or MaxDelay has elapsed since the window opened —
+// whichever comes first — and executes the whole window as ONE batched
+// update. Every future then resolves with its point's per-point
+// attribution from that window's journal record.
+//
+// Determinism: the drainer is the only goroutine that executes updates,
+// and it executes them strictly in admitted order (the order submissions
+// leave the queue). Window BOUNDARIES depend on timing — how many points
+// happened to be queued when a window closed — but the executed sequence
+// of (operation, inputs) is recorded in the session journal, so any run is
+// bit-identically reproducible by replaying its journal. For the
+// stored-permutation path the guarantee is stronger: BatchAddSame is
+// bit-identical to per-point AddSame in admitted order, so the final state
+// does not depend on where the window boundaries fell at all.
+//
+// Deletes are barriers: a delete submission closes the open window,
+// executes the pending adds first, then runs the delete alone. That keeps
+// delete indices meaningful (they were named against a state the caller
+// observed) and keeps the add windows same-shaped for the batch planner.
+package coalesce
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"dynshap/internal/dataset"
+)
+
+// ErrClosed is returned by submissions admitted after Close.
+var ErrClosed = errors.New("coalesce: submit queue closed")
+
+// Batch is an executor's report for one executed window: the state version
+// it produced, the algorithm that ran, the player count before the window
+// applied, and — for adds — each admitted point's attributed value in
+// admitted order.
+type Batch struct {
+	Version int
+	Algo    string
+	Base    int
+	Values  []float64
+}
+
+// Executor applies closed windows to the underlying store. ExecAdd
+// receives every open window's points in admitted order; ExecDelete runs a
+// delete barrier. Both run on the drainer goroutine, one at a time.
+type Executor interface {
+	ExecAdd(points []dataset.Point) (Batch, error)
+	ExecDelete(indices []int) (Batch, error)
+}
+
+// Result is what a resolved future reports back to its submitter.
+type Result struct {
+	// Version is the state version the window produced.
+	Version int
+	// Algo is the algorithm that executed the window.
+	Algo string
+	// Window is how many submissions shared the executed window (1 for
+	// delete barriers).
+	Window int
+	// Index is the submitted point's index in the post-window numbering
+	// (adds; −1 for deletes).
+	Index int
+	// Value is the point's per-point attribution from the window's journal
+	// record (adds; 0 for deletes).
+	Value float64
+}
+
+// Handle is the future a submission returns. It resolves exactly once,
+// when the submission's window has executed (or failed).
+type Handle struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+func newHandle() *Handle { return &Handle{done: make(chan struct{})} }
+
+// Done returns a channel closed when the handle has resolved.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the submission's window has executed and returns its
+// result (or the window's error).
+func (h *Handle) Wait() (Result, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+func (h *Handle) resolve(res Result) {
+	h.res = res
+	close(h.done)
+}
+
+func (h *Handle) fail(err error) {
+	h.err = err
+	close(h.done)
+}
+
+// Config bounds a window: it closes at MaxBatch admitted points or
+// MaxDelay after the window opened, whichever comes first.
+type Config struct {
+	// MaxBatch is the window's point capacity k (values < 1 mean 1, which
+	// disables coalescing: every add executes alone).
+	MaxBatch int
+	// MaxDelay is the longest an open window waits for more points before
+	// executing anyway (≤ 0: never wait — the window executes as soon as
+	// the queue is momentarily empty).
+	MaxDelay time.Duration
+	// QueueDepth bounds the admission queue; submissions past it block
+	// (closed-loop backpressure). Values < 1 select a default of 1024.
+	QueueDepth int
+}
+
+func (c Config) normalized() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.MaxDelay < 0 {
+		c.MaxDelay = 0
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+type subKind int
+
+const (
+	subAdd subKind = iota
+	subDelete
+	subFlush
+	subStop
+)
+
+type submission struct {
+	kind    subKind
+	point   dataset.Point
+	indices []int
+	h       *Handle
+	flushed chan struct{}
+}
+
+// Coalescer is the admission queue plus its drainer goroutine. Construct
+// with New; Close stops the drainer after executing everything admitted.
+type Coalescer struct {
+	exec Executor
+	cfg  Config
+	subs chan submission
+
+	mu      sync.RWMutex
+	closed  bool
+	stopped chan struct{}
+
+	// pts is the drainer's window scratch: the point-slice header handed
+	// to ExecAdd, reused across windows. Safe because the drainer executes
+	// one window at a time and executors do not retain the slice (the
+	// session copies what it keeps); the Point values inside are the
+	// per-submission clones, never reused.
+	pts []dataset.Point
+}
+
+// New starts a coalescer draining into exec under cfg's window bounds.
+func New(exec Executor, cfg Config) *Coalescer {
+	c := &Coalescer{
+		exec:    exec,
+		cfg:     cfg.normalized(),
+		stopped: make(chan struct{}),
+	}
+	c.subs = make(chan submission, c.cfg.QueueDepth)
+	go c.run()
+	return c
+}
+
+// SubmitAdd admits one point and returns its future. The point is executed
+// inside the window it lands in, in admitted order; the handle resolves
+// with the window's version and the point's attributed value.
+func (c *Coalescer) SubmitAdd(p dataset.Point) *Handle {
+	return c.submit(submission{kind: subAdd, point: p.Clone(), h: newHandle()})
+}
+
+// SubmitDelete admits a delete barrier: the open window executes first,
+// then the delete runs alone. Indices are interpreted against the state
+// after every previously admitted update has applied.
+func (c *Coalescer) SubmitDelete(indices []int) *Handle {
+	return c.submit(submission{
+		kind:    subDelete,
+		indices: append([]int(nil), indices...),
+		h:       newHandle(),
+	})
+}
+
+func (c *Coalescer) submit(sub submission) *Handle {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		sub.h.fail(ErrClosed)
+		return sub.h
+	}
+	c.subs <- sub
+	return sub.h
+}
+
+// Flush blocks until every submission admitted before the call has
+// executed. On a closed coalescer it returns immediately (Close already
+// drained everything).
+func (c *Coalescer) Flush() error {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil
+	}
+	flushed := make(chan struct{})
+	c.subs <- submission{kind: subFlush, flushed: flushed}
+	c.mu.RUnlock()
+	<-flushed
+	return nil
+}
+
+// Close executes everything already admitted, stops the drainer, and fails
+// later submissions with ErrClosed. Safe to call more than once.
+func (c *Coalescer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.stopped
+		return nil
+	}
+	c.closed = true
+	// Send the stop token while still holding the write lock: no reader
+	// can be mid-send (submit holds the read lock across its send), so the
+	// token is guaranteed to be the queue's last element.
+	c.subs <- submission{kind: subStop}
+	c.mu.Unlock()
+	<-c.stopped
+	return nil
+}
+
+// run is the drainer: the single goroutine that owns window state and
+// executes every admitted update in order.
+func (c *Coalescer) run() {
+	defer close(c.stopped)
+	var window []submission
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	disarm := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timerC = nil, nil
+		}
+	}
+	closeWindow := func() {
+		disarm()
+		if len(window) == 0 {
+			return
+		}
+		c.execWindow(window)
+		window = window[:0]
+	}
+	// barrier handles the non-add submission kinds. Callers close the open
+	// window first. Returns true when the drainer should stop.
+	barrier := func(sub submission) bool {
+		switch sub.kind {
+		case subDelete:
+			c.execDelete(sub)
+		case subFlush:
+			close(sub.flushed)
+		case subStop:
+			return true
+		}
+		return false
+	}
+	for {
+		select {
+		case sub := <-c.subs:
+			if sub.kind != subAdd {
+				closeWindow()
+				if barrier(sub) {
+					return
+				}
+				continue
+			}
+			window = append(window, sub)
+			// Greedily absorb whatever is already queued, up to capacity:
+			// under load the window fills from the backlog without paying
+			// the MaxDelay latency.
+		greedy:
+			for len(window) < c.cfg.MaxBatch {
+				select {
+				case sub2 := <-c.subs:
+					if sub2.kind == subAdd {
+						window = append(window, sub2)
+						continue
+					}
+					closeWindow()
+					if barrier(sub2) {
+						return
+					}
+					continue greedy
+				default:
+					break greedy
+				}
+			}
+			switch {
+			case len(window) >= c.cfg.MaxBatch:
+				closeWindow()
+			case c.cfg.MaxDelay <= 0:
+				// Never wait: the queue is momentarily empty, execute now.
+				closeWindow()
+			case timerC == nil && len(window) > 0:
+				timer = time.NewTimer(c.cfg.MaxDelay)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer, timerC = nil, nil
+			closeWindow()
+		}
+	}
+}
+
+// execWindow runs one closed window through the executor and resolves its
+// futures with their per-point attribution.
+func (c *Coalescer) execWindow(window []submission) {
+	pts := c.pts[:0]
+	for _, sub := range window {
+		pts = append(pts, sub.point)
+	}
+	c.pts = pts
+	b, err := c.exec.ExecAdd(pts)
+	if err != nil {
+		for _, sub := range window {
+			sub.h.fail(err)
+		}
+		return
+	}
+	for i, sub := range window {
+		res := Result{
+			Version: b.Version,
+			Algo:    b.Algo,
+			Window:  len(window),
+			Index:   b.Base + i,
+		}
+		if i < len(b.Values) {
+			res.Value = b.Values[i]
+		}
+		sub.h.resolve(res)
+	}
+}
+
+// execDelete runs one delete barrier.
+func (c *Coalescer) execDelete(sub submission) {
+	b, err := c.exec.ExecDelete(sub.indices)
+	if err != nil {
+		sub.h.fail(err)
+		return
+	}
+	sub.h.resolve(Result{Version: b.Version, Algo: b.Algo, Window: 1, Index: -1})
+}

@@ -1,0 +1,315 @@
+package coalesce
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dynshap/internal/dataset"
+)
+
+// recordingExec is a deterministic fake store: it records every executed
+// window in order and attributes each added point its arrival label.
+type recordingExec struct {
+	mu      sync.Mutex
+	version int
+	n       int
+	windows [][]dataset.Point
+	deletes [][]int
+	failAdd error
+}
+
+func (e *recordingExec) ExecAdd(points []dataset.Point) (Batch, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.failAdd != nil {
+		return Batch{}, e.failAdd
+	}
+	e.version++
+	base := e.n
+	e.n += len(points)
+	cp := make([]dataset.Point, len(points))
+	vals := make([]float64, len(points))
+	for i, p := range points {
+		cp[i] = p.Clone()
+		vals[i] = p.X[0]
+	}
+	e.windows = append(e.windows, cp)
+	return Batch{Version: e.version, Algo: "fake-batch", Base: base, Values: vals}, nil
+}
+
+func (e *recordingExec) ExecDelete(indices []int) (Batch, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.version++
+	e.n -= len(indices)
+	e.deletes = append(e.deletes, append([]int(nil), indices...))
+	return Batch{Version: e.version, Algo: "fake-delete"}, nil
+}
+
+func pt(label float64) dataset.Point { return dataset.Point{X: []float64{label}, Y: 0} }
+
+// TestWindowFillsToMaxBatch: k sequential submissions from one goroutine
+// coalesce into windows of at most MaxBatch, in admitted order, and every
+// future resolves with its own attribution and post-window index.
+func TestWindowFillsToMaxBatch(t *testing.T) {
+	exec := &recordingExec{}
+	c := New(exec, Config{MaxBatch: 4, MaxDelay: time.Hour})
+	defer c.Close()
+
+	const total = 10
+	handles := make([]*Handle, total)
+	for i := range handles {
+		handles[i] = c.SubmitAdd(pt(float64(i)))
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("handle %d: %v", i, err)
+		}
+		if res.Value != float64(i) {
+			t.Fatalf("handle %d resolved with value %g, want %g", i, res.Value, float64(i))
+		}
+		if res.Index != i {
+			t.Fatalf("handle %d resolved with index %d, want %d", i, res.Index, i)
+		}
+		if res.Algo != "fake-batch" {
+			t.Fatalf("handle %d algo %q", i, res.Algo)
+		}
+	}
+	// Admitted order must survive windowing: concatenating the windows
+	// reproduces the submission sequence exactly.
+	var labels []float64
+	for _, w := range exec.windows {
+		if len(w) > 4 {
+			t.Fatalf("window of %d points exceeds MaxBatch 4", len(w))
+		}
+		for _, p := range w {
+			labels = append(labels, p.X[0])
+		}
+	}
+	if len(labels) != total {
+		t.Fatalf("executed %d points, admitted %d", len(labels), total)
+	}
+	for i, l := range labels {
+		if l != float64(i) {
+			t.Fatalf("executed order %v does not match admitted order", labels)
+		}
+	}
+}
+
+// TestTimerClosesWindow: a lone submission executes after MaxDelay even
+// though the window never fills.
+func TestTimerClosesWindow(t *testing.T) {
+	exec := &recordingExec{}
+	c := New(exec, Config{MaxBatch: 64, MaxDelay: 5 * time.Millisecond})
+	defer c.Close()
+
+	h := c.SubmitAdd(pt(7))
+	select {
+	case <-h.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("window never closed on the delay timer")
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Window != 1 || res.Value != 7 {
+		t.Fatalf("got %+v, want window 1 value 7", res)
+	}
+}
+
+// TestDeleteIsBarrier: a delete closes the open window, executes the
+// pending adds first, then runs alone.
+func TestDeleteIsBarrier(t *testing.T) {
+	exec := &recordingExec{}
+	c := New(exec, Config{MaxBatch: 64, MaxDelay: time.Hour})
+	defer c.Close()
+
+	a := c.SubmitAdd(pt(1))
+	b := c.SubmitAdd(pt(2))
+	d := c.SubmitDelete([]int{0})
+	res, err := d.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != -1 || res.Algo != "fake-delete" {
+		t.Fatalf("delete resolved with %+v", res)
+	}
+	// The adds must have executed before the delete.
+	for _, h := range []*Handle{a, b} {
+		select {
+		case <-h.Done():
+		default:
+			t.Fatal("add future unresolved after the delete barrier resolved")
+		}
+	}
+	exec.mu.Lock()
+	defer exec.mu.Unlock()
+	if len(exec.windows) != 1 || len(exec.windows[0]) != 2 {
+		t.Fatalf("windows %v, want one window of 2", exec.windows)
+	}
+	if len(exec.deletes) != 1 {
+		t.Fatalf("deletes %v, want one", exec.deletes)
+	}
+}
+
+// TestExecErrorFailsEveryFuture: an executor error propagates to every
+// future in the window, and the coalescer keeps serving afterwards.
+func TestExecErrorFailsEveryFuture(t *testing.T) {
+	boom := errors.New("boom")
+	exec := &recordingExec{failAdd: boom}
+	c := New(exec, Config{MaxBatch: 2, MaxDelay: time.Hour})
+	defer c.Close()
+
+	a := c.SubmitAdd(pt(1))
+	b := c.SubmitAdd(pt(2))
+	for _, h := range []*Handle{a, b} {
+		if _, err := h.Wait(); !errors.Is(err, boom) {
+			t.Fatalf("got %v, want boom", err)
+		}
+	}
+	exec.mu.Lock()
+	exec.failAdd = nil
+	exec.mu.Unlock()
+	ok := c.SubmitAdd(pt(3))
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := ok.Wait(); err != nil || res.Value != 3 {
+		t.Fatalf("post-error submit: %+v, %v", res, err)
+	}
+}
+
+// TestCloseDrainsAndRejects: Close executes everything admitted, later
+// submissions fail with ErrClosed, Flush on a closed coalescer is a no-op.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	exec := &recordingExec{}
+	c := New(exec, Config{MaxBatch: 64, MaxDelay: time.Hour})
+	h := c.SubmitAdd(pt(1))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatalf("pre-close submission failed: %v", err)
+	}
+	if _, err := c.SubmitAdd(pt(2)).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close submit: %v, want ErrClosed", err)
+	}
+	if _, err := c.SubmitDelete([]int{0}).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close delete: %v, want ErrClosed", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSubmitters: many goroutines submit concurrently; every
+// future resolves with its own label, no point is lost or duplicated, and
+// windows respect MaxBatch.
+func TestConcurrentSubmitters(t *testing.T) {
+	exec := &recordingExec{}
+	c := New(exec, Config{MaxBatch: 8, MaxDelay: time.Millisecond})
+	defer c.Close()
+
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				label := float64(w*perWriter + i)
+				res, err := c.SubmitAdd(pt(label)).Wait()
+				if err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				if res.Value != label {
+					errs <- fmt.Errorf("writer %d: value %g, want %g", w, res.Value, label)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	exec.mu.Lock()
+	defer exec.mu.Unlock()
+	seen := make(map[float64]bool)
+	for _, w := range exec.windows {
+		if len(w) > 8 {
+			t.Fatalf("window of %d exceeds MaxBatch 8", len(w))
+		}
+		for _, p := range w {
+			if seen[p.X[0]] {
+				t.Fatalf("point %g executed twice", p.X[0])
+			}
+			seen[p.X[0]] = true
+		}
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("executed %d distinct points, admitted %d", len(seen), writers*perWriter)
+	}
+}
+
+// TestMaxBatchOneDisablesCoalescing: every add executes alone.
+func TestMaxBatchOneDisablesCoalescing(t *testing.T) {
+	exec := &recordingExec{}
+	c := New(exec, Config{MaxBatch: 1, MaxDelay: time.Hour})
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		c.SubmitAdd(pt(float64(i)))
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	exec.mu.Lock()
+	defer exec.mu.Unlock()
+	if len(exec.windows) != 5 {
+		t.Fatalf("got %d windows, want 5 singletons", len(exec.windows))
+	}
+	for _, w := range exec.windows {
+		if len(w) != 1 {
+			t.Fatalf("window of %d points with MaxBatch 1", len(w))
+		}
+	}
+}
+
+// TestFlushWaitsForAdmitted: Flush returns only after everything admitted
+// before it has executed.
+func TestFlushWaitsForAdmitted(t *testing.T) {
+	exec := &recordingExec{}
+	c := New(exec, Config{MaxBatch: 64, MaxDelay: time.Hour})
+	defer c.Close()
+	handles := make([]*Handle, 10)
+	for i := range handles {
+		handles[i] = c.SubmitAdd(pt(float64(i)))
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range handles {
+		select {
+		case <-h.Done():
+		default:
+			t.Fatalf("handle %d unresolved after Flush returned", i)
+		}
+	}
+}

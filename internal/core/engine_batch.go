@@ -44,6 +44,60 @@ import (
 // would couple the k points' budgets (they share permutations), so a
 // batch always spends its full τ. Stats report Issued == Budget.
 
+// batchScratch holds the batched walks' cached buffers (see the Engine
+// field's doc for the ownership argument).
+type batchScratch struct {
+	perm  []int
+	utils []float64
+	dsv   [][]float64
+	rsv   [][]float64
+	dlsv  [][]float64
+	steps []pivotBatchStep
+
+	deltaSlots []*deltaBatchChunk
+	pivotSlots []*pivotBatchChunk
+}
+
+// reuseInts returns a length-n int buffer, reusing s's storage when it
+// fits. Contents are unspecified — callers overwrite before reading.
+func reuseInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// reuseFloats is reuseInts for float64 buffers.
+func reuseFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// zeroMat returns a k×n matrix of zeroed accumulators, reusing *dst's
+// rows when they fit.
+func zeroMat(dst *[][]float64, k, n int) [][]float64 {
+	m := *dst
+	if cap(m) < k {
+		grown := make([][]float64, k)
+		copy(grown, m[:cap(m)])
+		m = grown
+	} else {
+		m = m[:k]
+	}
+	for j := range m {
+		if cap(m[j]) < n {
+			m[j] = make([]float64, n)
+		} else {
+			m[j] = m[j][:n]
+			clear(m[j])
+		}
+	}
+	*dst = m
+	return m
+}
+
 // BatchDeltaAdd runs the batched delta addition (Algorithm 5 generalised
 // to k pending points): gPlus is the (n+k)-player updated game whose last
 // k players are the pending points in arrival order, oldSV the n
@@ -70,10 +124,7 @@ func (e *Engine) BatchDeltaAdd(gPlus game.Game, oldSV []float64, k, tau int, r *
 	for j := 0; j < k; j++ {
 		uPivot[j] = gPlus.Value(bitset.FromIndices(m, n+j))
 	}
-	dsv := make([][]float64, k)
-	for j := range dsv {
-		dsv[j] = make([]float64, n)
-	}
+	dsv := zeroMat(&e.scratch.dsv, k, n)
 	newSV := make([]float64, k)
 	// Extra heads mirror the Shapley batch semantics: each pending point's
 	// head differential is measured against the shared n-player no-pivot
@@ -93,8 +144,9 @@ func (e *Engine) BatchDeltaAdd(gPlus game.Game, oldSV []float64, k, tau int, r *
 	if workers == 1 {
 		wBase := newPrefixWalker(gPlus)
 		wWith := newPrefixWalker(gPlus)
-		perm := make([]int, n)
-		utils := make([]float64, n)
+		perm := reuseInts(e.scratch.perm, n)
+		utils := reuseFloats(e.scratch.utils, n)
+		e.scratch.perm, e.scratch.utils = perm, utils
 		for t := 0; t < tau; t++ {
 			r.Perm(perm)
 			wBase.reset()
@@ -187,17 +239,21 @@ type deltaBatchChunk struct {
 // accumulation order — and therefore every bit — matches the serial path.
 func (e *Engine) runDeltaBatchStriped(gPlus game.Game, n, k, tau int, r *rng.Source, uEmpty float64, uPivot []float64, dsv [][]float64, newSV []float64, hsums []*addHeadSums, workers int) {
 	const depth = 2
-	slots := make([]*deltaBatchChunk, depth)
-	for s := range slots {
-		c := &deltaBatchChunk{
-			perms: make([][]int, e.chunk),
-			utils: make([][]float64, e.chunk),
+	if e.scratch.deltaSlots == nil {
+		e.scratch.deltaSlots = make([]*deltaBatchChunk, depth)
+		for s := range e.scratch.deltaSlots {
+			e.scratch.deltaSlots[s] = &deltaBatchChunk{
+				perms: make([][]int, e.chunk),
+				utils: make([][]float64, e.chunk),
+			}
 		}
+	}
+	slots := e.scratch.deltaSlots
+	for _, c := range slots {
 		for p := 0; p < e.chunk; p++ {
-			c.perms[p] = make([]int, n)
-			c.utils[p] = make([]float64, n)
+			c.perms[p] = reuseInts(c.perms[p], n)
+			c.utils[p] = reuseFloats(c.utils[p], n)
 		}
-		slots[s] = c
 	}
 
 	chans := make([]chan *deltaBatchChunk, workers)
@@ -302,12 +358,8 @@ func (e *Engine) BatchAddSame(st *PivotState, gPlus game.Game, k int, rs []*rng.
 	// multi-head update here).
 	e.headVals = nil
 
-	rsv := make([][]float64, k)
-	dlsv := make([][]float64, k)
-	for j := range rsv {
-		rsv[j] = make([]float64, m)
-		dlsv[j] = make([]float64, m)
-	}
+	rsv := zeroMat(&e.scratch.rsv, k, m)
+	dlsv := zeroMat(&e.scratch.dlsv, k, m)
 	probe := newPrefixWalker(gPlus)
 	var uEmpty float64
 	if probe.incremental() {
@@ -317,7 +369,7 @@ func (e *Engine) BatchAddSame(st *PivotState, gPlus game.Game, k int, rs []*rng.
 	start := time.Now()
 	var updates int64
 	if workers == 1 {
-		steps := make([]pivotBatchStep, k)
+		steps := reuseSteps(&e.scratch.steps, k)
 		for t := range st.perms {
 			e.evolvePivotPerm(st, t, n, k, rs, steps)
 			for j := 0; j < k; j++ {
@@ -350,16 +402,43 @@ func (e *Engine) BatchAddSame(st *PivotState, gPlus game.Game, k int, rs []*rng.
 	return append([]float64(nil), sv...), nil
 }
 
+// reuseSteps returns a length-k step buffer, reusing *dst's entries (and
+// through them the per-step perm buffers evolvePivotPerm recycles).
+func reuseSteps(dst *[]pivotBatchStep, k int) []pivotBatchStep {
+	s := *dst
+	if cap(s) < k {
+		grown := make([]pivotBatchStep, k)
+		copy(grown, s[:cap(s)])
+		s = grown
+	} else {
+		s = s[:k]
+	}
+	*dst = s
+	return s
+}
+
 // evolvePivotPerm threads stored permutation t through all k pivot
 // insertions, recording one step per pending point, and installs the
 // final permutation and slot back into the state — exactly what k
 // successive AddSame iterations over this permutation do. It consumes one
 // Intn draw from each source, in arrival order.
+//
+// Each step's perm buffer is recycled from the previous call (steps
+// buffers are single-owner: the serial loop and the chunk slots both
+// drain a step's walk before re-evolving into it), so the k insertions
+// cost zero steady-state allocations. The final permutation is COPIED
+// into the state — st.perms[t] is freshly cloned by the session for this
+// update and must outlive the recycled buffers.
 func (e *Engine) evolvePivotPerm(st *PivotState, t, n, k int, rs []*rng.Source, steps []pivotBatchStep) {
 	cur := st.perms[t]
 	tslot := st.slots[t]
 	for j := 0; j < k; j++ {
-		pj := make([]int, 0, len(cur)+1)
+		pj := steps[j].perm
+		if cap(pj) < len(cur)+1 {
+			pj = make([]int, 0, len(cur)+1)
+		} else {
+			pj = pj[:0]
+		}
 		pj = append(pj, cur[:tslot]...)
 		pj = append(pj, n+j)
 		pj = append(pj, cur[tslot:]...)
@@ -367,7 +446,7 @@ func (e *Engine) evolvePivotPerm(st *PivotState, t, n, k int, rs []*rng.Source, 
 		steps[j] = pivotBatchStep{perm: pj, tslot: tslot, next: next}
 		cur, tslot = pj, next
 	}
-	st.perms[t] = cur
+	st.perms[t] = append(st.perms[t][:0], cur...)
 	st.slots[t] = tslot
 }
 
@@ -397,13 +476,17 @@ func pivotBatchWalk(w *prefixWalker, s pivotBatchStep, uEmpty float64, rsv, dlsv
 // so the result is bit-identical to the serial path.
 func (e *Engine) runPivotBatchStriped(st *PivotState, gPlus game.Game, n, k int, rs []*rng.Source, uEmpty float64, rsv, dlsv [][]float64, workers int) int64 {
 	const depth = 2
-	slots := make([]*pivotBatchChunk, depth)
-	for s := range slots {
-		c := &pivotBatchChunk{steps: make([][]pivotBatchStep, e.chunk)}
-		for p := 0; p < e.chunk; p++ {
-			c.steps[p] = make([]pivotBatchStep, k)
+	if e.scratch.pivotSlots == nil {
+		e.scratch.pivotSlots = make([]*pivotBatchChunk, depth)
+		for s := range e.scratch.pivotSlots {
+			e.scratch.pivotSlots[s] = &pivotBatchChunk{steps: make([][]pivotBatchStep, e.chunk)}
 		}
-		slots[s] = c
+	}
+	slots := e.scratch.pivotSlots
+	for _, c := range slots {
+		for p := 0; p < e.chunk; p++ {
+			c.steps[p] = reuseSteps(&c.steps[p], k)
+		}
 	}
 
 	counts := make([]int64, workers)

@@ -67,6 +67,17 @@ func (d *Dataset) Clone() *Dataset {
 	return &Dataset{Points: pts, Classes: d.Classes}
 }
 
+// View returns a structurally independent copy of the dataset: a fresh
+// Points slice sharing the points' feature storage with the receiver.
+// Appending to or reordering the view never affects the receiver, but
+// mutating a point's X in place would — the right derivation for
+// read-only consumers on hot paths (see Append's immutability argument).
+func (d *Dataset) View() *Dataset {
+	pts := make([]Point, len(d.Points))
+	copy(pts, d.Points)
+	return &Dataset{Points: pts, Classes: d.Classes}
+}
+
 // Subset returns a new dataset holding clones of the points at the given
 // indices, in the given order.
 func (d *Dataset) Subset(indices []int) *Dataset {
@@ -77,10 +88,20 @@ func (d *Dataset) Subset(indices []int) *Dataset {
 	return &Dataset{Points: pts, Classes: d.Classes}
 }
 
-// Append returns a new dataset with the given points appended. The receiver
-// is not modified; label space grows if needed.
+// Append returns a new dataset with the given points appended. The
+// receiver is not modified. The surviving points' feature vectors are
+// SHARED with the receiver — derived datasets follow the library's
+// immutable-state discipline (no code path mutates a published point's X
+// in place; Shuffle only swaps whole Point structs and Standardize is
+// called on freshly generated data before any derivation), so deep-
+// cloning n vectors for an O(k)-sized update would be pure allocation
+// overhead on the hottest write path. The appended points themselves ARE
+// cloned: the caller may own and reuse their storage. Callers that
+// intend to mutate features must Clone first.
 func (d *Dataset) Append(points ...Point) *Dataset {
-	nd := d.Clone()
+	pts := make([]Point, len(d.Points), len(d.Points)+len(points))
+	copy(pts, d.Points)
+	nd := &Dataset{Points: pts, Classes: d.Classes}
 	for _, p := range points {
 		nd.Points = append(nd.Points, p.Clone())
 		if p.Y+1 > nd.Classes {
@@ -91,6 +112,8 @@ func (d *Dataset) Append(points ...Point) *Dataset {
 }
 
 // Remove returns a new dataset without the points at the given indices.
+// Like Append, the survivors' feature vectors are shared with the
+// receiver, not cloned.
 func (d *Dataset) Remove(indices ...int) *Dataset {
 	gone := make(map[int]bool, len(indices))
 	for _, i := range indices {
@@ -99,7 +122,7 @@ func (d *Dataset) Remove(indices ...int) *Dataset {
 	pts := make([]Point, 0, len(d.Points)-len(gone))
 	for i, p := range d.Points {
 		if !gone[i] {
-			pts = append(pts, p.Clone())
+			pts = append(pts, p)
 		}
 	}
 	return &Dataset{Points: pts, Classes: d.Classes}

@@ -59,6 +59,13 @@ type Update struct {
 	// consume it: head folds are deterministic bookkeeping over the same
 	// walks, so re-running the operation reproduces every head bit for bit.
 	HeadValues map[string][]float64 `json:"head_values,omitempty"`
+	// Coalesced reports that the update arrived through the session's
+	// write-coalescing pipeline: the recorded Points are one admission
+	// window (adds) or one barrier (deletes), not a single caller's batch.
+	// Replay does not consume it — the executed operation is identical
+	// either way — but auditors reading the journal see which records were
+	// window-shaped by traffic timing rather than by a caller.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// RemovedValues holds the pre-delete Shapley values of the removed
 	// points, aligned with Indices (exact k-NN deletions only, where the
 	// estimator knows every point's exact value at removal time). Replay

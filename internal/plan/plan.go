@@ -105,6 +105,12 @@ type Request struct {
 	// Indices holds the deletion indices (OpDelete only), in the current
 	// numbering.
 	Indices []int
+	// Coalesced marks a request assembled by the write-coalescing drainer:
+	// Count points from independent submitters sharing one admission
+	// window. Purely informational — the planner prices the window like
+	// any other batch — but the trace records it so journal readers see
+	// why a multi-point add exists without a multi-point caller.
+	Coalesced bool
 }
 
 // Artifacts describes the dynamic-update state the session retained. Nil
@@ -185,6 +191,9 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 	}
 	if b.Truncation > 0 {
 		note("stratified truncation active: recomputation walks stop at t=%d positions (arXiv 2311.05346)", b.Truncation)
+	}
+	if req.Coalesced {
+		note("coalesced admission window: %d point(s) from independent submitters batched by the write pipeline", req.Count)
 	}
 	// Recomputation honours the engine's truncation; the incremental paths
 	// walk full permutations by construction.

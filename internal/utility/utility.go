@@ -327,14 +327,15 @@ func (u *ModelUtility) Test() *dataset.Dataset { return u.test.Clone() }
 
 // Append returns a new ModelUtility over the training set extended with the
 // given points (the N⁺ view of the addition algorithms). The receiver is
-// unchanged; the test set is cloned — matching NewModelUtility's isolation
-// guarantee — and the trainer and options carry over.
+// unchanged; the derived train/test datasets are structurally independent
+// views sharing the points' immutable feature storage, and the trainer
+// and options carry over.
 // The kernel rides along with one O(m·d) column append per point instead
 // of an O(m·n·d) rebuild.
 func (u *ModelUtility) Append(points ...dataset.Point) *ModelUtility {
 	nu := &ModelUtility{
 		train:      u.train.Append(points...),
-		test:       u.test.Clone(),
+		test:       u.test.View(),
 		trainer:    u.trainer,
 		knnK:       u.knnK,
 		soft:       u.soft,
@@ -351,14 +352,15 @@ func (u *ModelUtility) Append(points ...dataset.Point) *ModelUtility {
 
 // Remove returns a new ModelUtility over the training set without the
 // points at the given indices (the N⁻ view of the deletion algorithms).
-// Like Append, the test set is cloned so the derived utility shares no
-// mutable state with the receiver.
+// Like Append, the derived utility is structurally independent of the
+// receiver (fresh train/test slices; nothing either does affects the
+// other) while sharing the points' immutable feature storage.
 // The kernel is masked, not rebuilt: surviving columns keep their storage
 // and only the logical index map shrinks.
 func (u *ModelUtility) Remove(indices ...int) *ModelUtility {
 	nu := &ModelUtility{
 		train:      u.train.Remove(indices...),
-		test:       u.test.Clone(),
+		test:       u.test.View(),
 		trainer:    u.trainer,
 		knnK:       u.knnK,
 		soft:       u.soft,

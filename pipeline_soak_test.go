@@ -1,0 +1,132 @@
+package dynshap
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSoakConcurrentPipeline is the pipeline's race/soak gate: N writers
+// hammer SubmitAdd while M readers spin on the versioned store and a
+// replayer periodically reconstructs the session from its own journal
+// mid-traffic. It asserts the two invariants the async API promises:
+//
+//  1. Reads are always coherent — a reader never observes a value vector
+//     whose length falls outside what any published version could hold.
+//  2. The final store is bit-identical to a fresh session replaying the
+//     journal: whatever window boundaries timing produced, the executed
+//     (operation, inputs) sequence fully determines the state.
+//
+// Run under -race this also proves the coalescer/store handoff is
+// data-race free.
+func TestSoakConcurrentPipeline(t *testing.T) {
+	const (
+		n          = 24
+		numWriters = 6
+		addsPer    = 6
+		numReaders = 3
+	)
+	s := newTestSession(t, n, WithUpdateSamples(40), WithKeepPermutations(),
+		WithCoalescing(4, time.Millisecond))
+	if err := s.Init(); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	baseN := s.N()
+
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	errs := make(chan error, numWriters+numReaders+1)
+
+	pts := batchTestPoints(numWriters*addsPer, 4)
+	for w := 0; w < numWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < addsPer; i++ {
+				h := s.SubmitAdd(pts[w*addsPer+i])
+				if _, err := h.Wait(); err != nil {
+					errs <- fmt.Errorf("writer %d add %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	var readerWG sync.WaitGroup
+	for r := 0; r < numReaders; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for !done.Load() {
+				vals := s.Values()
+				if len(vals) < baseN || len(vals) > baseN+numWriters*addsPer {
+					errs <- fmt.Errorf("reader observed %d values outside [%d, %d]",
+						len(vals), baseN, baseN+numWriters*addsPer)
+					return
+				}
+				_ = s.Rank()
+				_ = s.TopK(3)
+			}
+		}()
+	}
+
+	// Replayer: periodically reconstruct the session's current version
+	// from the journal while updates are still landing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			time.Sleep(2 * time.Millisecond)
+			v := s.Version()
+			rs, err := s.ReplayTo(v)
+			if err != nil {
+				errs <- fmt.Errorf("mid-traffic ReplayTo(%d): %w", v, err)
+				return
+			}
+			if got := rs.Version(); got != v {
+				errs <- fmt.Errorf("mid-traffic replay version %d, want %d", got, v)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	// One delete barrier through the same pipeline for coverage.
+	if _, err := s.SubmitDelete([]int{0}).Wait(); err != nil {
+		t.Fatalf("SubmitDelete: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	done.Store(true)
+	readerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := s.N(); got != baseN+numWriters*addsPer-1 {
+		t.Fatalf("final N = %d, want %d", got, baseN+numWriters*addsPer-1)
+	}
+
+	// The bit-identity gate: a fresh session replaying the journal must
+	// land on exactly the published state.
+	replayed, err := s.ReplayTo(s.Version())
+	if err != nil {
+		t.Fatalf("final ReplayTo: %v", err)
+	}
+	if !reflect.DeepEqual(replayed.Values(), s.Values()) {
+		t.Fatal("replayed values diverge from the live store")
+	}
+	if replayed.N() != s.N() || replayed.Version() != s.Version() {
+		t.Fatalf("replayed shape (n=%d v=%d) != live (n=%d v=%d)",
+			replayed.N(), replayed.Version(), s.N(), s.Version())
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

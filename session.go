@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynshap/internal/coalesce"
 	"dynshap/internal/core"
 	"dynshap/internal/dataset"
 	"dynshap/internal/exact"
@@ -53,6 +54,11 @@ type Session struct {
 	engine *core.Engine
 	// journal records every successful mutation; safe for concurrent use.
 	journal *journal.Journal
+
+	// coalMu guards lazy construction of the write-coalescing pipeline;
+	// see async.go. coal stays nil until the first Submit* call.
+	coalMu sync.Mutex
+	coal   *coalesce.Coalescer
 }
 
 // sessionState is one immutable version of the session's valuation state.
@@ -134,6 +140,13 @@ type config struct {
 	// the Shapley estimate (Shapley itself is the native output and is
 	// normalised out of this list).
 	semivalues []semivalue.Weighting
+	// coalesceBatch / coalesceDelay / coalesceDepth bound the async write
+	// pipeline's admission windows (see WithCoalescing; zero values select
+	// the defaults in async.go). Runtime-only knobs: they never change the
+	// values an executed sequence produces, so snapshots do not carry them.
+	coalesceBatch int
+	coalesceDelay time.Duration
+	coalesceDepth int
 }
 
 // headCount is the number of extra semivalue heads the session maintains.
@@ -684,9 +697,9 @@ func (s *Session) initLocked(op string) error {
 }
 
 // planUpdate resolves AlgoAuto against the state's artifacts and budget.
-func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []int) (Algorithm, []string) {
+func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []int, coalesced bool) (Algorithm, []string) {
 	dec := plan.Plan(
-		plan.Request{Op: op, Count: count, Indices: indices},
+		plan.Request{Op: op, Count: count, Indices: indices, Coalesced: coalesced},
 		plan.Artifacts{
 			N:           st.train.Len(),
 			ExactKNN:    st.exact != nil,
@@ -749,14 +762,24 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 //   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
 //   - AlgoBase: keep old values; new points get the average old value.
 func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
+	vals, _, err := s.addJournaled(points, algo, false)
+	return vals, err
+}
+
+// addJournaled is Add plus the journal record the operation published —
+// the coalescer's executor reads per-point attribution and the produced
+// version off the record instead of racing other writers for the latest
+// history entry. coalesced marks the record (and the planner trace) as a
+// window assembled by the write pipeline rather than one caller's batch.
+func (s *Session) addJournaled(points []Point, algo Algorithm, coalesced bool) ([]float64, journal.Update, error) {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 	cur := s.state.Load()
 	if !cur.initialized {
-		return nil, ErrNotInitialized
+		return nil, journal.Update{}, ErrNotInitialized
 	}
 	if len(points) == 0 {
-		return append([]float64(nil), cur.sv...), nil
+		return append([]float64(nil), cur.sv...), journal.Update{}, nil
 	}
 	st := cur.next()
 	// Clone before any append: the maintenance hooks mutate the estimator,
@@ -770,10 +793,10 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 	requested := algo
 	var trace []string
 	if algo == AlgoAuto {
-		algo, trace = s.planUpdate(st, plan.OpAdd, len(points), nil)
+		algo, trace = s.planUpdate(st, plan.OpAdd, len(points), nil, coalesced)
 	}
 	if err := s.checkHeads(algo, 0); err != nil {
-		return nil, err
+		return nil, journal.Update{}, err
 	}
 	var ops opMetrics
 	begin := time.Now()
@@ -815,7 +838,7 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 		err = fmt.Errorf("dynshap: algorithm %v does not support additions", algo)
 	}
 	if err != nil {
-		return nil, err
+		return nil, journal.Update{}, err
 	}
 	st.storesFresh = false
 	// Batched walks attribute a value to every appended point in one pass;
@@ -838,7 +861,7 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 			headAttr[w.Key()] = append([]float64(nil), vals[len(vals)-len(points):]...)
 		}
 	}
-	s.publish(st, journal.Update{
+	u := journal.Update{
 		Version:      st.version,
 		Op:           "add",
 		Requested:    requestedName(requested, algo),
@@ -846,13 +869,15 @@ func (s *Session) Add(points []Point, algo Algorithm) ([]float64, error) {
 		Points:       points,
 		BatchValues:  batchVals,
 		HeadValues:   headAttr,
+		Coalesced:    coalesced,
 		Trainings:    st.totalFits() - startFits,
 		PrefixAdds:   st.totalPrefixAdds() - startPrefix,
 		Permutations: ops.perms,
 		Seconds:      time.Since(begin).Seconds(),
 		Decision:     trace,
-	})
-	return append([]float64(nil), st.sv...), nil
+	}
+	s.publish(st, u)
+	return append([]float64(nil), st.sv...), u, nil
 }
 
 // requestedName records the caller's algorithm only when the planner
@@ -1056,23 +1081,30 @@ func (s *Session) addDelta(st *sessionState, points []Point, r *rng.Source, ops 
 //   - AlgoKNN / AlgoKNNPlus: instant heuristics.
 //   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
 func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
+	vals, _, err := s.deleteJournaled(indices, algo, false)
+	return vals, err
+}
+
+// deleteJournaled is Delete plus the published journal record; see
+// addJournaled for why the coalescer's executor needs it.
+func (s *Session) deleteJournaled(indices []int, algo Algorithm, coalesced bool) ([]float64, journal.Update, error) {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 	cur := s.state.Load()
 	if !cur.initialized {
-		return nil, ErrNotInitialized
+		return nil, journal.Update{}, ErrNotInitialized
 	}
 	if len(indices) == 0 {
-		return append([]float64(nil), cur.sv...), nil
+		return append([]float64(nil), cur.sv...), journal.Update{}, nil
 	}
 	n := cur.train.Len()
 	seen := make(map[int]bool, len(indices))
 	for _, p := range indices {
 		if p < 0 || p >= n {
-			return nil, fmt.Errorf("dynshap: delete index %d out of range [0,%d)", p, n)
+			return nil, journal.Update{}, fmt.Errorf("dynshap: delete index %d out of range [0,%d)", p, n)
 		}
 		if seen[p] {
-			return nil, fmt.Errorf("dynshap: duplicate delete index %d", p)
+			return nil, journal.Update{}, fmt.Errorf("dynshap: duplicate delete index %d", p)
 		}
 		seen[p] = true
 	}
@@ -1087,10 +1119,10 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 	requested := algo
 	var trace []string
 	if algo == AlgoAuto {
-		algo, trace = s.planUpdate(st, plan.OpDelete, len(indices), indices)
+		algo, trace = s.planUpdate(st, plan.OpDelete, len(indices), indices, coalesced)
 	}
 	if err := s.checkHeads(algo, len(indices)); err != nil {
-		return nil, err
+		return nil, journal.Update{}, err
 	}
 
 	var ops opMetrics
@@ -1151,7 +1183,7 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 		err = fmt.Errorf("dynshap: algorithm %v does not support deletions", algo)
 	}
 	if err != nil {
-		return nil, err
+		return nil, journal.Update{}, err
 	}
 
 	// Exact deletes journal the departing points' pre-delete exact values
@@ -1198,7 +1230,7 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 		// the removal; its reduction IS the survivors' values, already in
 		// the compacted numbering.
 		if st.exact == nil {
-			return nil, ErrExactUnavailable
+			return nil, journal.Update{}, ErrExactUnavailable
 		}
 		st.sv = st.exact.Values()
 	}
@@ -1206,20 +1238,22 @@ func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 	st.del = nil
 	st.multi = nil
 	st.storesFresh = false
-	s.publish(st, journal.Update{
+	u := journal.Update{
 		Version:       st.version,
 		Op:            "delete",
 		Requested:     requestedName(requested, algo),
 		Algo:          algo.String(),
 		Indices:       indices,
 		RemovedValues: removedVals,
+		Coalesced:     coalesced,
 		Trainings:     st.totalFits() - startFits,
 		PrefixAdds:    st.totalPrefixAdds() - startPrefix,
 		Permutations:  ops.perms,
 		Seconds:       time.Since(begin).Seconds(),
 		Decision:      trace,
-	})
-	return append([]float64(nil), st.sv...), nil
+	}
+	s.publish(st, u)
+	return append([]float64(nil), st.sv...), u, nil
 }
 
 func (s *Session) deleteYNNN(st *sessionState, indices []int) ([]float64, [][]float64, error) {
@@ -1397,6 +1431,20 @@ func (s *Session) ReplayTo(version int) (*Session, error) {
 	return s2, nil
 }
 
+// ApplyRecord re-executes one journaled update against the live session —
+// the restart path for servers that persist a snapshot plus a journal
+// tail: Resume the snapshot, then ApplyRecord each tail entry in version
+// order. The record's Version must extend the session's journal
+// contiguously (Append enforces it), and the re-executed operation is
+// bit-identical to the original because its randomness is keyed by
+// (seed, version).
+func (s *Session) ApplyRecord(u UpdateRecord) error {
+	if want := s.Version() + 1; u.Version != want {
+		return fmt.Errorf("dynshap: record version %d does not extend session version %d", u.Version, want-1)
+	}
+	return s.applyRecord(u)
+}
+
 // applyRecord re-executes one journaled update.
 func (s *Session) applyRecord(u UpdateRecord) error {
 	switch u.Op {
@@ -1409,14 +1457,14 @@ func (s *Session) applyRecord(u UpdateRecord) error {
 		if err != nil {
 			return err
 		}
-		_, err = s.Add(u.Points, algo)
+		_, _, err = s.addJournaled(u.Points, algo, u.Coalesced)
 		return err
 	case "delete":
 		algo, err := ParseAlgorithm(u.Algo)
 		if err != nil {
 			return err
 		}
-		_, err = s.Delete(u.Indices, algo)
+		_, _, err = s.deleteJournaled(u.Indices, algo, u.Coalesced)
 		return err
 	default:
 		return fmt.Errorf("unknown journal op %q", u.Op)
