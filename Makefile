@@ -46,6 +46,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzExactKNNEquality -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzSemivalueHeadEquality -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzBatchSequentialEquality -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzBatchDeleteSequentialEquality -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzStoreBackendEquality -fuzztime 10s ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s ./internal/dataset/
 
@@ -78,11 +79,14 @@ bench-large:
 bench-mem:
 	$(GO) test -run TestSpillStoreMemorySmoke -count=1 -v ./internal/core/
 
-# Serving smoke for CI (~2s): boot dynshapd on a local port, drive it over
-# HTTP with a short closed-loop loadgen run (small n), then round-trip the
-# p50/p99 snapshot through `benchsnap diff` against itself — proving the
-# server binary boots, the HTTP session lifecycle works end to end, and the
-# latency/throughput schema still parses and gates. Blocking, seconds to run.
+# Serving smoke for CI (~4s): boot dynshapd on a local port, drive it over
+# HTTP with two short closed-loop loadgen runs — adds-only, then mixed
+# add/delete churn (-deletes 0.25, exercising the coalescer's delete
+# windows and the del-p50/p99 schema) — then round-trip the combined
+# snapshot through `benchsnap diff` against itself — proving the server
+# binary boots, the HTTP session lifecycle works end to end for both
+# update kinds, and the latency/throughput schema still parses and gates.
+# Blocking, seconds to run.
 loadgen-smoke:
 	$(GO) build -o /tmp/dynshapd-smoke ./cmd/dynshapd
 	@set -e; \
@@ -96,7 +100,11 @@ loadgen-smoke:
 	$(GO) run ./cmd/loadgen -addr 127.0.0.1:18089 -duration 1s \
 		-n 60 -samples 60 -update-samples 30 -writers 4 -readers 1 \
 		-o /tmp/loadgen-smoke.json; \
-	$(GO) run ./cmd/benchsnap diff /tmp/loadgen-smoke.json /tmp/loadgen-smoke.json
+	$(GO) run ./cmd/loadgen -addr 127.0.0.1:18089 -duration 1s \
+		-n 60 -samples 60 -update-samples 30 -writers 4 -readers 1 \
+		-deletes 0.25 -o /tmp/loadgen-smoke-churn.json; \
+	$(GO) run ./cmd/benchsnap diff /tmp/loadgen-smoke.json /tmp/loadgen-smoke.json; \
+	$(GO) run ./cmd/benchsnap diff /tmp/loadgen-smoke-churn.json /tmp/loadgen-smoke-churn.json
 
 # Capture a CPU profile of the n = 300 KNN preprocessing walk
 # (BenchmarkPreprocessDeletionKNNN300) into cpu.out for hot-path analysis.

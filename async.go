@@ -80,7 +80,10 @@ func (e sessionExecutor) ExecDelete(indices []int) (coalesce.Batch, error) {
 	if err != nil {
 		return coalesce.Batch{}, err
 	}
-	return coalesce.Batch{Version: u.Version, Algo: u.Algo}, nil
+	// The batched and exact deletion paths journal the departing points'
+	// pre-delete values; the coalescer folds them back into each delete
+	// submission's resolved attribution.
+	return coalesce.Batch{Version: u.Version, Algo: u.Algo, Values: u.RemovedValues}, nil
 }
 
 // coalescer lazily starts the session's write pipeline on first use.
@@ -116,10 +119,18 @@ func (s *Session) SubmitAdd(p Point) *UpdateHandle {
 	return s.coalescer().SubmitAdd(p)
 }
 
-// SubmitDelete enqueues a deletion barrier: every previously admitted
-// add executes first, then the delete runs alone, so the indices are
-// interpreted against the state all earlier submissions produced. The
-// handle resolves with the version the delete produced.
+// SubmitDelete enqueues a deletion and returns a future. The indices are
+// interpreted against the SUBMISSION-TIME state — the state after every
+// previously admitted submission has applied — exactly as a synchronous
+// Delete at the same place in the admitted order would read them.
+//
+// Consecutive deletions coalesce into one delete window executed as ONE
+// batched removal (the planner's batched delta or pivot walk), with each
+// later submission's indices remapped past the slots its window
+// predecessors vacated; only an add↔delete transition closes a window
+// early. The handle resolves with the version the window produced and the
+// submission's departing points' summed pre-delete value, when the
+// executed path attributes removals (the batched and exact paths do).
 func (s *Session) SubmitDelete(indices []int) *UpdateHandle {
 	return s.coalescer().SubmitDelete(indices)
 }

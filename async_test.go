@@ -116,7 +116,8 @@ func TestSubmitReadsNeverBlock(t *testing.T) {
 }
 
 // TestSubmitDeleteBarrier: a submitted delete sees the state every prior
-// submission produced, and the whole async history replays bit for bit.
+// submission produced (the add→delete transition closes the add window
+// first), and the whole async history replays bit for bit.
 func TestSubmitDeleteBarrier(t *testing.T) {
 	const n, k = 12, 3
 	s := newTestSession(t, n, WithCoalescing(k, time.Hour))
@@ -128,8 +129,12 @@ func TestSubmitDeleteBarrier(t *testing.T) {
 		s.SubmitAdd(p)
 	}
 	// Deleting index n+k−1 names the last window point — only valid if the
-	// window executed before the delete.
+	// add window executed before the delete. The delete now opens a window
+	// of its own, so Flush forces it out instead of waiting for MaxDelay.
 	h := s.SubmitDelete([]int{n + k - 1})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	res, err := h.Wait()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,288 @@
+package dynshap
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The batched deletion pipeline's session-level contracts: AlgoDeltaBatch
+// deletions are deterministic and worker-count invariant, and collapse to
+// AlgoDelta at a single index; AlgoPivotSameBatch deletions keep the
+// stored-permutation artifact alive for later additions; AlgoAuto routes
+// multi-point deletions onto the batch paths; the journal attributes every
+// departing point's pre-delete value; and snapshots + replay carry batched
+// deletions faithfully.
+
+func TestSessionBatchDeleteWorkerInvariantAndK1(t *testing.T) {
+	const n = 16
+	indices := []int{3, 11, 0, 7}
+	var ref []float64
+	for _, workers := range []int{1, 2, 4} {
+		s := newTestSession(t, n, WithWorkers(workers))
+		if err := s.Init(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Delete(indices, AlgoDeltaBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n-len(indices) {
+			t.Fatalf("workers=%d: %d survivors, want %d", workers, len(got), n-len(indices))
+		}
+		if ref == nil {
+			ref = got
+		} else if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d: batched delta delete diverged:\n got %v\nwant %v", workers, got, ref)
+		}
+	}
+
+	// At a single index the batched walk IS the delta walk.
+	sd := newTestSession(t, n)
+	sb := newTestSession(t, n)
+	if err := sd.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Init(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sd.Delete([]int{5}, AlgoDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sb.Delete([]int{5}, AlgoDeltaBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("k=1 batched delta delete != AlgoDelta:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSessionPivotBatchDeleteKeepsArtifact: the batched pivot deletion
+// evolves the stored permutations instead of dropping them, so the NEXT
+// addition still auto-routes onto Pivot-s — the property no other deletion
+// path has.
+func TestSessionPivotBatchDeleteKeepsArtifact(t *testing.T) {
+	const n = 14
+	indices := []int{2, 9, 5}
+	s := newTestSession(t, n, WithKeepPermutations())
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	pre := s.Values()
+	got, err := s.Delete(indices, AlgoAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n-len(indices) {
+		t.Fatalf("%d survivors, want %d", len(got), n-len(indices))
+	}
+	rec, err := s.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != AlgoPivotSameBatch.String() {
+		t.Fatalf("auto with live perms resolved %q, want %q", rec.Algo, AlgoPivotSameBatch)
+	}
+	if !strings.Contains(strings.Join(rec.Decision, " "), "pivot artifact alive") {
+		t.Fatalf("decision trace should explain artifact preservation: %v", rec.Decision)
+	}
+	// The journal attributes each departing point its pre-delete value.
+	if len(rec.RemovedValues) != len(indices) {
+		t.Fatalf("RemovedValues has %d entries, want %d", len(rec.RemovedValues), len(indices))
+	}
+	for i, idx := range indices {
+		if rec.RemovedValues[i] != pre[idx] {
+			t.Fatalf("RemovedValues[%d] = %v, want pre-delete value %v of index %d",
+				i, rec.RemovedValues[i], pre[idx], idx)
+		}
+	}
+	// The artifact survived: a following add still rides the stored
+	// permutations.
+	if _, err := s.Add(batchTestPoints(1, 4), AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = s.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != AlgoPivotSame.String() {
+		t.Fatalf("add after pivot delete resolved %q, want %q — the artifact was dropped", rec.Algo, AlgoPivotSame)
+	}
+	// Contrast: a sequential delta deletion drops the permutations.
+	s2 := newTestSession(t, n, WithKeepPermutations())
+	if err := s2.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Delete([]int{2}, AlgoDelta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Add(batchTestPoints(1, 4), AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = s2.At(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo == AlgoPivotSame.String() {
+		t.Fatal("sequential delta delete should have dropped the pivot artifact")
+	}
+}
+
+// TestSessionAutoRoutesBatchDeletes: AlgoAuto routes multi-point deletions
+// onto the batched walks, and configured heads push them back to the
+// sequential head-capable path.
+func TestSessionAutoRoutesBatchDeletes(t *testing.T) {
+	const n = 16
+	// Without retained artifacts a multi-point delete takes the batched
+	// delta walk.
+	s := newTestSession(t, n)
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete([]int{1, 8, 4}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != AlgoDeltaBatch.String() {
+		t.Fatalf("auto resolved %q, want %q", rec.Algo, AlgoDeltaBatch)
+	}
+	if rec.Requested != AlgoAuto.String() {
+		t.Fatalf("Requested = %q, want %q", rec.Requested, AlgoAuto)
+	}
+	if len(rec.RemovedValues) != 3 {
+		t.Fatalf("RemovedValues has %d entries, want 3", len(rec.RemovedValues))
+	}
+
+	// Heads keep multi-point deletions on the sequential delta path (the
+	// batched deletion walk is Shapley-only), and the explicit request is
+	// rejected outright.
+	sh := newTestSession(t, n, WithSemivalues(Banzhaf()))
+	if err := sh.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Delete([]int{1, 8}, AlgoDeltaBatch); err == nil {
+		t.Fatal("explicit AlgoDeltaBatch delete with heads should fail")
+	}
+	if _, err := sh.Delete([]int{1, 8}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = sh.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Algo != AlgoDelta.String() {
+		t.Fatalf("auto with heads resolved %q, want %q", rec.Algo, AlgoDelta)
+	}
+}
+
+// TestSessionBatchDeleteSugar: BatchDelete is Delete with AlgoAuto.
+func TestSessionBatchDeleteSugar(t *testing.T) {
+	const n = 12
+	a := newTestSession(t, n)
+	b := newTestSession(t, n)
+	if err := a.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Init(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Delete([]int{0, 6}, AlgoAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.BatchDelete([]int{0, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BatchDelete diverged from Delete(AlgoAuto):\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSnapshotFormat2BatchDeleteRoundTrip is the batched deletion
+// pipeline's durability contract: a journal containing batched deletes
+// survives a format-2 snapshot, Resume + ReplayTo reproduce every recorded
+// version bit for bit, and the per-point RemovedValues attribution rides
+// along.
+func TestSnapshotFormat2BatchDeleteRoundTrip(t *testing.T) {
+	const n = 14
+	s := newTestSession(t, n, WithKeepPermutations())
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	history := map[int][]float64{1: s.Values()}
+	// Version 2: a batched pivot delete (auto-routed; keeps the perms).
+	// Version 3: a batched pivot add off the surviving artifact.
+	// Version 4: an explicit batched delta delete (drops the perms).
+	if _, err := s.Delete([]int{4, 10}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	history[2] = s.Values()
+	if _, err := s.Add(batchTestPoints(2, 4), AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	history[3] = s.Values()
+	if _, err := s.Delete([]int{1, 7, 3}, AlgoDeltaBatch); err != nil {
+		t.Fatal(err)
+	}
+	history[4] = s.Values()
+	for _, v := range []int{2, 4} {
+		rec, err := s.At(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasSuffix(rec.Algo, "batch") {
+			t.Fatalf("version %d ran %q, expected a batch algorithm", v, rec.Algo)
+		}
+		if len(rec.RemovedValues) == 0 {
+			t.Fatalf("version %d recorded no RemovedValues", v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if _, err := s.Snapshot().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sn.Resume(KNNClassifier{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Values(), s.Values()) {
+		t.Fatalf("resumed values diverged:\n got %v\nwant %v", r.Values(), s.Values())
+	}
+	for v := 1; v <= 4; v++ {
+		rep, err := r.ReplayTo(v)
+		if err != nil {
+			t.Fatalf("ReplayTo(%d): %v", v, err)
+		}
+		if !reflect.DeepEqual(rep.Values(), history[v]) {
+			t.Fatalf("replayed version %d diverged:\n got %v\nwant %v", v, rep.Values(), history[v])
+		}
+		// Batched delete entries keep their attribution through the
+		// snapshot and replay.
+		if v == 2 || v == 4 {
+			rec, err := rep.At(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origRec, err := s.At(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rec.RemovedValues, origRec.RemovedValues) {
+				t.Fatalf("version %d RemovedValues changed through snapshot+replay:\n got %v\nwant %v",
+					v, rec.RemovedValues, origRec.RemovedValues)
+			}
+		}
+	}
+}

@@ -687,13 +687,15 @@ func TestDistanceKernelSpeedup(t *testing.T) {
 // acceptance bound measure the same workload.
 
 // newBatchSession builds an n = 200 KNN session for the batch benchmarks.
-func newBatchSession(tb testing.TB) *dynshap.Session {
+func newBatchSession(tb testing.TB, opts ...dynshap.Option) *dynshap.Session {
 	tb.Helper()
 	pool := dataset.IrisLike(rng.New(2026), 260)
 	pool.Standardize()
 	train, test := pool.Split(200.0 / 260)
-	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 5},
-		dynshap.WithSamples(200), dynshap.WithUpdateSamples(100), dynshap.WithSeed(9))
+	opts = append([]dynshap.Option{
+		dynshap.WithSamples(200), dynshap.WithUpdateSamples(100), dynshap.WithSeed(9),
+	}, opts...)
+	s := dynshap.NewSession(train, test, dynshap.KNNClassifier{K: 5}, opts...)
 	if err := s.Init(); err != nil {
 		tb.Fatal(err)
 	}
@@ -776,6 +778,105 @@ func TestBatchAddSpeedup(t *testing.T) {
 	batchSecs := measure(dynshap.AlgoDeltaBatch)
 	if batchSecs*2 > seqSecs {
 		t.Fatalf("batched add only %.2f× faster than sequential (batch %.4fs, sequential %.4fs), want ≥2×",
+			seqSecs/batchSecs, batchSecs, seqSecs)
+	}
+}
+
+// Batched deletion pipeline: one Session.Delete of k = 16 indices at
+// n = 200 versus the sequential per-index loop, on the pivot family —
+// the path where the batch's saving is structural: k successive pivot
+// deletions each walk every stored permutation in full, while the batch
+// evolves the permutations through all k removals first (integer
+// bookkeeping, no evaluations) and walks each one ONCE in the final
+// (n−k)-player game. The artifact survives both arms, so the fixture
+// loops by restoring state with pivot adds.
+
+// deleteBenchIndices returns 16 indices scattered across n = 200,
+// descending — valid both as one batch and as a sequential loop (deleting
+// the highest index first never shifts the ones still to come).
+func deleteBenchIndices() []int {
+	idx := make([]int, 16)
+	for j := range idx {
+		idx[j] = (15 - j) * 12 // 180, 168, …, 0
+	}
+	return idx
+}
+
+// restorePivotBatch re-adds k points on the batched pivot path — keeping
+// the stored-permutation artifact alive for the next deletion — returning
+// the session to n = 200 off the clock.
+func restorePivotBatch(tb testing.TB, s *dynshap.Session, k int) {
+	tb.Helper()
+	if _, err := s.Add(batchBenchPoints(k), dynshap.AlgoPivotSameBatch); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// deleteArm runs one deletion workload over idx: the whole set in one
+// batched call, or one call per index.
+func deleteArm(tb testing.TB, s *dynshap.Session, idx []int, sequential bool) {
+	tb.Helper()
+	if !sequential {
+		if _, err := s.Delete(idx, dynshap.AlgoPivotSameBatch); err != nil {
+			tb.Fatal(err)
+		}
+		return
+	}
+	for _, i := range idx {
+		if _, err := s.Delete([]int{i}, dynshap.AlgoPivotSameBatch); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+func benchSessionDeleteBatch(b *testing.B, sequential bool) {
+	s := newBatchSession(b, dynshap.WithKeepPermutations())
+	idx := deleteBenchIndices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deleteArm(b, s, idx, sequential)
+		b.StopTimer()
+		restorePivotBatch(b, s, len(idx))
+		b.StartTimer()
+	}
+}
+
+func BenchmarkSessionDeleteBatch16N200(b *testing.B)      { benchSessionDeleteBatch(b, false) }
+func BenchmarkSessionDeleteSequential16N200(b *testing.B) { benchSessionDeleteBatch(b, true) }
+
+// TestBatchDeleteSpeedup enforces ISSUE 10's acceptance bound: a batched
+// Delete of k = 16 indices at n = 200 must finish in under half the
+// sequential per-index loop's wall clock. The sequential loop pays
+// Σ τ·(n−i) prefix evaluations across its k walks; the batch pays
+// τ·(n−k) — one walk of each evolved permutation in the final game —
+// so the real ratio approaches k and sits far above the bound. Skipped
+// on single-core machines, whose schedulers make wall-clock ratios too
+// noisy to gate on.
+func TestBatchDeleteSpeedup(t *testing.T) {
+	if p := runtime.GOMAXPROCS(0); p < 2 {
+		t.Skipf("need at least 2 CPUs for a stable timing ratio, have %d", p)
+	}
+	const reps = 3
+	idx := deleteBenchIndices()
+	measure := func(sequential bool) float64 {
+		s := newBatchSession(t, dynshap.WithKeepPermutations())
+		// Warm up once (cache population, scratch growth), then time the
+		// Delete calls alone; state restoration runs off the clock.
+		deleteArm(t, s, idx, sequential)
+		restorePivotBatch(t, s, len(idx))
+		var secs float64
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			deleteArm(t, s, idx, sequential)
+			secs += time.Since(start).Seconds()
+			restorePivotBatch(t, s, len(idx))
+		}
+		return secs
+	}
+	seqSecs := measure(true)
+	batchSecs := measure(false)
+	if batchSecs*2 > seqSecs {
+		t.Fatalf("batched delete only %.2f× faster than sequential (batch %.4fs, sequential %.4fs), want ≥2×",
 			seqSecs/batchSecs, batchSecs, seqSecs)
 	}
 }

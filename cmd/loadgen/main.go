@@ -12,13 +12,17 @@
 //
 // Results are written in the benchsnap JSON schema (internal/benchfmt),
 // so `benchsnap diff old.json new.json` gates load regressions exactly
-// like micro-benchmarks: add-ops/s and read-ops/s are rates (a DROP
-// fails), p50-ns/p99-ns are latencies (a RISE fails).
+// like micro-benchmarks: add-ops/s, del-ops/s and read-ops/s are rates (a
+// DROP fails), p50-ns/p99-ns/del-p50-ns/del-p99-ns are latencies (a RISE
+// fails). Delete latency is reported separately because the mixed-churn
+// arm exists to gate it: deletes used to be coalescer barriers, and the
+// delete-window pipeline is supposed to move delete p99, not add p50.
 //
 // Usage:
 //
 //	loadgen -duration 2s -n 200 -writers 8 -o loadgen.json
 //	loadgen -compare -min-speedup 2.0    # k=16 window vs coalescing off
+//	loadgen -deletes 0.25 -compare       # mixed churn; delete-window p99 vs barrier-per-delete
 //	loadgen -addr localhost:8089         # drive a running dynshapd
 //
 // -compare runs two arms over the same workload — the configured window
@@ -56,6 +60,7 @@ type config struct {
 	batch         int
 	delay         time.Duration
 	deleteEvery   int
+	deletes       float64
 	algo          string
 }
 
@@ -72,7 +77,8 @@ func main() {
 	flag.IntVar(&cfg.totalAdds, "adds", 0, "run each arm for exactly this many adds instead of a time window — compared arms then execute the identical workload over the identical dataset-growth schedule")
 	flag.IntVar(&cfg.batch, "batch", 16, "coalescing window size k")
 	flag.DurationVar(&cfg.delay, "delay", 2*time.Millisecond, "coalescing window max delay t")
-	flag.IntVar(&cfg.deleteEvery, "delete-every", 0, "each writer submits a delete barrier every N adds (0: adds only)")
+	flag.IntVar(&cfg.deleteEvery, "delete-every", 0, "each writer submits a delete every N adds (0: adds only)")
+	flag.Float64Var(&cfg.deletes, "deletes", 0, "mixed-churn arm: fraction of write submissions that are deletes (0-1); concurrent deletes coalesce into delete windows, so only add↔delete transitions are barriers")
 	flag.StringVar(&cfg.algo, "algo", "delta", "batch family the planner routes windows to: delta (shared no-pivot chain, best amortisation) or pivot (stored permutations, bit-identical to sequential Pivot-s)")
 	out := flag.String("o", "", "write results as a benchsnap JSON snapshot")
 	compare := flag.Bool("compare", false, "also run with coalescing disabled (window 1) and report the speedup")
@@ -103,6 +109,16 @@ func main() {
 		snap.Benchmarks = append(snap.Benchmarks, entryFor(solo, soloRes))
 		speedup := res.addRate() / soloRes.addRate()
 		fmt.Printf("coalescing speedup (k=%d vs k=1): %.2fx add throughput\n", cfg.batch, speedup)
+		if res.deletes > 0 && soloRes.deletes > 0 {
+			// The k=1 arm IS the barrier-per-delete baseline: every delete
+			// executes as its own window. The ratio of its delete p99 to the
+			// windowed arm's is the latency the delete coalescer removes.
+			if windowed, solo := res.delPercentile(0.99), soloRes.delPercentile(0.99); windowed > 0 {
+				fmt.Printf("delete-window p99 improvement (k=%d vs barrier-per-delete): %.2fx (%s -> %s)\n",
+					cfg.batch, float64(solo)/float64(windowed),
+					solo.Round(time.Microsecond), windowed.Round(time.Microsecond))
+			}
+		}
 		if *minSpeedup > 0 && speedup < *minSpeedup {
 			fatal(fmt.Errorf("speedup %.2fx below required %.2fx", speedup, *minSpeedup))
 		}
@@ -125,23 +141,30 @@ type target interface {
 	close() error
 }
 
-// result aggregates one arm's measurements.
+// result aggregates one arm's measurements. Add and delete latencies are
+// kept apart: a churn arm's delete p99 is the number the delete-window
+// coalescer is supposed to move, and folding it into the add distribution
+// would hide exactly that.
 type result struct {
 	adds    int
 	deletes int
 	reads   int64
-	lat     []time.Duration // one sample per completed update, unordered
+	lat     []time.Duration // one sample per completed add, sorted on return
+	delLat  []time.Duration // one sample per completed delete, sorted on return
 	elapsed time.Duration
 }
 
 func (r result) addRate() float64 { return float64(r.adds) / r.elapsed.Seconds() }
+func (r result) delRate() float64 { return float64(r.deletes) / r.elapsed.Seconds() }
 
-func (r result) percentile(p float64) time.Duration {
-	if len(r.lat) == 0 {
+func (r result) percentile(p float64) time.Duration    { return percentileOf(r.lat, p) }
+func (r result) delPercentile(p float64) time.Duration { return percentileOf(r.delLat, p) }
+
+func percentileOf(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
 		return 0
 	}
-	i := int(p * float64(len(r.lat)-1))
-	return r.lat[i]
+	return lat[int(p*float64(len(lat)-1))]
 }
 
 func runArm(cfg config) (result, error) {
@@ -160,6 +183,7 @@ func runArm(cfg config) (result, error) {
 	var claimed int64
 	var writers, readers sync.WaitGroup
 	writerLat := make([][]time.Duration, cfg.writers)
+	writerDelLat := make([][]time.Duration, cfg.writers)
 	writerAdds := make([]int, cfg.writers)
 	writerDels := make([]int, cfg.writers)
 	writerErr := make([]error, cfg.writers)
@@ -171,7 +195,25 @@ func runArm(cfg config) (result, error) {
 		go func(w int) {
 			defer writers.Done()
 			sinceDelete := 0
+			ops, dels := 0, 0
 			for !stop.Load() {
+				// The mixed-churn arm: keep this writer's delete share at
+				// cfg.deletes by interleaving deletes deterministically.
+				// Concurrent writers in a delete run land in ONE delete
+				// window; deleting index 0 is valid against any non-empty
+				// submission-time state, and the coalescer remaps it.
+				if cfg.deletes > 0 && float64(dels+1) <= cfg.deletes*float64(ops+1) {
+					t0 := time.Now()
+					if err := tgt.del([]int{0}); err != nil {
+						writerErr[w] = err
+						return
+					}
+					writerDelLat[w] = append(writerDelLat[w], time.Since(t0))
+					writerDels[w]++
+					ops++
+					dels++
+					continue
+				}
 				if cfg.totalAdds > 0 && atomic.AddInt64(&claimed, 1) > int64(cfg.totalAdds) {
 					return
 				}
@@ -183,17 +225,16 @@ func runArm(cfg config) (result, error) {
 				}
 				writerLat[w] = append(writerLat[w], time.Since(t0))
 				writerAdds[w]++
+				ops++
 				sinceDelete++
 				if cfg.deleteEvery > 0 && sinceDelete >= cfg.deleteEvery {
 					sinceDelete = 0
 					t0 := time.Now()
-					// Deleting index 0 is valid against any non-empty state,
-					// whatever is pending ahead of the barrier.
 					if err := tgt.del([]int{0}); err != nil {
 						writerErr[w] = err
 						return
 					}
-					writerLat[w] = append(writerLat[w], time.Since(t0))
+					writerDelLat[w] = append(writerDelLat[w], time.Since(t0))
 					writerDels[w]++
 				}
 			}
@@ -234,17 +275,26 @@ func runArm(cfg config) (result, error) {
 		res.adds += writerAdds[w]
 		res.deletes += writerDels[w]
 		res.lat = append(res.lat, writerLat[w]...)
+		res.delLat = append(res.delLat, writerDelLat[w]...)
 	}
 	if res.adds == 0 {
 		return result{}, fmt.Errorf("no updates completed in %s — raise -duration", cfg.duration)
 	}
 	sort.Slice(res.lat, func(i, j int) bool { return res.lat[i] < res.lat[j] })
+	sort.Slice(res.delLat, func(i, j int) bool { return res.delLat[i] < res.delLat[j] })
 	return res, nil
 }
 
 func entryFor(cfg config, res result) benchfmt.Entry {
-	return benchfmt.Entry{
-		Name:       fmt.Sprintf("LoadgenAdd%sK%dN%d", cases(cfg.algo), cfg.batch, cfg.n),
+	// Mixed-churn arms get their own benchmark name — their add latencies
+	// are not comparable to an adds-only run, and benchsnap diff matches
+	// entries by name.
+	kind := "Add"
+	if cfg.deletes > 0 {
+		kind = "Churn"
+	}
+	e := benchfmt.Entry{
+		Name:       fmt.Sprintf("Loadgen%s%sK%dN%d", kind, cases(cfg.algo), cfg.batch, cfg.n),
 		Iterations: int64(res.adds + res.deletes),
 		Metrics: map[string]float64{
 			"add-ops/s":  res.addRate(),
@@ -253,6 +303,15 @@ func entryFor(cfg config, res result) benchfmt.Entry {
 			"p99-ns":     float64(res.percentile(0.99)),
 		},
 	}
+	if res.deletes > 0 {
+		// Delete latency is its own distribution: del-ops/s is a rate (a
+		// drop fails benchsnap diff), del-p50/p99-ns are latencies (a rise
+		// fails) — the delete-window gate the ISSUE's churn arm exists for.
+		e.Metrics["del-ops/s"] = res.delRate()
+		e.Metrics["del-p50-ns"] = float64(res.delPercentile(0.50))
+		e.Metrics["del-p99-ns"] = float64(res.delPercentile(0.99))
+	}
+	return e
 }
 
 // cases upper-cases the algo family's first letter for the benchmark name
@@ -269,11 +328,16 @@ func cases(s string) string {
 }
 
 func report(cfg config, res result) {
-	fmt.Printf("k=%-3d n=%d writers=%d readers=%d %s: %d adds (%.1f ops/s), %d deletes, p50 %s, p99 %s, %d reads (%.0f ops/s)\n",
+	fmt.Printf("k=%-3d n=%d writers=%d readers=%d %s: %d adds (%.1f ops/s), p50 %s, p99 %s, %d reads (%.0f ops/s)\n",
 		cfg.batch, cfg.n, cfg.writers, cfg.readers, res.elapsed.Round(time.Millisecond),
-		res.adds, res.addRate(), res.deletes,
+		res.adds, res.addRate(),
 		res.percentile(0.50).Round(time.Microsecond), res.percentile(0.99).Round(time.Microsecond),
 		res.reads, float64(res.reads)/res.elapsed.Seconds())
+	if res.deletes > 0 {
+		fmt.Printf("        deletes: %d (%.1f ops/s), del-p50 %s, del-p99 %s\n",
+			res.deletes, res.delRate(),
+			res.delPercentile(0.50).Round(time.Microsecond), res.delPercentile(0.99).Round(time.Microsecond))
+	}
 }
 
 // --- in-process target ---

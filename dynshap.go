@@ -158,16 +158,22 @@ const (
 	// AlgoDelta estimates value changes from differential marginal
 	// contributions (Algorithm 5 for additions, 8 for deletions).
 	AlgoDelta
-	// AlgoDeltaBatch is the batched delta addition: one permutation pass
-	// walks the shared no-pivot chain once and evaluates every pending
-	// point's differential contributions against it, with per-point
-	// accumulators striped across workers. Each point is valued against
-	// the pre-batch base (additions only).
+	// AlgoDeltaBatch is the batched delta walk: one permutation pass
+	// walks a shared chain once and evaluates every pending point's
+	// differential contributions against it, with per-point accumulators
+	// striped across workers. For additions the shared chain is the
+	// no-pivot walk and each appended point is valued against the
+	// pre-batch base; for deletions it is the common-survivors walk and
+	// each departing point is priced against the fixed pre-batch set.
 	AlgoDeltaBatch
-	// AlgoPivotSameBatch is the batched Pivot-s: the stored permutations
-	// are threaded through all pending pivot insertions in one pass,
-	// bit-identical to applying AlgoPivotSame per point in sequence
-	// (additions only, requires WithKeepPermutations).
+	// AlgoPivotSameBatch is the batched Pivot-s (requires
+	// WithKeepPermutations). For additions the stored permutations are
+	// threaded through all pending pivot insertions in one pass,
+	// bit-identical to applying AlgoPivotSame per point in sequence. For
+	// deletions the permutations EVOLVE through the removals (subsequences
+	// of uniform random orders stay uniform) and are walked once in the
+	// post-delete game — the only deletion that keeps the pivot artifact
+	// alive for later additions.
 	AlgoPivotSameBatch
 	// AlgoYNNN recovers exact post-deletion values from the YN-NN /
 	// YNN-NNN arrays (Algorithms 6–7; deletions only, requires

@@ -366,3 +366,95 @@ func FuzzBatchSequentialEquality(f *testing.F) {
 		same("pivot LSV", cl.LSV, ref.LSV)
 	})
 }
+
+// FuzzBatchDeleteSequentialEquality asserts the batched DELETION walks'
+// bit-identity contract on fuzzer-chosen workloads: for random bases,
+// departing sets, τ budgets, and worker counts, the engine's one-pass
+// batched deletions must equal their sequential references with ==, no
+// tolerance — the delta form against per-point with-chains over the shared
+// common-survivor stream, the pivot form against k successive DeleteSame
+// calls (including the evolved permutations, slots, and LSV state). Seeds
+// run as regular tests; use `go test -fuzz FuzzBatchDeleteSequentialEquality .`
+// for guided exploration.
+func FuzzBatchDeleteSequentialEquality(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(2), uint8(20), uint8(1))
+	f.Add(uint64(7), uint8(15), uint8(4), uint8(9), uint8(3))
+	f.Add(uint64(42), uint8(3), uint8(0), uint8(0), uint8(7))
+	f.Add(uint64(99), uint8(23), uint8(5), uint8(14), uint8(15))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, kRaw, tauRaw, wRaw uint8) {
+		n := 3 + int(nRaw)%20
+		k := 1 + int(kRaw)%6
+		if k >= n {
+			k = n - 1
+		}
+		tau := 1 + int(tauRaw)%25
+		workers := 1 + int(wRaw)%6
+
+		r := rng.New(seed)
+		mk := func(count int) *dataset.Dataset {
+			pts := make([]dataset.Point, count)
+			for i := range pts {
+				x := make([]float64, 3)
+				for j := range x {
+					x[j] = float64(r.Intn(7)) / 2
+				}
+				pts[i] = dataset.Point{X: x, Y: r.Intn(3)}
+			}
+			d := dataset.New(pts)
+			d.Classes = 3
+			return d
+		}
+		train, test := mk(n), mk(1+r.Intn(8))
+		u := utility.NewModelUtility(train, test, ml.KNN{K: 1 + r.Intn(4)})
+
+		// A fuzzer-chosen departing set: k distinct indices in [0, n).
+		points := r.PermN(n)[:k]
+
+		oldSV := make([]float64, n)
+		for i := range oldSV {
+			oldSV[i] = r.NormFloat64() / 8
+		}
+
+		same := func(stage string, got, want []float64) {
+			t.Helper()
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d values, want %d", stage, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: value %d is %v, want %v (n=%d k=%d τ=%d workers=%d points=%v)",
+						stage, i, got[i], want[i], n, k, tau, workers, points)
+				}
+			}
+		}
+
+		e := core.NewEngine(core.WithWorkers(workers))
+		want, err := core.BatchDeltaDeleteSeq(u, oldSV, points, tau, rng.New(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.BatchDeltaDelete(u, oldSV, points, tau, rng.New(seed+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		same("delta", got, want)
+
+		st := core.PivotInit(u, tau, true, rng.New(seed+2))
+		gMinus := game.NewRestrict(u, points...)
+		ref := st.Clone()
+		wantP, err := core.BatchDeleteSameSeq(ref, u, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := st.Clone()
+		gotP, err := e.BatchDeleteSame(cl, gMinus, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same("pivot SV", gotP, wantP)
+		same("pivot LSV", cl.LSV, ref.LSV)
+		// The evolved permutations themselves are compared in the core
+		// package's batch delete tests; SV + LSV equality here pins the
+		// walk they produced.
+	})
+}

@@ -22,14 +22,21 @@
 // bit-identical to per-point AddSame in admitted order, so the final state
 // does not depend on where the window boundaries fell at all.
 //
-// Deletes are barriers: a delete submission closes the open window,
-// executes the pending adds first, then runs the delete alone. That keeps
-// delete indices meaningful (they were named against a state the caller
-// observed) and keeps the add windows same-shaped for the batch planner.
+// Deletes coalesce too: consecutive delete submissions share a delete
+// window executed as ONE batched removal, exactly as consecutive adds
+// share an add window. Only the TRANSITION between kinds is a barrier — an
+// add arriving at an open delete window (or a delete at an open add
+// window) closes it first, so every submission still executes against the
+// state all earlier submissions produced. Delete indices are interpreted
+// against that submission-time state; inside a delete window each later
+// submission's indices are remapped past the slots its window predecessors
+// vacated, so the merged removal deletes exactly the points every caller
+// named (see SubmitDelete).
 package coalesce
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,8 +48,10 @@ var ErrClosed = errors.New("coalesce: submit queue closed")
 
 // Batch is an executor's report for one executed window: the state version
 // it produced, the algorithm that ran, the player count before the window
-// applied, and — for adds — each admitted point's attributed value in
-// admitted order.
+// applied, and each admitted point's attributed value in admitted order —
+// for adds the appended points' values, for deletes the departing points'
+// pre-delete values (index-aligned with the merged indices ExecDelete
+// received).
 type Batch struct {
 	Version int
 	Algo    string
@@ -51,8 +60,9 @@ type Batch struct {
 }
 
 // Executor applies closed windows to the underlying store. ExecAdd
-// receives every open window's points in admitted order; ExecDelete runs a
-// delete barrier. Both run on the drainer goroutine, one at a time.
+// receives an add window's points in admitted order; ExecDelete receives a
+// delete window's merged indices (pre-window numbering) as one batched
+// removal. Both run on the drainer goroutine, one at a time.
 type Executor interface {
 	ExecAdd(points []dataset.Point) (Batch, error)
 	ExecDelete(indices []int) (Batch, error)
@@ -64,14 +74,15 @@ type Result struct {
 	Version int
 	// Algo is the algorithm that executed the window.
 	Algo string
-	// Window is how many submissions shared the executed window (1 for
-	// delete barriers).
+	// Window is how many submissions shared the executed window.
 	Window int
 	// Index is the submitted point's index in the post-window numbering
 	// (adds; −1 for deletes).
 	Index int
-	// Value is the point's per-point attribution from the window's journal
-	// record (adds; 0 for deletes).
+	// Value is the submission's attribution from the window's journal
+	// record: the added point's value, or the summed pre-delete value of
+	// the submission's departing points (0 when the executed path does not
+	// attribute removals).
 	Value float64
 }
 
@@ -150,6 +161,15 @@ type submission struct {
 	flushed chan struct{}
 }
 
+// points is how many training points the submission admits into a window —
+// the unit MaxBatch bounds.
+func (sub submission) points() int {
+	if sub.kind == subDelete {
+		return len(sub.indices)
+	}
+	return 1
+}
+
 // Coalescer is the admission queue plus its drainer goroutine. Construct
 // with New; Close stops the drainer after executing everything admitted.
 type Coalescer struct {
@@ -188,9 +208,21 @@ func (c *Coalescer) SubmitAdd(p dataset.Point) *Handle {
 	return c.submit(submission{kind: subAdd, point: p.Clone(), h: newHandle()})
 }
 
-// SubmitDelete admits a delete barrier: the open window executes first,
-// then the delete runs alone. Indices are interpreted against the state
-// after every previously admitted update has applied.
+// SubmitDelete admits a deletion and returns its future. Indices are
+// interpreted against the SUBMISSION-TIME state — the state after every
+// previously admitted update has applied — exactly as if the caller had
+// run a synchronous Delete at its place in the admitted order.
+//
+// Consecutive deletions coalesce: an open delete window absorbs the
+// submission, and when the window closes (at MaxBatch total indices or
+// MaxDelay) every admitted removal executes as ONE batched delete. Because
+// earlier submissions in the window shift the numbering later callers
+// observed, each submission's indices are remapped past the slots its
+// window predecessors vacated before the merged removal runs — the merged
+// window deletes exactly the points every caller named. An add submission
+// closes an open delete window (and vice versa); only that kind transition
+// is a barrier. A window fails as a unit: one submission's out-of-range
+// index fails every future sharing its window.
 func (c *Coalescer) SubmitDelete(indices []int) *Handle {
 	return c.submit(submission{
 		kind:    subDelete,
@@ -250,6 +282,12 @@ func (c *Coalescer) Close() error {
 func (c *Coalescer) run() {
 	defer close(c.stopped)
 	var window []submission
+	// winKind is the open window's kind (meaningful while len(window) > 0);
+	// winPoints is how many training points it has admitted — the unit
+	// MaxBatch bounds (an add is one point, a delete submission carries
+	// len(indices) of them).
+	var winKind subKind
+	var winPoints int
 	var timer *time.Timer
 	var timerC <-chan time.Time
 	disarm := func() {
@@ -263,15 +301,29 @@ func (c *Coalescer) run() {
 		if len(window) == 0 {
 			return
 		}
-		c.execWindow(window)
+		if winKind == subDelete {
+			c.execDeleteWindow(window)
+		} else {
+			c.execWindow(window)
+		}
 		window = window[:0]
+		winPoints = 0
 	}
-	// barrier handles the non-add submission kinds. Callers close the open
+	// admit appends an add/delete submission to the open window, closing it
+	// first when the kinds differ — the add↔delete transition is the only
+	// barrier left in the pipeline.
+	admit := func(sub submission) {
+		if len(window) > 0 && winKind != sub.kind {
+			closeWindow()
+		}
+		winKind = sub.kind
+		window = append(window, sub)
+		winPoints += sub.points()
+	}
+	// barrier handles the control submissions. Callers close the open
 	// window first. Returns true when the drainer should stop.
 	barrier := func(sub submission) bool {
 		switch sub.kind {
-		case subDelete:
-			c.execDelete(sub)
 		case subFlush:
 			close(sub.flushed)
 		case subStop:
@@ -282,36 +334,36 @@ func (c *Coalescer) run() {
 	for {
 		select {
 		case sub := <-c.subs:
-			if sub.kind != subAdd {
+			if sub.kind != subAdd && sub.kind != subDelete {
 				closeWindow()
 				if barrier(sub) {
 					return
 				}
 				continue
 			}
-			window = append(window, sub)
+			admit(sub)
 			// Greedily absorb whatever is already queued, up to capacity:
 			// under load the window fills from the backlog without paying
-			// the MaxDelay latency.
+			// the MaxDelay latency. A kind transition mid-backlog closes
+			// the open window inside admit and keeps filling the new one.
 		greedy:
-			for len(window) < c.cfg.MaxBatch {
+			for winPoints < c.cfg.MaxBatch {
 				select {
 				case sub2 := <-c.subs:
-					if sub2.kind == subAdd {
-						window = append(window, sub2)
+					if sub2.kind == subAdd || sub2.kind == subDelete {
+						admit(sub2)
 						continue
 					}
 					closeWindow()
 					if barrier(sub2) {
 						return
 					}
-					continue greedy
 				default:
 					break greedy
 				}
 			}
 			switch {
-			case len(window) >= c.cfg.MaxBatch:
+			case winPoints >= c.cfg.MaxBatch:
 				closeWindow()
 			case c.cfg.MaxDelay <= 0:
 				// Never wait: the queue is momentarily empty, execute now.
@@ -356,12 +408,54 @@ func (c *Coalescer) execWindow(window []submission) {
 	}
 }
 
-// execDelete runs one delete barrier.
-func (c *Coalescer) execDelete(sub submission) {
-	b, err := c.exec.ExecDelete(sub.indices)
+// execDeleteWindow merges one closed delete window into a single batched
+// removal. Every submission named its indices against the state it
+// observed at submission time — i.e. after each earlier submission in the
+// window applied — so later submissions' indices are remapped to the
+// window's PRE-delete numbering before the merged ExecDelete runs: a
+// sorted set of already-doomed original slots shifts each index past the
+// positions its predecessors vacated. The merged removal therefore deletes
+// exactly the points every caller named, and executing it as one batch is
+// bit-reproducible from the journal like any other recorded update.
+func (c *Coalescer) execDeleteWindow(window []submission) {
+	var doomed []int // pre-window indices already claimed, ascending
+	merged := make([]int, 0, len(window))
+	for _, sub := range window {
+		// All of one submission's indices were named against the SAME
+		// observed state, so they are remapped against the doomed set as it
+		// stood when the submission arrived — only then do they join it.
+		at := len(merged)
+		for _, idx := range sub.indices {
+			orig := idx
+			for _, d := range doomed {
+				if d > orig {
+					break
+				}
+				orig++
+			}
+			merged = append(merged, orig)
+		}
+		for _, orig := range merged[at:] {
+			pos := sort.SearchInts(doomed, orig)
+			doomed = append(doomed, 0)
+			copy(doomed[pos+1:], doomed[pos:])
+			doomed[pos] = orig
+		}
+	}
+	b, err := c.exec.ExecDelete(merged)
 	if err != nil {
-		sub.h.fail(err)
+		for _, sub := range window {
+			sub.h.fail(err)
+		}
 		return
 	}
-	sub.h.resolve(Result{Version: b.Version, Algo: b.Algo, Window: 1, Index: -1})
+	at := 0
+	for _, sub := range window {
+		res := Result{Version: b.Version, Algo: b.Algo, Window: len(window), Index: -1}
+		for j := 0; j < len(sub.indices) && at+j < len(b.Values); j++ {
+			res.Value += b.Values[at+j]
+		}
+		at += len(sub.indices)
+		sub.h.resolve(res)
+	}
 }

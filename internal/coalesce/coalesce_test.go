@@ -46,7 +46,13 @@ func (e *recordingExec) ExecDelete(indices []int) (Batch, error) {
 	e.version++
 	e.n -= len(indices)
 	e.deletes = append(e.deletes, append([]int(nil), indices...))
-	return Batch{Version: e.version, Algo: "fake-delete"}, nil
+	// Attribute each departing point its merged (pre-window) index, so
+	// tests can check the per-submission fold.
+	vals := make([]float64, len(indices))
+	for i, idx := range indices {
+		vals[i] = float64(idx)
+	}
+	return Batch{Version: e.version, Algo: "fake-delete", Values: vals}, nil
 }
 
 func pt(label float64) dataset.Point { return dataset.Point{X: []float64{label}, Y: 0} }
@@ -125,16 +131,20 @@ func TestTimerClosesWindow(t *testing.T) {
 	}
 }
 
-// TestDeleteIsBarrier: a delete closes the open window, executes the
-// pending adds first, then runs alone.
-func TestDeleteIsBarrier(t *testing.T) {
-	exec := &recordingExec{}
+// TestAddDeleteTransitionIsBarrier: a delete closes the open add window
+// (pending adds execute first), and an add closes the open delete window —
+// only the kind TRANSITION is a barrier now.
+func TestAddDeleteTransitionIsBarrier(t *testing.T) {
+	exec := &recordingExec{n: 8}
 	c := New(exec, Config{MaxBatch: 64, MaxDelay: time.Hour})
 	defer c.Close()
 
 	a := c.SubmitAdd(pt(1))
 	b := c.SubmitAdd(pt(2))
 	d := c.SubmitDelete([]int{0})
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	res, err := d.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +157,7 @@ func TestDeleteIsBarrier(t *testing.T) {
 		select {
 		case <-h.Done():
 		default:
-			t.Fatal("add future unresolved after the delete barrier resolved")
+			t.Fatal("add future unresolved after the delete resolved")
 		}
 	}
 	exec.mu.Lock()
@@ -157,6 +167,92 @@ func TestDeleteIsBarrier(t *testing.T) {
 	}
 	if len(exec.deletes) != 1 {
 		t.Fatalf("deletes %v, want one", exec.deletes)
+	}
+	if exec.version != 2 {
+		t.Fatalf("executed %d updates, want 2 (one add window, one delete window)", exec.version)
+	}
+}
+
+// TestDeleteWindowCoalescesAndRemaps: consecutive delete submissions share
+// one window executed as a single merged removal, with each later
+// submission's indices remapped to the pre-window numbering — including
+// multi-index submissions, whose indices were all named against the same
+// observed state and must not shift each other.
+func TestDeleteWindowCoalescesAndRemaps(t *testing.T) {
+	exec := &recordingExec{n: 10}
+	c := New(exec, Config{MaxBatch: 64, MaxDelay: time.Hour})
+	defer c.Close()
+
+	// Submission-time views over originals 0..9:
+	//   delete [2]      -> original 2; survivors 0 1 3 4 5 6 7 8 9
+	//   delete [2]      -> original 3; survivors 0 1 4 5 6 7 8 9
+	//   delete [0, 3]   -> originals 0 and 5 (same observed state for both)
+	h1 := c.SubmitDelete([]int{2})
+	h2 := c.SubmitDelete([]int{2})
+	h3 := c.SubmitDelete([]int{0, 3})
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	exec.mu.Lock()
+	deletes := exec.deletes
+	exec.mu.Unlock()
+	if len(deletes) != 1 {
+		t.Fatalf("executed %d delete windows, want 1 merged: %v", len(deletes), deletes)
+	}
+	want := []int{2, 3, 0, 5}
+	if len(deletes[0]) != len(want) {
+		t.Fatalf("merged indices %v, want %v", deletes[0], want)
+	}
+	for i, idx := range deletes[0] {
+		if idx != want[i] {
+			t.Fatalf("merged indices %v, want %v", deletes[0], want)
+		}
+	}
+	// Each submission's attribution is the summed pre-delete value of ITS
+	// departing points (the fake attributes each point its merged index).
+	for i, tc := range []struct {
+		h    *Handle
+		want float64
+	}{{h1, 2}, {h2, 3}, {h3, 5}} {
+		res, err := tc.h.Wait()
+		if err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+		if res.Window != 3 {
+			t.Fatalf("submission %d window %d, want 3", i, res.Window)
+		}
+		if res.Index != -1 || res.Value != tc.want {
+			t.Fatalf("submission %d resolved %+v, want value %g", i, res, tc.want)
+		}
+	}
+}
+
+// TestDeleteWindowClosesAtMaxBatch: MaxBatch bounds the TOTAL indices a
+// delete window admits, not the submission count.
+func TestDeleteWindowClosesAtMaxBatch(t *testing.T) {
+	exec := &recordingExec{n: 32}
+	c := New(exec, Config{MaxBatch: 3, MaxDelay: time.Hour})
+	defer c.Close()
+
+	c.SubmitDelete([]int{0, 1})
+	c.SubmitDelete([]int{0, 1})
+	c.SubmitDelete([]int{0})
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	exec.mu.Lock()
+	defer exec.mu.Unlock()
+	for _, d := range exec.deletes {
+		if len(d) > 4 {
+			t.Fatalf("delete window of %d indices far exceeds MaxBatch 3: %v", len(d), exec.deletes)
+		}
+	}
+	total := 0
+	for _, d := range exec.deletes {
+		total += len(d)
+	}
+	if total != 5 || len(exec.deletes) < 2 {
+		t.Fatalf("deletes %v: want 5 indices over at least 2 windows", exec.deletes)
 	}
 }
 

@@ -127,6 +127,34 @@ func DeltaDeleteCost(n, tau int) Cost {
 	return Cost{Evaluations: 2 * int64(tau) * int64(n-1)}
 }
 
+// BatchDeltaDeleteCost is the cost of the batched delta deletion of k
+// points (BatchDeltaDelete): per permutation, ONE shared common-survivor
+// chain of n−k prefix evaluations plus k with-chains of n−k+1 each —
+// versus the sequential loop's k·2·(n−1) (DeltaDeleteCost times k). The
+// ratio approaches 2× as k grows before any parallelism.
+func BatchDeltaDeleteCost(n, k, tau int) Cost {
+	c := n - k
+	if c < 0 {
+		c = 0
+	}
+	return Cost{Evaluations: int64(tau) * (int64(c) + int64(k)*int64(c+1))}
+}
+
+// DeleteSameBatchCost is the cost of the batched pivot deletion of k
+// points (BatchDeleteSame): the permutations evolve through all k
+// removals for free (integer bookkeeping) and pay ONE full walk of the
+// final (n−k)-length permutations — versus k sequential DeleteSame calls'
+// Σ_j τ·(n−j−1), a genuine ~k× evaluation saving. The artifact it
+// preserves (stored permutations through the removal) is the other half
+// of its value: the next addition can still run Pivot-s.
+func (st *PivotState) DeleteSameBatchCost(k int) Cost {
+	c := int64(st.N()) - int64(k)
+	if c < 0 {
+		c = 0
+	}
+	return Cost{Evaluations: int64(st.Tau) * c}
+}
+
 // MonteCarloCost is the cost of recomputing from scratch over n players
 // with tau permutations (Algorithm 1).
 func MonteCarloCost(n, tau int) Cost {

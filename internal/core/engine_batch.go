@@ -56,6 +56,7 @@ type batchScratch struct {
 
 	deltaSlots []*deltaBatchChunk
 	pivotSlots []*pivotBatchChunk
+	delSlots   []*deleteSameChunk
 }
 
 // reuseInts returns a length-n int buffer, reusing s's storage when it

@@ -183,6 +183,97 @@ func (st *PivotState) AddSame(gPlus game.Game, r *rng.Source) ([]float64, error)
 	return append([]float64(nil), sv...), nil
 }
 
+// DeleteSame removes player p from the state by evolving the stored
+// permutations — the deletion-side counterpart of AddSame, and the reason
+// a pivot artifact can now survive removals instead of being rebuilt.
+//
+// Deleting a player from a uniform permutation leaves a uniform
+// permutation of the survivors (a subsequence of a uniform order is
+// uniform), so the stored permutations stay a valid sample after dropping
+// p and renumbering the survivors down by one. The pivot slot moves with
+// its position: t' = t − 1 when p sat before the slot, else t' = t — a
+// uniform slot over the n+1 positions maps to a uniform slot over the n
+// remaining ones (P(t'=s) = (n−s)/((n+1)n) + (s+1)/((n+1)n) = 1/n), so
+// the LSV decomposition's pivot stays uniformly placed. One full walk of
+// each evolved permutation in the (n−1)-player game gMinus then
+// re-establishes PivotInit's invariant: SV from all positions, LSV from
+// positions before the slot. The walk consumes NO randomness — replay and
+// batching stay deterministic for free.
+//
+// gMinus must be the (n−1)-player post-deletion game whose indices are
+// the survivors renumbered by order-preserving compaction (index q > p
+// becomes q−1), exactly what game.NewRestrict(g, p) or a utility's Remove
+// produces.
+func (st *PivotState) DeleteSame(gMinus game.Game, p int) ([]float64, error) {
+	if st.perms == nil {
+		return nil, ErrNoPermutations
+	}
+	n := st.N()
+	if n < 2 {
+		return nil, fmt.Errorf("core: DeleteSame cannot remove the last player")
+	}
+	if p < 0 || p >= n {
+		return nil, fmt.Errorf("core: DeleteSame point %d out of range [0,%d)", p, n)
+	}
+	m := n - 1
+	if gMinus.N() != m {
+		return nil, fmt.Errorf("core: DeleteSame game has %d players, want %d", gMinus.N(), m)
+	}
+	rsv := make([]float64, m)
+	dlsv := make([]float64, m)
+	w := newPrefixWalker(gMinus)
+	uEmpty := gMinus.Value(bitset.New(m))
+	for t := range st.perms {
+		perm, slot := deleteEvolveStep(st.perms[t], st.slots[t], p)
+		w.reset()
+		prev := uEmpty
+		for pos, q := range perm {
+			cur := w.add(q)
+			mc := cur - prev
+			rsv[q] += mc
+			if pos < slot {
+				dlsv[q] += mc
+			}
+			prev = cur
+		}
+		st.perms[t] = perm
+		st.slots[t] = slot
+	}
+	sv := make([]float64, m)
+	lsv := make([]float64, m)
+	for i := 0; i < m; i++ {
+		sv[i] = rsv[i] / float64(st.Tau)
+		lsv[i] = dlsv[i] / float64(st.Tau)
+	}
+	st.SV = sv
+	st.LSV = lsv
+	return append([]float64(nil), sv...), nil
+}
+
+// deleteEvolveStep removes player p from one stored permutation in place:
+// p's entry is dropped, survivors above p renumber down by one, and the
+// pivot slot decrements when p sat before it. Pure integer bookkeeping —
+// the batched deletion evolves permutations through k removals with k of
+// these steps and walks utilities only once, which is where its k× saving
+// comes from.
+func deleteEvolveStep(perm []int, slot, p int) ([]int, int) {
+	w := 0
+	for r, q := range perm {
+		if q == p {
+			if r < slot {
+				slot--
+			}
+			continue
+		}
+		if q > p {
+			q--
+		}
+		perm[w] = q
+		w++
+	}
+	return perm[:w], slot
+}
+
 // AddDifferent runs Algorithm 4 (the pivot-based algorithm with different
 // sampled permutations): tau2 fresh permutations of the updated game are
 // sampled and only the suffix from the pivot's position onward is

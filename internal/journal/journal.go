@@ -60,17 +60,19 @@ type Update struct {
 	// walks, so re-running the operation reproduces every head bit for bit.
 	HeadValues map[string][]float64 `json:"head_values,omitempty"`
 	// Coalesced reports that the update arrived through the session's
-	// write-coalescing pipeline: the recorded Points are one admission
-	// window (adds) or one barrier (deletes), not a single caller's batch.
+	// write-coalescing pipeline: the recorded Points (adds) or Indices
+	// (deletes) are one admission window, not a single caller's batch.
 	// Replay does not consume it — the executed operation is identical
 	// either way — but auditors reading the journal see which records were
 	// window-shaped by traffic timing rather than by a caller.
 	Coalesced bool `json:"coalesced,omitempty"`
 	// RemovedValues holds the pre-delete Shapley values of the removed
-	// points, aligned with Indices (exact k-NN deletions only, where the
-	// estimator knows every point's exact value at removal time). Replay
-	// does not consume it; auditors see what each departing point was
-	// worth the moment it left.
+	// points, aligned with Indices — exact values on the exact k-NN
+	// deletion path (where the estimator knows them exactly), the
+	// published pre-delete estimates on the batched delta and pivot
+	// deletion paths. Replay does not consume it; auditors see what each
+	// departing point was worth the moment it left, and the coalescer
+	// resolves delete futures with it.
 	RemovedValues []float64 `json:"removed_values,omitempty"`
 	// Trainings is the number of model trainings the operation cost.
 	Trainings int64 `json:"trainings"`

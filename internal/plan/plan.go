@@ -74,6 +74,14 @@ const (
 	// distance kernel). Exact for any update shape at zero model
 	// trainings, so nothing sampled can beat it.
 	ChoiceExactKNN
+	// ChoiceDeltaDeleteBatch runs the batched delta deletion: one
+	// permutation pass over the common survivors prices all departing
+	// points (deletions with k > 1 only).
+	ChoiceDeltaDeleteBatch
+	// ChoicePivotDeleteBatch evolves the retained permutations through
+	// the removals and rebuilds SV/LSV with one walk — the only deletion
+	// path that PRESERVES the pivot artifact for later additions.
+	ChoicePivotDeleteBatch
 )
 
 // String returns the paper's name for the chosen family.
@@ -85,9 +93,9 @@ func (c Choice) String() string {
 		return "Pivot-s"
 	case ChoiceDelta:
 		return "Delta"
-	case ChoiceDeltaBatch:
+	case ChoiceDeltaBatch, ChoiceDeltaDeleteBatch:
 		return "Delta-batch"
-	case ChoicePivotBatch:
+	case ChoicePivotBatch, ChoicePivotDeleteBatch:
 		return "Pivot-s-batch"
 	case ChoiceExactKNN:
 		return "Exact-KNN"
@@ -235,8 +243,10 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 	if art.ExactKNN && art.Heads == 0 {
 		var alt core.Cost
 		var altName string
-		if req.Op == OpDelete {
-			altName, alt = "Delta deletion", core.DeltaDeleteCost(art.N, b.UpdateTau).Times(req.Count)
+		if req.Op == OpDelete && req.Count > 1 {
+			altName, alt = "batched Delta deletion", core.BatchDeltaDeleteCost(art.N, req.Count, b.UpdateTau)
+		} else if req.Op == OpDelete {
+			altName, alt = "Delta deletion", core.DeltaDeleteCost(art.N, b.UpdateTau)
 		} else if req.Count > 1 {
 			altName, alt = "batched Delta addition", core.BatchDeltaAddCost(art.N, req.Count, b.UpdateTau)
 		} else {
@@ -275,9 +285,31 @@ func Plan(req Request, art Artifacts, b Budget) Decision {
 					"YNN-NNN arrays fresh and cover the tuple; exact recovery with zero model trainings")
 			}
 		}
+		if art.Pivot != nil && art.Pivot.N() == art.N && art.Pivot.HasPermutations() && !bulk(req.Count, art.N) {
+			if art.Heads > 0 {
+				note("pivot deletion is Shapley-specific (full-walk SV/LSV rebuild); %d configured head(s) force the delta path", art.Heads)
+			} else {
+				cost := art.Pivot.DeleteSameBatchCost(req.Count)
+				note("retained permutations survive the removal: one evolved-permutation walk (%s) replaces %d delta pass(es) (%s) and keeps the pivot artifact alive for later additions",
+					cost, req.Count, core.BatchDeltaDeleteCost(art.N, req.Count, b.UpdateTau))
+				return done(ChoicePivotDeleteBatch, cost,
+					"stored permutations evolve through the removals (subsequences of uniform orders stay uniform); one final walk rebuilds SV/LSV")
+			}
+		} else if art.Pivot != nil && art.Pivot.N() == art.N && art.Pivot.HasPermutations() {
+			note("retained permutations present but the removal is bulk; recomputation matches the evolved-walk cost without the bookkeeping")
+		}
 		if bulk(req.Count, art.N) {
 			return done(ChoiceMonteCarlo, withHeads(mcCost(art.N-req.Count), art.N-req.Count),
 				fmt.Sprintf("deleting %d of %d players; differential updates lose their edge past half the set", req.Count, art.N))
+		}
+		if req.Count > 1 && art.Heads > 0 {
+			note("batched delta deletion is Shapley-only; %d configured head(s) keep the %d removals on sequential delta passes", art.Heads, req.Count)
+		} else if req.Count > 1 {
+			cost := core.BatchDeltaDeleteCost(art.N, req.Count, b.UpdateTau)
+			note("batch of %d: shared common-survivor chain cuts the walk to %s from the sequential loop's %s",
+				req.Count, cost, core.DeltaDeleteCost(art.N, b.UpdateTau).Times(req.Count))
+			return done(ChoiceDeltaDeleteBatch, cost,
+				"batched delta deletion (Algorithm 8, one permutation pass for all departing points)")
 		}
 		cost := withHeads(core.DeltaDeleteCost(art.N, b.UpdateTau).Times(req.Count), art.N)
 		return done(ChoiceDelta, cost,

@@ -74,11 +74,88 @@ func TestPlanMultiDelete(t *testing.T) {
 		t.Fatalf("covered tuple: choice = %v, want exact", covered.Choice)
 	}
 	uncovered := Plan(Request{Op: OpDelete, Count: 2, Indices: []int{0, 2}}, art, Budget{UpdateTau: 100})
-	if uncovered.Choice != ChoiceDelta {
-		t.Fatalf("uncovered tuple: choice = %v, want delta", uncovered.Choice)
+	if uncovered.Choice != ChoiceDeltaDeleteBatch {
+		t.Fatalf("uncovered tuple: choice = %v, want Delta-batch", uncovered.Choice)
 	}
 	if !strings.Contains(strings.Join(uncovered.Trace, " "), "candidate") {
 		t.Fatalf("trace should explain coverage miss: %v", uncovered.Trace)
+	}
+}
+
+func TestPlanDeleteBatch(t *testing.T) {
+	// Multi-point deletes without artifacts take the batched delta walk,
+	// and its predicted cost must undercut k sequential delta passes.
+	art := Artifacts{N: 20}
+	d := Plan(Request{Op: OpDelete, Count: 4, Indices: []int{0, 5, 9, 13}}, art, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDeltaDeleteBatch {
+		t.Fatalf("choice = %v, want Delta-batch", d.Choice)
+	}
+	seq := core.DeltaDeleteCost(20, 100).Times(4)
+	if d.Cost.Evaluations >= seq.Evaluations {
+		t.Fatalf("batch cost %d not below sequential %d", d.Cost.Evaluations, seq.Evaluations)
+	}
+	if !strings.Contains(strings.Join(d.Trace, " "), "batch") {
+		t.Fatalf("trace should explain the batching: %v", d.Trace)
+	}
+
+	// Heads disqualify the Shapley-only batched walk: sequential delta
+	// passes carry them instead.
+	withHeads := Artifacts{N: 20, Heads: 2, HeadsLinear: true}
+	d = Plan(Request{Op: OpDelete, Count: 4, Indices: []int{0, 5, 9, 13}}, withHeads, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("with heads: choice = %v, want delta", d.Choice)
+	}
+	if !strings.Contains(strings.Join(d.Trace, " "), "Shapley-only") {
+		t.Fatalf("trace should explain the head rejection: %v", d.Trace)
+	}
+}
+
+func TestPlanDeletePivotPreservesArtifact(t *testing.T) {
+	// Retained permutations route deletions onto the evolved-walk path —
+	// the only one that keeps the pivot artifact alive for later adds.
+	withPerms := artifacts(t, 10, true, false, 0, nil)
+	for _, req := range []Request{
+		{Op: OpDelete, Count: 1, Indices: []int{3}},
+		{Op: OpDelete, Count: 3, Indices: []int{3, 7, 0}},
+	} {
+		d := Plan(req, withPerms, Budget{UpdateTau: 100})
+		if d.Choice != ChoicePivotDeleteBatch {
+			t.Fatalf("count=%d: choice = %v, want Pivot-s-batch", req.Count, d.Choice)
+		}
+		if got := withPerms.Pivot.DeleteSameBatchCost(req.Count); d.Cost != got {
+			t.Fatalf("count=%d: cost = %v, want %v", req.Count, d.Cost, got)
+		}
+		if !strings.Contains(strings.Join(d.Trace, " "), "pivot artifact alive") {
+			t.Fatalf("trace should note the artifact preservation: %v", d.Trace)
+		}
+	}
+
+	// A fresh YN-NN array still beats it: zero evaluations wins.
+	withBoth := artifacts(t, 10, true, true, 0, nil)
+	d := Plan(Request{Op: OpDelete, Count: 1, Indices: []int{3}}, withBoth, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceExact {
+		t.Fatalf("with fresh arrays: choice = %v, want exact", d.Choice)
+	}
+
+	// Without permutations there is nothing to evolve.
+	noPerms := artifacts(t, 10, false, false, 0, nil)
+	d = Plan(Request{Op: OpDelete, Count: 1, Indices: []int{3}}, noPerms, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("without perms: choice = %v, want delta", d.Choice)
+	}
+
+	// Heads force the sampled path (the SV/LSV rebuild is Shapley-only).
+	headed := artifacts(t, 10, true, false, 0, nil)
+	headed.Heads, headed.HeadsLinear = 2, true
+	d = Plan(Request{Op: OpDelete, Count: 1, Indices: []int{3}}, headed, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceDelta {
+		t.Fatalf("with heads: choice = %v, want delta", d.Choice)
+	}
+
+	// Bulk removals fall back to recomputation even with a pivot.
+	d = Plan(Request{Op: OpDelete, Count: 6, Indices: []int{0, 1, 2, 3, 4, 5}}, withPerms, Budget{UpdateTau: 100})
+	if d.Choice != ChoiceMonteCarlo {
+		t.Fatalf("bulk with perms: choice = %v, want MC", d.Choice)
 	}
 }
 
@@ -198,7 +275,9 @@ func TestOpAndChoiceStrings(t *testing.T) {
 		ChoiceExact: "YN-NN", ChoicePivotSame: "Pivot-s",
 		ChoiceDelta: "Delta", ChoiceMonteCarlo: "MC",
 		ChoiceDeltaBatch: "Delta-batch", ChoicePivotBatch: "Pivot-s-batch",
-		ChoiceExactKNN: "Exact-KNN",
+		ChoiceExactKNN:         "Exact-KNN",
+		ChoiceDeltaDeleteBatch: "Delta-batch",
+		ChoicePivotDeleteBatch: "Pivot-s-batch",
 	}
 	for c, want := range names {
 		if c.String() != want {

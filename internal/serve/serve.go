@@ -77,9 +77,9 @@ type managed struct {
 // the snapshot deliberately does not carry: the trainer selection and
 // the runtime-only coalescing bounds.
 type sessionMeta struct {
-	Model          string `json:"model"`
-	KNNK           int    `json:"knn_k,omitempty"`
-	CoalesceBatch  int    `json:"coalesce_batch,omitempty"`
+	Model           string `json:"model"`
+	KNNK            int    `json:"knn_k,omitempty"`
+	CoalesceBatch   int    `json:"coalesce_batch,omitempty"`
 	CoalesceDelayUS int64  `json:"coalesce_delay_us,omitempty"`
 }
 
@@ -185,6 +185,40 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// encodeBufs recycles the JSON encode buffers of the hot read endpoints.
+// A /values response for a large session is tens of kilobytes; encoding
+// into a pooled buffer instead of the ResponseWriter means steady-state
+// reads allocate no response-sized garbage and, because the full body is
+// in hand before the first byte is written, the response carries an exact
+// Content-Length instead of falling back to chunked transfer encoding.
+var encodeBufs = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledBuf caps what goes back in the pool; a one-off giant response
+// should not pin its buffer for the life of the process.
+const maxPooledBuf = 1 << 20
+
+// writeJSONPooled encodes v into a pooled buffer, sets Content-Length,
+// and writes the body in one shot. Use it on hot read paths; error paths
+// and one-shot admin endpoints keep the simpler writeJSON.
+func writeJSONPooled(w http.ResponseWriter, status int, v any) {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		encodeBufs.Put(buf)
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encodeBufs.Put(buf)
+	}
+}
+
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -255,9 +289,9 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	meta := sessionMeta{
-		Model:          req.Model,
-		KNNK:           req.KNNK,
-		CoalesceBatch:  req.CoalesceBatch,
+		Model:           req.Model,
+		KNNK:            req.KNNK,
+		CoalesceBatch:   req.CoalesceBatch,
 		CoalesceDelayUS: int64(req.CoalesceDelayMS) * 1000,
 	}
 	trainer, err := trainerFor(meta)
@@ -455,7 +489,7 @@ func (sv *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, errors.New("no such session"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSONPooled(w, http.StatusOK, map[string]any{
 		"version": m.s.Version(),
 		"values":  m.s.Values(),
 	})
@@ -476,7 +510,7 @@ func (sv *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSONPooled(w, http.StatusOK, map[string]any{
 		"version": m.s.Version(),
 		"topk":    m.s.TopK(k),
 	})

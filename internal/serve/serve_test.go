@@ -291,3 +291,43 @@ func TestCoalescingWindowsOverHTTP(t *testing.T) {
 	}
 	_ = time.Millisecond
 }
+
+// TestPooledReadsSetContentLength: the hot read endpoints encode into
+// pooled buffers and therefore know the body size before the first write —
+// the response must carry an exact Content-Length, and repeated reads must
+// return identical, well-formed bodies (a recycled buffer never leaks a
+// previous response's bytes).
+func TestPooledReadsSetContentLength(t *testing.T) {
+	sv := newTestServer(t, "")
+	defer sv.Close()
+	if code, resp := doJSON(t, sv, "POST", "/v1/sessions", createBody("p", nil)); code != http.StatusCreated {
+		t.Fatalf("create: status %d (%v)", code, resp)
+	}
+	for _, path := range []string{"/v1/sessions/p/values", "/v1/sessions/p/topk?k=5"} {
+		var first []byte
+		for i := 0; i < 3; i++ {
+			req := httptest.NewRequest("GET", path, nil)
+			rec := httptest.NewRecorder()
+			sv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s: status %d", path, rec.Code)
+			}
+			cl := rec.Header().Get("Content-Length")
+			if cl == "" {
+				t.Fatalf("%s: no Content-Length header", path)
+			}
+			if cl != fmt.Sprint(rec.Body.Len()) {
+				t.Fatalf("%s: Content-Length %s != body length %d", path, cl, rec.Body.Len())
+			}
+			var out map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+				t.Fatalf("%s: malformed body: %v", path, err)
+			}
+			if i == 0 {
+				first = append([]byte(nil), rec.Body.Bytes()...)
+			} else if !bytes.Equal(rec.Body.Bytes(), first) {
+				t.Fatalf("%s: repeated read diverged (pooled buffer leak?)", path)
+			}
+		}
+	}
+}

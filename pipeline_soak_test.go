@@ -130,3 +130,132 @@ func TestSoakConcurrentPipeline(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 }
+
+// TestSoakChurnPipeline is the delete-window soak: writers mix SubmitAdd
+// and SubmitDelete (so the coalescer alternates add windows, delete
+// windows, and the barriers between them), readers spin on the versioned
+// store, and a replayer reconstructs the session from its own journal
+// mid-traffic. The final state must be bit-identical to a fresh replay of
+// the journal — whatever window shapes and add↔delete transitions timing
+// produced, the executed (operation, inputs) sequence fully determines
+// the state. Run under -race this also proves the delete-window merge and
+// remap are data-race free.
+func TestSoakChurnPipeline(t *testing.T) {
+	const (
+		n          = 24
+		numWriters = 6
+		addsPer    = 6
+		delsPer    = 2
+		numReaders = 2
+	)
+	s := newTestSession(t, n, WithUpdateSamples(40),
+		WithCoalescing(4, time.Millisecond))
+	if err := s.Init(); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	baseN := s.N()
+
+	var wg sync.WaitGroup
+	var done atomic.Bool
+	errs := make(chan error, numWriters+numReaders+1)
+
+	pts := batchTestPoints(numWriters*addsPer, 4)
+	for w := 0; w < numWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dels := 0
+			for i := 0; i < addsPer; i++ {
+				h := s.SubmitAdd(pts[w*addsPer+i])
+				if _, err := h.Wait(); err != nil {
+					errs <- fmt.Errorf("writer %d add %d: %w", w, i, err)
+					return
+				}
+				// Every third add, a delete: indices name submission-time
+				// state, and index 0 is valid against any non-empty state
+				// whatever the open window holds.
+				if i%3 == 2 && dels < delsPer {
+					dels++
+					if _, err := s.SubmitDelete([]int{0}).Wait(); err != nil {
+						errs <- fmt.Errorf("writer %d delete: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	lo := baseN - numWriters*delsPer
+	hi := baseN + numWriters*addsPer
+	var readerWG sync.WaitGroup
+	for r := 0; r < numReaders; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for !done.Load() {
+				vals := s.Values()
+				if len(vals) < lo || len(vals) > hi {
+					errs <- fmt.Errorf("reader observed %d values outside [%d, %d]",
+						len(vals), lo, hi)
+					return
+				}
+				_ = s.Rank()
+				_ = s.TopK(3)
+			}
+		}()
+	}
+
+	// Replayer: periodically reconstruct the session's current version
+	// from the journal while adds AND deletes are still landing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			time.Sleep(2 * time.Millisecond)
+			v := s.Version()
+			rs, err := s.ReplayTo(v)
+			if err != nil {
+				errs <- fmt.Errorf("mid-traffic ReplayTo(%d): %w", v, err)
+				return
+			}
+			if got := rs.Version(); got != v {
+				errs <- fmt.Errorf("mid-traffic replay version %d, want %d", got, v)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	done.Store(true)
+	readerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := s.N(); got != baseN+numWriters*(addsPer-delsPer) {
+		t.Fatalf("final N = %d, want %d", got, baseN+numWriters*(addsPer-delsPer))
+	}
+
+	// The bit-identity gate: a fresh session replaying the journal must
+	// land on exactly the published state, coalesced delete windows and
+	// their remapped indices included.
+	replayed, err := s.ReplayTo(s.Version())
+	if err != nil {
+		t.Fatalf("final ReplayTo: %v", err)
+	}
+	if !reflect.DeepEqual(replayed.Values(), s.Values()) {
+		t.Fatal("replayed values diverge from the live store")
+	}
+	if replayed.N() != s.N() || replayed.Version() != s.Version() {
+		t.Fatalf("replayed shape (n=%d v=%d) != live (n=%d v=%d)",
+			replayed.N(), replayed.Version(), s.N(), s.Version())
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

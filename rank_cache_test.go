@@ -1,0 +1,47 @@
+package dynshap
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRankCachePerVersion: Rank/TopK serve the same published version from
+// one cached sort; callers get copies (mutating a returned slice never
+// corrupts later reads), and a new published version rebuilds the order.
+func TestRankCachePerVersion(t *testing.T) {
+	const n = 12
+	s := newTestSession(t, n)
+	if err := s.Init(); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Rank()
+	if len(first) != n {
+		t.Fatalf("Rank returned %d entries, want %d", len(first), n)
+	}
+	// Mutate the returned slice; the cache must be unaffected.
+	first[0], first[n-1] = first[n-1], first[0]
+	second := s.Rank()
+	if reflect.DeepEqual(first, second) {
+		t.Fatal("mutating a returned rank order leaked into the cache")
+	}
+	if got := s.TopK(3); got[0] != second[0].Index || got[1] != second[1].Index || got[2] != second[2].Index {
+		t.Fatalf("TopK %v disagrees with Rank head %v", got, second[:3])
+	}
+	// The cached order matches a fresh sort of the published values.
+	if want := Rank(s.Values()); !reflect.DeepEqual(second, want) {
+		t.Fatalf("cached order %v != fresh sort %v", second, want)
+	}
+
+	// A new version invalidates the cache: the successor state sorts its
+	// own values.
+	if _, err := s.Delete([]int{0, 5}, AlgoAuto); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Rank()
+	if len(after) != n-2 {
+		t.Fatalf("post-delete Rank has %d entries, want %d", len(after), n-2)
+	}
+	if want := Rank(s.Values()); !reflect.DeepEqual(after, want) {
+		t.Fatalf("post-delete cached order %v != fresh sort %v", after, want)
+	}
+}

@@ -90,6 +90,11 @@ type sessionState struct {
 	exact *exact.Estimator
 
 	initialized bool
+	// ranks lazily caches this version's sorted rank orders (Shapley and
+	// per-head), built once per published state so Rank/TopK/TopKFor stop
+	// re-sorting on every call. Always a FRESH store: next() installs a new
+	// one, so a successor never inherits its predecessor's orders.
+	ranks *rankStore
 	// storesFresh is true while del/multi match the current training set
 	// (they are built for a fixed player set and go stale after updates).
 	storesFresh bool
@@ -104,10 +109,13 @@ type sessionState struct {
 }
 
 // next derives the successor state: same artifacts, next version. The
-// update then replaces whatever it changes.
+// update then replaces whatever it changes. The rank cache is NOT
+// inherited — the successor gets an empty store, rebuilt lazily from its
+// own published values.
 func (st *sessionState) next() *sessionState {
 	c := *st
 	c.version++
+	c.ranks = newRankStore()
 	return &c
 }
 
@@ -361,7 +369,7 @@ func newSessionFromConfig(train, test *dataset.Dataset, trainer ml.Trainer, cfg 
 		cfg:     cfg,
 		engine:  core.NewEngine(engineOpts...),
 	}
-	st := &sessionState{train: train.Clone()}
+	st := &sessionState{train: train.Clone(), ranks: newRankStore()}
 	rebuildUtility(s, st)
 	st.exact = s.buildExact(st)
 	s.state.Store(st)
@@ -550,19 +558,26 @@ var ErrStaleStores = errors.New("dynshap: deletion arrays are stale after a prev
 var ErrExactUnavailable = errors.New("dynshap: exact k-NN estimator unavailable; it requires SoftKNNClassifier and the distance kernel")
 
 // checkHeads rejects explicitly requested algorithms that cannot maintain
-// the configured semivalue heads. The sampled passes (MC, TMC, Delta,
-// Delta-batch) fold every head for free; the YN-NN merge re-prices linear
-// heads from the same arrays (single deletions only); everything else —
-// exact k-NN, pivot replays, the YNN-NNN multi-merge, Base, and the KNN
-// heuristics — is Shapley-specific, and silently letting the heads go
-// stale would corrupt ValuesFor. AlgoAuto never hits this: the planner
-// only routes onto head-capable paths when heads are configured.
+// the configured semivalue heads. The sampled passes (MC, TMC, Delta, and
+// the batched delta addition) fold every head for free; the YN-NN merge
+// re-prices linear heads from the same arrays (single deletions only);
+// everything else — exact k-NN, pivot replays, the YNN-NNN multi-merge,
+// the batched DELETION walks (whose shared-chain accounting is
+// Shapley-specific), Base, and the KNN heuristics — cannot, and silently
+// letting the heads go stale would corrupt ValuesFor. AlgoAuto never hits
+// this: the planner only routes onto head-capable paths when heads are
+// configured.
 func (s *Session) checkHeads(algo Algorithm, deleteCount int) error {
 	if s.cfg.headCount() == 0 {
 		return nil
 	}
 	switch algo {
-	case AlgoMonteCarlo, AlgoTruncatedMC, AlgoDelta, AlgoDeltaBatch:
+	case AlgoMonteCarlo, AlgoTruncatedMC, AlgoDelta:
+		return nil
+	case AlgoDeltaBatch:
+		if deleteCount > 0 {
+			return fmt.Errorf("dynshap: the batched delta deletion is Shapley-only and cannot maintain the configured semivalue heads %v; delete points one at a time with AlgoDelta", semivalue.Keys(s.cfg.semivalues))
+		}
 		return nil
 	case AlgoYNNN:
 		if deleteCount > 1 {
@@ -729,6 +744,10 @@ func (s *Session) planUpdate(st *sessionState, op plan.Op, count int, indices []
 	case plan.ChoiceDeltaBatch:
 		algo = AlgoDeltaBatch
 	case plan.ChoicePivotBatch:
+		algo = AlgoPivotSameBatch
+	case plan.ChoiceDeltaDeleteBatch:
+		algo = AlgoDeltaBatch
+	case plan.ChoicePivotDeleteBatch:
 		algo = AlgoPivotSameBatch
 	case plan.ChoiceExactKNN:
 		algo = AlgoExactKNN
@@ -1063,13 +1082,17 @@ func (s *Session) addDelta(st *sessionState, points []Point, r *rng.Source, ops 
 
 // Delete removes the points at the given indices (in the current Data
 // numbering) and returns the updated values, compacted to the surviving
-// points' order. Deletions invalidate the session's precomputed arrays and
-// stored permutations; subsequent explicit AlgoYNNN calls need a Refresh
-// first (AlgoAuto falls back to delta instead).
+// points' order. Deletions invalidate the session's precomputed YN-NN /
+// YNN-NNN arrays; subsequent explicit AlgoYNNN calls need a Refresh first
+// (AlgoAuto falls back to delta instead). Stored permutations survive
+// exactly one deletion path — the batched pivot walk below; every other
+// path drops them.
 //
 //   - AlgoAuto: exact YN-NN / YNN-NNN merge when the arrays are fresh and
-//     cover the request, otherwise delta, with a Monte Carlo fallback for
-//     bulk deletions; the decision is journaled.
+//     cover the request, otherwise the batched pivot walk when stored
+//     permutations are live, otherwise delta (batched for multi-point
+//     requests), with a Monte Carlo fallback for bulk deletions; the
+//     decision is journaled.
 //   - AlgoYNNN: exact recovery from the YN-NN (single point) or YNN-NNN
 //     (multiple points, if prepared) arrays; no model trainings.
 //   - AlgoExactKNN: EXACT post-deletion values from the maintained
@@ -1078,11 +1101,37 @@ func (s *Session) addDelta(st *sessionState, points []Point, r *rng.Source, ops 
 //     goes stale, handles any tuple, and journals the departing points'
 //     pre-delete exact values (RemovedValues).
 //   - AlgoDelta: incremental, applied per point in sequence.
+//   - AlgoDeltaBatch: ONE shared permutation pass prices every departing
+//     point against the fixed pre-batch set — per permutation, the common
+//     survivors' chain is walked once and each removal pays only its own
+//     with-chain. Bit-identical to AlgoDelta at a single index. Note the
+//     estimator differs from sequential AlgoDelta for k > 1: each point
+//     departs from the FIXED pre-batch set rather than one shrunk by its
+//     predecessors. Deterministic and worker-count invariant.
+//   - AlgoPivotSameBatch: evolves the stored permutations through the whole
+//     removal batch (subsequences of uniform random orders stay uniform)
+//     and walks them once in the post-delete game — the only deletion that
+//     KEEPS the pivot artifact alive, so later additions can still run
+//     Pivot-s. Requires WithKeepPermutations; consumes no randomness.
 //   - AlgoKNN / AlgoKNNPlus: instant heuristics.
 //   - AlgoMonteCarlo / AlgoTruncatedMC: recompute from scratch.
+//
+// Batched deletions (AlgoDeltaBatch, AlgoPivotSameBatch, and AlgoExactKNN)
+// journal the departing points' pre-delete values (RemovedValues), so the
+// history records what each removed point was worth when it left.
 func (s *Session) Delete(indices []int, algo Algorithm) ([]float64, error) {
 	vals, _, err := s.deleteJournaled(indices, algo, false)
 	return vals, err
+}
+
+// BatchDelete removes the points at the given indices in one batched
+// update — sugar for Delete(indices, AlgoAuto), named for symmetry with
+// the batched write pipeline (SubmitDelete): one multi-point utility and
+// kernel removal, one permutation pass (or none, on the exact and pivot
+// paths) pricing every departing point, one published version, one journal
+// record with per-point RemovedValues attribution.
+func (s *Session) BatchDelete(indices []int) ([]float64, error) {
+	return s.Delete(indices, AlgoAuto)
 }
 
 // deleteJournaled is Delete plus the published journal record; see
@@ -1147,6 +1196,10 @@ func (s *Session) deleteJournaled(indices []int, algo Algorithm, coalesced bool)
 		expanded, headsExp, err = s.deleteYNNN(st, indices)
 	case AlgoDelta:
 		expanded, headsExp, err = s.deleteDelta(st, indices, r, &ops)
+	case AlgoDeltaBatch:
+		expanded, err = s.deleteDeltaBatch(st, indices, r, &ops)
+	case AlgoPivotSameBatch:
+		expanded, err = s.deletePivotBatch(st, indices, &ops)
 	case AlgoKNN:
 		expanded, err = core.KNNDelete(st.sv, st.train, indices, s.cfg.knnK)
 	case AlgoKNNPlus:
@@ -1188,7 +1241,9 @@ func (s *Session) deleteJournaled(indices []int, algo Algorithm, coalesced bool)
 
 	// Exact deletes journal the departing points' pre-delete exact values
 	// — the estimator knows them, and once the points are gone no one else
-	// ever will.
+	// ever will. The batched walks journal the same attribution from the
+	// published estimates: the pre-delete value of each departing point, in
+	// request order.
 	var removedVals []float64
 	if algo == AlgoExactKNN {
 		// Read from the estimator, not st.sv: if initialisation ran a
@@ -1198,6 +1253,11 @@ func (s *Session) deleteJournaled(indices []int, algo Algorithm, coalesced bool)
 		removedVals = make([]float64, len(indices))
 		for i, idx := range indices {
 			removedVals[i] = pre[idx]
+		}
+	} else if algo == AlgoDeltaBatch || algo == AlgoPivotSameBatch {
+		removedVals = make([]float64, len(indices))
+		for i, idx := range indices {
+			removedVals[i] = cur.sv[idx]
 		}
 	}
 	if expanded != nil {
@@ -1234,7 +1294,14 @@ func (s *Session) deleteJournaled(indices []int, algo Algorithm, coalesced bool)
 		}
 		st.sv = st.exact.Values()
 	}
-	st.pivot = nil
+	// The batched pivot walk evolved its (cloned) permutations through the
+	// removal — the artifact stays live for later additions. Every other
+	// deletion leaves the stored permutations describing a vanished player
+	// set, so they are dropped. The YN-NN / YNN-NNN arrays are built for a
+	// fixed player set and go stale regardless of path.
+	if algo != AlgoPivotSameBatch {
+		st.pivot = nil
+	}
 	st.del = nil
 	st.multi = nil
 	st.storesFresh = false
@@ -1365,6 +1432,49 @@ func (s *Session) deleteDelta(st *sessionState, indices []int, r *rng.Source, op
 		}
 	}
 	return expanded, headsExp, nil
+}
+
+// deleteDeltaBatch runs the batched delta deletion: one shared permutation
+// pass over the common survivors prices every departing point against the
+// fixed pre-batch set. The engine's output is already in the pre-delete
+// numbering with zeros at the removed slots — exactly the expanded form
+// deleteJournaled compacts. One r.Split() mirrors sequential deleteDelta's
+// first split, so a single-index request is bit-identical to AlgoDelta.
+func (s *Session) deleteDeltaBatch(st *sessionState, indices []int, r *rng.Source, ops *opMetrics) ([]float64, error) {
+	out, err := s.engine.BatchDeltaDelete(s.gameOf(st), st.sv, indices, s.cfg.updateTau, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	ops.perms += s.engine.Stats().Issued
+	return out, nil
+}
+
+// deletePivotBatch evolves the retained permutations through the whole
+// removal batch and walks them ONCE in the post-delete game. It is the only
+// deletion path that keeps the pivot artifact alive: deleteJournaled skips
+// the pivot teardown for this algorithm, so the next addition can still run
+// Pivot-s off the evolved permutations. Consumes no randomness.
+func (s *Session) deletePivotBatch(st *sessionState, indices []int, ops *opMetrics) ([]float64, error) {
+	if st.pivot == nil {
+		return nil, ErrNotInitialized
+	}
+	// Clone before mutating: the published predecessor shares this pivot,
+	// and a half-applied failure must not corrupt it.
+	st.pivot = st.pivot.Clone()
+	rg := game.NewRestrict(s.gameOf(st), indices...)
+	sv, err := s.engine.BatchDeleteSame(st.pivot, rg, indices)
+	if err != nil {
+		return nil, err
+	}
+	ops.perms += s.engine.Stats().Issued
+	// Expand the survivors' values back to the pre-delete numbering (zeros
+	// at the removed slots) so the shared compaction below the switch
+	// applies uniformly.
+	expanded := make([]float64, st.train.Len())
+	for ri, orig := range rg.Keep() {
+		expanded[orig] = sv[ri]
+	}
+	return expanded, nil
 }
 
 // installBase publishes a state holding externally supplied values at the

@@ -3,6 +3,7 @@ package dynshap
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"dynshap/internal/ml"
 	"dynshap/internal/utility"
@@ -64,13 +65,91 @@ func TopK(values []float64, k int) []int {
 	return out
 }
 
+// rankStore lazily caches a published state's sorted rank orders, keyed by
+// head (0 = the Shapley head, 1+h = the h-th configured semivalue head).
+// Published values are immutable, so the order is computed once per
+// (version, head) however many readers ask; readers receive copies of the
+// cached slice, never the slice itself.
+type rankStore struct {
+	mu     sync.Mutex
+	byHead map[int][]Ranked
+}
+
+func newRankStore() *rankStore { return &rankStore{} }
+
+// ranked returns this state's cached rank order for the given head,
+// sorting vals on the first request. The returned slice is SHARED — the
+// session accessors copy it before handing it to callers.
+func (st *sessionState) ranked(head int, vals []float64) []Ranked {
+	rs := st.ranks
+	if rs == nil {
+		// States predate the cache only in tests poking at zero values;
+		// fall back to a fresh sort.
+		return Rank(vals)
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if r, ok := rs.byHead[head]; ok {
+		return r
+	}
+	r := Rank(vals)
+	if rs.byHead == nil {
+		rs.byHead = make(map[int][]Ranked, 1)
+	}
+	rs.byHead[head] = r
+	return r
+}
+
+// topOf copies the first k indices out of a cached rank order.
+func topOf(ranked []Ranked, k int) []int {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ranked[i].Index
+	}
+	return out
+}
+
 // Rank returns the session's points ordered by decreasing current value —
-// a non-blocking read of the latest published state.
-func (s *Session) Rank() []Ranked { return Rank(s.state.Load().sv) }
+// a non-blocking read of the latest published state. The order is sorted
+// once per published version and cached, so repeated reads between updates
+// pay only the copy.
+func (s *Session) Rank() []Ranked {
+	st := s.state.Load()
+	return append([]Ranked(nil), st.ranked(0, st.sv)...)
+}
 
 // TopK returns the indices of the session's k most valuable points under
-// the latest published values.
-func (s *Session) TopK(k int) []int { return TopK(s.state.Load().sv, k) }
+// the latest published values, read off the per-version cached rank order.
+func (s *Session) TopK(k int) []int {
+	st := s.state.Load()
+	return topOf(st.ranked(0, st.sv), k)
+}
+
+// headValues resolves a weighting to its rank-cache head index and the
+// state's value slice for it (SHARED — callers copy before returning).
+// Head 0 is the Shapley head; configured heads follow in order. A nil
+// slice with nil error means the head exists but holds no values yet
+// (before Init), mirroring Values.
+func (s *Session) headValues(st *sessionState, sv Semivalue) (int, []float64, error) {
+	if sv.IsShapley() {
+		return 0, st.sv, nil
+	}
+	for h, w := range s.cfg.semivalues {
+		if w.Key() == sv.Key() {
+			if h >= len(st.heads) {
+				return h + 1, nil, nil
+			}
+			return h + 1, st.heads[h], nil
+		}
+	}
+	return 0, nil, fmt.Errorf("dynshap: semivalue %v is not maintained by this session; pass it to WithSemivalues", sv)
+}
 
 // ValuesFor returns the session's current estimates under the given
 // semivalue weighting — a non-blocking read of the latest published
@@ -80,36 +159,36 @@ func (s *Session) TopK(k int) []int { return TopK(s.state.Load().sv, k) }
 // free. Returns nil (no error) before Init, mirroring Values.
 func (s *Session) ValuesFor(sv Semivalue) ([]float64, error) {
 	st := s.state.Load()
-	if sv.IsShapley() {
-		return append([]float64(nil), st.sv...), nil
+	_, vals, err := s.headValues(st, sv)
+	if err != nil {
+		return nil, err
 	}
-	for h, w := range s.cfg.semivalues {
-		if w.Key() == sv.Key() {
-			if h >= len(st.heads) {
-				return nil, nil
-			}
-			return append([]float64(nil), st.heads[h]...), nil
-		}
+	if vals == nil {
+		return nil, nil
 	}
-	return nil, fmt.Errorf("dynshap: semivalue %v is not maintained by this session; pass it to WithSemivalues", sv)
+	return append([]float64(nil), vals...), nil
 }
 
-// RankFor is Rank under the given semivalue weighting.
+// RankFor is Rank under the given semivalue weighting, served from the
+// same per-version cached order.
 func (s *Session) RankFor(sv Semivalue) ([]Ranked, error) {
-	vals, err := s.ValuesFor(sv)
+	st := s.state.Load()
+	head, vals, err := s.headValues(st, sv)
 	if err != nil {
 		return nil, err
 	}
-	return Rank(vals), nil
+	return append([]Ranked(nil), st.ranked(head, vals)...), nil
 }
 
-// TopKFor is TopK under the given semivalue weighting.
+// TopKFor is TopK under the given semivalue weighting, read off the
+// per-version cached rank order.
 func (s *Session) TopKFor(k int, sv Semivalue) ([]int, error) {
-	vals, err := s.ValuesFor(sv)
+	st := s.state.Load()
+	head, vals, err := s.headValues(st, sv)
 	if err != nil {
 		return nil, err
 	}
-	return TopK(vals, k), nil
+	return topOf(st.ranked(head, vals), k), nil
 }
 
 // Allocate distributes revenue over the data owners in proportion to their

@@ -342,8 +342,8 @@ func TestAlgoAutoMultiDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.Algo != "Delta" {
-		t.Fatalf("uncovered tuple resolved to %q, want Delta", rec.Algo)
+	if rec.Algo != "Delta-batch" {
+		t.Fatalf("uncovered tuple resolved to %q, want Delta-batch", rec.Algo)
 	}
 	if !strings.Contains(strings.Join(rec.Decision, " "), "candidate") {
 		t.Fatalf("trace should explain the coverage miss: %v", rec.Decision)
